@@ -1,0 +1,625 @@
+(* The benchmark harness regenerates every figure, table and in-text
+   example of the paper (the reproduction report, experiment ids E1-E12
+   of DESIGN.md), then times each experiment's workload with Bechamel
+   (performance series P1).
+
+   Run with: dune exec bench/main.exe *)
+
+open Safeopt_trace
+open Safeopt_exec
+open Safeopt_lang
+open Safeopt_litmus
+
+let vol0 = Location.Volatile.none
+
+let hr fmt =
+  Fmt.pr "@.=== %s ===@." (Fmt.str fmt)
+
+let claim name expected actual =
+  Fmt.pr "  %-58s %s (expected %b, got %b)@." name
+    (if expected = actual then "OK" else "MISMATCH")
+    expected actual
+
+let behaviours_str p =
+  String.concat " | " (Interp.behaviour_strings (Interp.behaviours p))
+
+(* ------------------------------------------------------------------ *)
+(* E1: the section-1 motivating example                                *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  hr "E1: section 1 intro example (constant propagation)";
+  let orig = Litmus.program Corpus.intro_racy in
+  let opt = Litmus.program Corpus.intro_racy_opt in
+  let volp = Litmus.program Corpus.intro_volatile in
+  Fmt.pr "  original behaviours:    %s@." (behaviours_str orig);
+  Fmt.pr "  optimised behaviours:   %s@." (behaviours_str opt);
+  Fmt.pr "  volatile behaviours:    %s@." (behaviours_str volp);
+  claim "original cannot print 1" true (not (Interp.can_output orig 1));
+  claim "optimised can print 1" true (Interp.can_output opt 1);
+  claim "original is racy (flags)" true (not (Interp.is_drf orig));
+  claim "volatile variant is DRF" true (Interp.is_drf volp);
+  claim "volatile variant still cannot print 1" true
+    (not (Interp.can_output volp 1));
+  (* the racy rewrite is a legitimate semantic elimination, the
+     volatile one is not *)
+  let universe = Denote.joint_universe [ orig; opt ] in
+  let elim p p' =
+    Safeopt_core.Elimination.is_elimination p.Ast.volatile
+      ~original:(Denote.traceset ~universe ~max_len:12 p)
+      ~universe
+      ~transformed:(Denote.traceset ~universe ~max_len:12 p')
+  in
+  claim "racy rewrite is a semantic elimination" true (elim orig opt);
+  let vol_opt =
+    { opt with Ast.volatile = volp.Ast.volatile }
+  in
+  claim "same rewrite on the volatile program is NOT an elimination" true
+    (not (elim volp vol_opt))
+
+(* ------------------------------------------------------------------ *)
+(* E2: Figure 1                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let e2 () =
+  hr "E2: Figure 1 (write and read elimination)";
+  let orig = Litmus.program Corpus.fig1_original in
+  let trans = Litmus.program Corpus.fig1_transformed in
+  Fmt.pr "  original behaviours:    %s@." (behaviours_str orig);
+  Fmt.pr "  transformed behaviours: %s@." (behaviours_str trans);
+  claim "original cannot output 1 then 0" true
+    (not (Behaviour.Set.mem [ 1; 0 ] (Interp.behaviours orig)));
+  claim "transformed can output 1 then 0" true
+    (Behaviour.Set.mem [ 1; 0 ] (Interp.behaviours trans));
+  claim "both racy (no DRF guarantee violation)" true
+    ((not (Interp.is_drf orig)) && not (Interp.is_drf trans));
+  let universe = Denote.joint_universe [ orig; trans ] in
+  claim "transformed traceset is an elimination of the original" true
+    (Safeopt_core.Elimination.is_elimination vol0
+       ~original:(Denote.traceset ~universe ~max_len:10 orig)
+       ~universe
+       ~transformed:(Denote.traceset ~universe ~max_len:10 trans))
+
+(* ------------------------------------------------------------------ *)
+(* E3: Figure 2                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fig2_elim_closure_mem orig_ts universe =
+  let memo = Hashtbl.create 97 in
+  fun t ->
+    let k = Trace.to_string t in
+    match Hashtbl.find_opt memo k with
+    | Some b -> b
+    | None ->
+        let b =
+          Safeopt_core.Elimination.is_member vol0 ~original:orig_ts ~universe t
+        in
+        Hashtbl.add memo k b;
+        b
+
+let e3 () =
+  hr "E3: Figure 2 (read/write reordering)";
+  let orig = Litmus.program Corpus.fig2_original in
+  let trans = Litmus.program Corpus.fig2_transformed in
+  Fmt.pr "  original behaviours:    %s@." (behaviours_str orig);
+  Fmt.pr "  transformed behaviours: %s@." (behaviours_str trans);
+  claim "original cannot print 1" true (not (Interp.can_output orig 1));
+  claim "transformed can print 1" true (Interp.can_output trans 1);
+  let universe = Denote.joint_universe [ orig; trans ] in
+  let ts_o = Denote.traceset ~universe ~max_len:8 orig in
+  let ts_t = Denote.traceset ~universe ~max_len:8 trans in
+  claim "NOT a reordering of the original traceset alone" true
+    (not (Safeopt_core.Reorder.is_reordering vol0 ~original:ts_o ~transformed:ts_t));
+  claim "a reordering of an elimination of the original (sec. 4)" true
+    (Safeopt_core.Reorder.is_reordering_of_oracle vol0
+       ~mem:(fig2_elim_closure_mem ts_o universe)
+       ~transformed:ts_t)
+
+(* ------------------------------------------------------------------ *)
+(* E4: Figure 3                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  hr "E4: Figure 3 (irrelevant read introduction breaks the guarantee)";
+  let a = Litmus.program Corpus.fig3_a in
+  let b = Litmus.program Corpus.fig3_b in
+  let c = Litmus.program Corpus.fig3_c in
+  Fmt.pr "  (a) %s@.  (b) %s@.  (c) %s@." (behaviours_str a)
+    (behaviours_str b) (behaviours_str c);
+  let can00 p = Behaviour.Set.mem [ 0; 0 ] (Interp.behaviours p) in
+  claim "(a) DRF, cannot print two zeros" true
+    (Interp.is_drf a && not (can00 a));
+  claim "(b) racy, still cannot print two zeros" true
+    ((not (Interp.is_drf b)) && not (can00 b));
+  claim "(c) prints two zeros" true (can00 c);
+  let b' = Safeopt_opt.Passes.introduce_irrelevant_reads a in
+  claim "(a)->(b): SC behaviours preserved, DRF destroyed" true
+    (Behaviour.Set.equal (Interp.behaviours a) (Interp.behaviours b')
+    && not (Interp.is_drf b'));
+  let c' = Safeopt_opt.Passes.eliminate_reads_across_acquires b in
+  claim "(b)->(c): cross-acquire elimination reproduces (c)" true
+    (Behaviour.Set.equal (Interp.behaviours c) (Interp.behaviours c'))
+
+(* ------------------------------------------------------------------ *)
+(* E5: the reorderability matrix                                       *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  hr "E5: section 4 reorderability matrix";
+  Fmt.pr "%a" Safeopt_core.Reorder.pp_matrix ();
+  (* the paper's check-marks, row-major, distinct locations:
+     W: y y y x y / R: y y y x y / Acq: all x / Rel: y y x x x /
+     Ext: y y x x x *)
+  let expected =
+    [
+      [ true; true; true; false; true ];
+      [ true; true; true; false; true ];
+      [ false; false; false; false; false ];
+      [ true; true; false; false; false ];
+      [ true; true; false; false; false ];
+    ]
+  in
+  let m = Safeopt_core.Reorder.matrix ~same_location:false in
+  claim "matrix matches the paper's table" true
+    (List.for_all2
+       (fun row i -> List.for_all2 (fun e j -> m.(i).(j) = e) row (List.init 5 Fun.id) |> fun l -> l)
+       expected (List.init 5 Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* E6: Figure 4 (de-permutations)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Fig. 2's tracesets (section 4), explicit over {0,1}. *)
+let fig2_original_ts =
+  Traceset.of_list
+    (List.concat_map
+       (fun v ->
+         Action.
+           [
+             [ Start 0; Read ("x", v); Write ("y", v) ];
+             [ Start 1; Read ("y", v); Write ("x", 1); External v ];
+           ])
+       [ 0; 1 ])
+
+let fig2_transformed_ts =
+  Traceset.of_list
+    (List.concat_map
+       (fun v ->
+         Action.
+           [
+             [ Start 0; Read ("x", v); Write ("y", v) ];
+             [ Start 1; Write ("x", 1); Read ("y", v); External v ];
+           ])
+       [ 0; 1 ])
+
+let fig4_t' =
+  Action.[ Start 1; Write ("x", 1); Read ("y", 1); External 1 ]
+
+let fig4_f : Safeopt_core.Reorder.f = [| 0; 2; 1; 3 |]
+
+let fig4_t_bar =
+  Traceset.add Action.[ Start 1; Write ("x", 1) ] fig2_original_ts
+
+let e6 () =
+  hr "E6: Figure 4 (de-permutation of prefixes)";
+  List.iter
+    (fun n ->
+      let t = Safeopt_core.Reorder.depermute_prefix fig4_f fig4_t' n in
+      Fmt.pr "  n=%d: %a  in T-bar: %b@." n Trace.pp t
+        (Traceset.mem t fig4_t_bar))
+    [ 4; 3; 2; 1; 0 ];
+  claim "f de-permutes t' into T-bar" true
+    (Safeopt_core.Reorder.de_permutes vol0 fig4_f fig4_t' ~mem:(fun t ->
+         Traceset.mem t fig4_t_bar))
+
+(* ------------------------------------------------------------------ *)
+(* E7: Figure 5 (unelimination)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fig5_original_ts =
+  Traceset.of_list
+    (List.concat_map
+       (fun v ->
+         Action.
+           [
+             [ Start 0; Write ("v", 1); Write ("y", 1) ];
+             [ Start 1; Read ("x", v); Read ("v", 0); External 0 ];
+             [ Start 1; Read ("x", v); Read ("v", 1); External 1 ];
+           ])
+       [ 0; 1 ])
+
+let fig5_i' =
+  List.map
+    (fun (t, a) -> Interleaving.pair t a)
+    Action.
+      [
+        (0, Start 0);
+        (1, Start 1);
+        (0, Write ("y", 1));
+        (1, Read ("v", 0));
+        (1, External 0);
+      ]
+
+let fig5_vol = Location.Volatile.of_list [ "v" ]
+
+let e7 () =
+  hr "E7: Figure 5 (unelimination construction)";
+  match
+    Safeopt_core.Unelimination.construct_from_traceset fig5_vol
+      ~original:fig5_original_ts ~universe:[ 0; 1 ] fig5_i'
+  with
+  | None -> Fmt.pr "  FAILED to construct@."
+  | Some { Safeopt_core.Unelimination.wild; matching } ->
+      Fmt.pr "  I' = %a@." Interleaving.pp fig5_i';
+      Fmt.pr "  I  = %a@." Interleaving.Wild.pp wild;
+      claim "f maps index 2 to position 6 (paper's example)" true
+        (matching.(2) = 6);
+      claim "all four unelimination clauses hold" true
+        (Safeopt_core.Unelimination.is_unelimination_function fig5_vol
+           ~transformed:fig5_i' ~wild ~f:matching);
+      let inst = Interleaving.Wild.instance wild in
+      claim "the instance is an execution of T with the same behaviour" true
+        (Interleaving.is_execution_of fig5_original_ts inst
+        && Behaviour.equal
+             (Interleaving.behaviour inst)
+             (Interleaving.behaviour fig5_i'))
+
+(* ------------------------------------------------------------------ *)
+(* E8: out-of-thin-air                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  hr "E8: section 5 out-of-thin-air program";
+  let p = Litmus.program Corpus.oota in
+  let universe = [ 0; 42 ] in
+  let ts = Denote.traceset ~universe ~max_len:8 p in
+  claim "no trace is an origin for 42" true
+    (not (Safeopt_core.Origin.traceset_has_origin 42 ts));
+  claim "no bounded execution mentions 42 (Lemma 3)" true
+    (Safeopt_core.Origin.check_lemma3 42 ts ~max_steps:2_000_000 = Ok ());
+  let reachable =
+    Safeopt_opt.Transform.reachable ~max_programs:500
+      (Safeopt_opt.Rule.i_ir :: Safeopt_opt.Rule.all)
+      p
+  in
+  Fmt.pr "  programs reachable via the rules: %d@." (List.length reachable);
+  claim "none can output 42 (Theorem 5)" true
+    (List.for_all (fun q -> not (Interp.can_output q 42)) reachable)
+
+(* ------------------------------------------------------------------ *)
+(* E9: section 4 elimination example                                   *)
+(* ------------------------------------------------------------------ *)
+
+let e9_orig = Litmus.program Corpus.sec4_elim_original
+let e9_trans = Litmus.program Corpus.sec4_elim_transformed
+
+let e9_check () =
+  let universe = Denote.joint_universe [ e9_orig; e9_trans ] in
+  Safeopt_core.Elimination.is_elimination vol0
+    ~original:(Denote.traceset ~universe ~max_len:12 e9_orig)
+    ~universe
+    ~transformed:(Denote.traceset ~universe ~max_len:12 e9_trans)
+
+let e9 () =
+  hr "E9: section 4 traceset elimination example";
+  claim "x:=1;print 1;lock;x:=1;unlock eliminates the long program" true
+    (e9_check ())
+
+(* ------------------------------------------------------------------ *)
+(* E10/E11: guarantee sweeps over the corpus                           *)
+(* ------------------------------------------------------------------ *)
+
+let e10_sweep () =
+  List.for_all
+    (fun t ->
+      let p = Litmus.program t in
+      List.for_all
+        (fun s ->
+          Safeopt_opt.Validate.behaviours_ok
+            (Safeopt_opt.Validate.validate ~original:p
+               ~transformed:s.Safeopt_opt.Transform.after ()))
+        (Safeopt_opt.Transform.program_rewrites Safeopt_opt.Rule.all p))
+    Corpus.all
+
+let e10 () =
+  hr "E10: Theorems 1-4 sweep (all corpus programs x all rules)";
+  let total =
+    List.fold_left
+      (fun acc t ->
+        acc
+        + List.length
+            (Safeopt_opt.Transform.program_rewrites Safeopt_opt.Rule.all
+               (Litmus.program t)))
+      0 Corpus.all
+  in
+  Fmt.pr "  rule applications checked: %d@." total;
+  claim "every safe-rule application preserves the DRF guarantee" true
+    (e10_sweep ())
+
+let e11 () =
+  hr "E11: Theorem 5 sweep (no rule chain manufactures a fresh constant)";
+  let fresh_value = 23 in
+  let ok =
+    List.for_all
+      (fun t ->
+        let p = Litmus.program t in
+        if List.mem fresh_value (Ast.all_constants_program p) then true
+        else
+          Safeopt_opt.Transform.reachable ~max_programs:60
+            Safeopt_opt.Rule.all p
+          |> List.for_all (fun q -> not (Interp.can_output q fresh_value)))
+      Corpus.all
+  in
+  claim "23 never appears out of thin air across the corpus" true ok
+
+(* ------------------------------------------------------------------ *)
+(* E12: TSO                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let e12 () =
+  hr "E12: section 8 — TSO explained by the transformations";
+  Fmt.pr "  %-18s %-24s %-10s %s@." "test" "weak behaviours" "explained"
+    "drf";
+  List.iter
+    (fun t ->
+      let p = Litmus.program t in
+      let weak = Safeopt_tso.Machine.weak_behaviours p in
+      let _, _, expl = Safeopt_tso.Machine.explained_by_transformations p in
+      Fmt.pr "  %-18s %-24s %-10b %b@." t.Litmus.name
+        (Fmt.str "%a" Behaviour.Set.pp weak)
+        expl (Interp.is_drf p))
+    [
+      Corpus.sb;
+      Corpus.lb;
+      Corpus.mp;
+      Corpus.mp_volatile;
+      Corpus.mp_locked;
+      Corpus.corr;
+      Corpus.fig3_a;
+      Corpus.dekker_volatile;
+    ];
+  claim "SB exhibits exactly the 0,0 weakness" true
+    (Behaviour.Set.equal
+       (Safeopt_tso.Machine.weak_behaviours (Litmus.program Corpus.sb))
+       (Behaviour.Set.singleton [ 0; 0 ]))
+
+(* ------------------------------------------------------------------ *)
+(* E13: PSO (other memory models, section 8's outlook)                 *)
+(* ------------------------------------------------------------------ *)
+
+let e13 () =
+  hr "E13: PSO — per-location store buffers (extension)";
+  Fmt.pr "  %-14s %-16s %-18s %s@." "test" "pso-weak" "beyond-tso" "explained";
+  List.iter
+    (fun t ->
+      let p = Litmus.program t in
+      let weak = Safeopt_tso.Pso.weak_behaviours p in
+      let beyond = Safeopt_tso.Pso.weak_beyond_tso p in
+      let _, _, expl = Safeopt_tso.Pso.explained_by_transformations p in
+      Fmt.pr "  %-14s %-16s %-18s %b@." t.Litmus.name
+        (Fmt.str "%a" Behaviour.Set.pp weak)
+        (Fmt.str "%a" Behaviour.Set.pp beyond)
+        expl)
+    [ Corpus.sb; Corpus.mp; Corpus.lb; Corpus.corr; Corpus.mp_volatile ];
+  claim "PSO weakens MP (write-write reordering), beyond TSO" true
+    (Behaviour.Set.mem [ 0 ]
+       (Safeopt_tso.Pso.weak_beyond_tso (Litmus.program Corpus.mp)));
+  claim "MP's PSO weakness is explained by R-WW (+R-WR, E-RAW)" true
+    (let _, _, e =
+       Safeopt_tso.Pso.explained_by_transformations (Litmus.program Corpus.mp)
+     in
+     e)
+
+(* ------------------------------------------------------------------ *)
+(* E14: robustness enforcement                                         *)
+(* ------------------------------------------------------------------ *)
+
+let e14 () =
+  hr "E14: fence inference (DRF enforcement makes programs SC-on-TSO)";
+  Fmt.pr "  %-14s %-20s %s@." "test" "promoted" "robust after";
+  List.iter
+    (fun t ->
+      let p = Litmus.program t in
+      let p', promoted = Safeopt_tso.Robustness.enforce p in
+      Fmt.pr "  %-14s %-20s %b@." t.Litmus.name
+        (if promoted = [] then "(already DRF)"
+         else String.concat ", " promoted)
+        (Safeopt_tso.Robustness.is_robust p'))
+    [ Corpus.sb; Corpus.mp; Corpus.lb; Corpus.mp_locked ];
+  claim "every enforced corpus program is TSO-robust" true
+    (List.for_all
+       (fun t ->
+         let p', _ = Safeopt_tso.Robustness.enforce (Litmus.program t) in
+         Safeopt_tso.Robustness.is_robust p')
+       Corpus.all)
+
+(* ------------------------------------------------------------------ *)
+(* P1: scaling data                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let writer_reader_program n_threads =
+  (* n threads, each writes its own location then reads its neighbour's *)
+  {
+    Ast.threads =
+      List.init n_threads (fun i ->
+          let mine = Printf.sprintf "x%d" i in
+          let next = Printf.sprintf "x%d" ((i + 1) mod n_threads) in
+          [
+            Ast.Move ("r1", Ast.Nat 1);
+            Ast.Store (mine, "r1");
+            Ast.Load ("r2", next);
+            Ast.Print "r2";
+          ]);
+    volatile = Location.Volatile.none;
+  }
+
+let p1 () =
+  hr "P1: scaling of exhaustive enumeration";
+  Fmt.pr "  %-8s %-12s %-14s %-12s@." "threads" "states" "behaviours" "drf";
+  List.iter
+    (fun n ->
+      let p = writer_reader_program n in
+      let states = Interp.count_states p in
+      let bs = Behaviour.Set.cardinal (Interp.behaviours p) in
+      Fmt.pr "  %-8d %-12d %-14d %-12b@." n states bs (Interp.is_drf p))
+    [ 1; 2; 3; 4 ]
+
+(* n threads with [k] private actions around one shared store. *)
+let private_work_program n k =
+  {
+    Ast.threads =
+      List.init n (fun i ->
+          let priv j = Printf.sprintf "p%d_%d" i j in
+          List.init k (fun j -> Ast.Store (priv j, "r1"))
+          @ [ Ast.Store ("shared", "r1") ]
+          @ List.init k (fun j -> Ast.Load ("r2", priv j)));
+    volatile = Location.Volatile.none;
+  }
+
+let p2 () =
+  hr "P2: partial-order reduction ablation";
+  Fmt.pr "  %-20s %-14s %-12s %-10s@." "program" "states (full)" "with POR"
+    "reduction";
+  List.iter
+    (fun (n, k) ->
+      let p = private_work_program n k in
+      let full = Interp.count_states p in
+      let por = Interp.count_states ~por:true p in
+      Fmt.pr "  %dt x %d private     %-14d %-12d %.1fx@." n k full por
+        (float_of_int full /. float_of_int (max 1 por)))
+    [ (2, 2); (2, 4); (3, 2); (3, 3) ];
+  claim "POR preserves behaviours on the ablation programs" true
+    (List.for_all
+       (fun (n, k) ->
+         let p = private_work_program n k in
+         Behaviour.Set.equal (Interp.behaviours p)
+           (Interp.behaviours ~por:true p))
+       [ (2, 2); (2, 4); (3, 2); (3, 3) ])
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let t name f = Test.make ~name (Staged.stage f) in
+  let sb = Litmus.program Corpus.sb in
+  let fig1_o = Litmus.program Corpus.fig1_original in
+  let fig1_t = Litmus.program Corpus.fig1_transformed in
+  let fig1_uni = Denote.joint_universe [ fig1_o; fig1_t ] in
+  let fig1_tso = Denote.traceset ~universe:fig1_uni ~max_len:10 fig1_o in
+  let fig1_tst = Denote.traceset ~universe:fig1_uni ~max_len:10 fig1_t in
+  let fig3a = Litmus.program Corpus.fig3_a in
+  let oota = Litmus.program Corpus.oota in
+  let oota_ts = Denote.traceset ~universe:[ 0; 42 ] ~max_len:8 oota in
+  [
+    Test.make_grouped ~name:"figures"
+      [
+        t "e1_intro_behaviours" (fun () ->
+            Interp.behaviours (Litmus.program Corpus.intro_racy));
+        t "e2_fig1_elimination_check" (fun () ->
+            Safeopt_core.Elimination.is_elimination vol0 ~original:fig1_tso
+              ~universe:fig1_uni ~transformed:fig1_tst);
+        t "e3_fig2_reorder_via_closure" (fun () ->
+            Safeopt_core.Reorder.is_reordering_of_oracle vol0
+              ~mem:(fun tr ->
+                Safeopt_core.Elimination.is_member vol0
+                  ~original:fig2_original_ts ~universe:[ 0; 1 ] tr)
+              ~transformed:fig2_transformed_ts);
+        t "e4_fig3_pipeline" (fun () ->
+            Safeopt_opt.Passes.eliminate_reads_across_acquires
+              (Safeopt_opt.Passes.introduce_irrelevant_reads fig3a));
+        t "e5_matrix" (fun () ->
+            ( Safeopt_core.Reorder.matrix ~same_location:false,
+              Safeopt_core.Reorder.matrix ~same_location:true ));
+        t "e6_fig4_depermute" (fun () ->
+            Safeopt_core.Reorder.de_permutes vol0 fig4_f fig4_t'
+              ~mem:(fun tr -> Traceset.mem tr fig4_t_bar));
+        t "e7_fig5_unelimination" (fun () ->
+            Safeopt_core.Unelimination.construct_from_traceset fig5_vol
+              ~original:fig5_original_ts ~universe:[ 0; 1 ] fig5_i');
+        t "e8_oota_origins" (fun () ->
+            Safeopt_core.Origin.traceset_has_origin 42 oota_ts);
+        t "e9_sec4_elimination" (fun () -> e9_check ());
+        t "e12_tso_sb" (fun () -> Safeopt_tso.Machine.weak_behaviours sb);
+        t "e13_pso_mp" (fun () ->
+            Safeopt_tso.Pso.weak_behaviours (Litmus.program Corpus.mp));
+        t "e14_robust_sb" (fun () -> Safeopt_tso.Robustness.enforce sb);
+      ];
+    Test.make_grouped ~name:"scaling"
+      (List.concat_map
+         (fun n ->
+           let p = writer_reader_program n in
+           [
+             t (Printf.sprintf "behaviours_%dt" n) (fun () ->
+                 Interp.behaviours p);
+             t (Printf.sprintf "drf_%dt" n) (fun () -> Interp.is_drf p);
+           ])
+         [ 1; 2; 3 ]);
+    Test.make_grouped ~name:"por_ablation"
+      (List.concat_map
+         (fun (n, k) ->
+           let p = private_work_program n k in
+           [
+             t (Printf.sprintf "full_%dt_%dp" n k) (fun () ->
+                 Interp.count_states p);
+             t (Printf.sprintf "por_%dt_%dp" n k) (fun () ->
+                 Interp.count_states ~por:true p);
+           ])
+         [ (2, 2); (3, 2) ]);
+    Test.make_grouped ~name:"infrastructure"
+      [
+        t "parse_corpus" (fun () -> List.map Litmus.program Corpus.all);
+        t "litmus_sb_check" (fun () -> Litmus.check Corpus.sb);
+        t "optimise_pipeline" (fun () ->
+            Safeopt_opt.Passes.optimise (Litmus.program Corpus.mp_locked));
+      ];
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  hr "Bechamel timings (ns per run, OLS on monotonic clock)";
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results =
+        List.map (fun instance -> Analyze.all ols instance raw) instances
+      in
+      let results = Analyze.merge ols instances results in
+      Hashtbl.iter
+        (fun _instance tbl ->
+          let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+          List.sort (fun (a, _) (b, _) -> String.compare a b) rows
+          |> List.iter (fun (name, ols_result) ->
+                 match Analyze.OLS.estimates ols_result with
+                 | Some [ est ] -> Fmt.pr "  %-44s %14.1f ns@." name est
+                 | _ -> Fmt.pr "  %-44s (no estimate)@." name))
+        results)
+    (bechamel_tests ())
+
+let () =
+  e1 ();
+  e2 ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  e7 ();
+  e8 ();
+  e9 ();
+  e10 ();
+  e11 ();
+  e12 ();
+  e13 ();
+  e14 ();
+  p1 ();
+  p2 ();
+  run_bechamel ();
+  Fmt.pr "@.done.@."

@@ -1,0 +1,435 @@
+(* drfopt — the command-line face of the safeopt library.
+
+   Subcommands:
+     run         interpret a program: behaviours + DRF verdict
+     drf         data-race check with a witness execution
+     transform   apply a named Fig. 10/11 rule
+     opt         run the optimisation pipeline and validate it
+     validate    compare two programs under the DRF guarantee
+     litmus      run the built-in corpus
+     matrix      print the section-4 reorderability matrix
+     tso         TSO behaviours and the section-8 explanation check *)
+
+open Cmdliner
+open Safeopt_lang
+open Safeopt_exec
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  try Ok (Parser.parse_program (read_file path)) with
+  | Parser.Error (pos, msg) ->
+      Error (Printf.sprintf "%s:%d:%d: %s" path pos.Lexer.line pos.Lexer.col msg)
+  | Lexer.Error (pos, msg) ->
+      Error (Printf.sprintf "%s:%d:%d: %s" path pos.Lexer.line pos.Lexer.col msg)
+  | Sys_error e -> Error e
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Program in the concrete syntax.")
+
+let fuel_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:"Per-thread action budget for programs with loops.")
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+      Fmt.epr "drfopt: %s@." e;
+      exit 2
+
+let print_behaviours bs =
+  Fmt.pr "@[<v>behaviours (%d, showing maximal):@ %a@]@."
+    (Behaviour.Set.cardinal bs)
+    Fmt.(list ~sep:cut string)
+    (Interp.behaviour_strings bs)
+
+(* --- run --- *)
+
+let run_cmd =
+  let run file fuel =
+    let p = or_die (load file) in
+    Fmt.pr "%a@.@." Pp.program p;
+    print_behaviours (Interp.behaviours ~fuel p);
+    Fmt.pr "data race free: %b@." (Interp.is_drf ~fuel p)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Enumerate SC behaviours and check race freedom")
+    Term.(const run $ file_arg $ fuel_arg)
+
+(* --- drf --- *)
+
+let drf_cmd =
+  let run file fuel =
+    let p = or_die (load file) in
+    match Interp.find_race ~fuel p with
+    | None -> Fmt.pr "data race free@."
+    | Some i ->
+        Fmt.pr "@[<v>RACY; witness execution (last two actions conflict):@ %a@]@."
+          Interleaving.pp i;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "drf" ~doc:"Check data race freedom, with witness")
+    Term.(const run $ file_arg $ fuel_arg)
+
+(* --- transform --- *)
+
+let transform_cmd =
+  let rule_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "rule"; "r" ] ~docv:"RULE"
+          ~doc:"Rule name (E-RAR, E-RAW, E-WAR, E-WBW, E-IR, R-RR, R-WW, \
+                R-WR, R-RW, R-WL, R-RL, R-UW, R-UR, R-XR, R-XW, I-IR).")
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Print every single-step result instead of the first.")
+  in
+  let run file rule all =
+    let p = or_die (load file) in
+    if all then
+      match Safeopt_opt.Rule.by_name rule with
+      | None -> or_die (Error (Printf.sprintf "unknown rule %S" rule))
+      | Some r ->
+          List.iteri
+            (fun i s ->
+              Fmt.pr "--- result %d ---@.%a@." i Pp.program
+                s.Safeopt_opt.Transform.after)
+            (Safeopt_opt.Transform.program_rewrites [ r ] p)
+    else
+      match Safeopt_opt.Transform.apply_named rule p with
+      | Ok p' -> Fmt.pr "%a@." Pp.program p'
+      | Error e -> or_die (Error e)
+  in
+  Cmd.v
+    (Cmd.info "transform" ~doc:"Apply a Fig. 10/11 rule")
+    Term.(const run $ file_arg $ rule_arg $ all_arg)
+
+(* --- opt --- *)
+
+let opt_cmd =
+  let passes_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "passes" ] ~docv:"P1,P2,..."
+          ~doc:"Comma-separated pass names (constprop, copyprop, \
+                redundancy, dead-moves, dead-loads, fold-branches, \
+                normalise, unroll1, unroll2, read-intro, \
+                cross-acquire-elim, roach-motel); default pipeline if \
+                omitted.")
+  in
+  let run file fuel passes =
+    let p = or_die (load file) in
+    let p' =
+      match passes with
+      | None -> Safeopt_opt.Passes.optimise p
+      | Some names -> or_die (Safeopt_opt.Passes.run_pipeline names p)
+    in
+    Fmt.pr "--- optimised ---@.%a@.@." Pp.program p';
+    let report =
+      Safeopt_opt.Validate.validate ~fuel ~original:p ~transformed:p' ()
+    in
+    Fmt.pr "%a@." Safeopt_opt.Validate.pp_report report;
+    if not (Safeopt_opt.Validate.ok report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "opt"
+       ~doc:"Run an optimisation pipeline and validate it against the DRF \
+             guarantee")
+    Term.(const run $ file_arg $ fuel_arg $ passes_arg)
+
+(* --- validate --- *)
+
+let validate_cmd =
+  let transformed_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"TRANSFORMED" ~doc:"Transformed program.")
+  in
+  let relation_arg =
+    let rel_conv =
+      Arg.enum
+        [
+          ("none", Safeopt_opt.Validate.Unchecked);
+          ("elim", Safeopt_opt.Validate.Elimination);
+          ("reorder", Safeopt_opt.Validate.Reordering);
+          ("elim-reorder", Safeopt_opt.Validate.Elimination_then_reordering);
+        ]
+    in
+    Arg.(
+      value
+      & opt rel_conv Safeopt_opt.Validate.Unchecked
+      & info [ "relation" ]
+          ~doc:"Also check the semantic traceset relation on bounded \
+                denotations: $(b,elim), $(b,reorder) or $(b,elim-reorder).")
+  in
+  let max_len_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "max-len" ] ~doc:"Trace length bound for the relation check.")
+  in
+  let run orig_file trans_file relation max_len fuel =
+    let original = or_die (load orig_file) in
+    let transformed = or_die (load trans_file) in
+    let report =
+      match relation with
+      | Safeopt_opt.Validate.Unchecked ->
+          Safeopt_opt.Validate.validate ~fuel ~original ~transformed ()
+      | r ->
+          Safeopt_opt.Validate.validate_semantic ~fuel ~max_len ~relation:r
+            ~original ~transformed ()
+    in
+    Fmt.pr "%a@." Safeopt_opt.Validate.pp_report report;
+    Fmt.pr "DRF guarantee: %s@."
+      (if Safeopt_opt.Validate.ok report then "HOLDS" else "VIOLATED");
+    if not (Safeopt_opt.Validate.ok report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Check a transformation against the DRF guarantee (Theorems 1-4)")
+    Term.(
+      const run $ file_arg $ transformed_arg $ relation_arg $ max_len_arg
+      $ fuel_arg)
+
+(* --- denote --- *)
+
+let denote_cmd =
+  let max_len_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-len" ] ~docv:"N" ~doc:"Trace length bound.")
+  in
+  let run file max_len =
+    let p = or_die (load file) in
+    let universe = Denote.universe p in
+    let ts = Denote.traceset ~universe ~max_len p in
+    Fmt.pr "value universe: %a@."
+      Fmt.(brackets (list ~sep:comma int))
+      universe;
+    Fmt.pr "traces (length <= %d): %d; maximal:@." max_len
+      (Safeopt_trace.Traceset.cardinal ts);
+    List.iter
+      (fun t -> Fmt.pr "  %a@." Safeopt_trace.Trace.pp t)
+      (Safeopt_trace.Traceset.maximal ts)
+  in
+  Cmd.v
+    (Cmd.info "denote"
+       ~doc:"Print the bounded traceset denotation [[P]] of a program")
+    Term.(const run $ file_arg $ max_len_arg)
+
+(* --- litmus --- *)
+
+let litmus_cmd =
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Run a single test by name.")
+  in
+  let run name =
+    let tests =
+      match name with
+      | None -> Safeopt_litmus.Corpus.all
+      | Some n -> (
+          match Safeopt_litmus.Corpus.by_name n with
+          | Some t -> [ t ]
+          | None ->
+              Fmt.epr "unknown litmus test %S@." n;
+              exit 2)
+    in
+    let outcomes = List.map Safeopt_litmus.Litmus.check tests in
+    List.iter
+      (fun o -> Fmt.pr "%a@." Safeopt_litmus.Litmus.pp_outcome o)
+      outcomes;
+    if not (List.for_all Safeopt_litmus.Litmus.passed outcomes) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "litmus" ~doc:"Run the built-in litmus corpus")
+    Term.(const run $ name_arg)
+
+(* --- eliminable --- *)
+
+let eliminable_cmd =
+  let trace_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:"A trace in the paper's notation, e.g. \
+                \"S(0); W[x=1]; R[y=*]; R[x=1]; X(1)\".")
+  in
+  let volatile_arg =
+    Arg.(
+      value & opt (list string) []
+      & info [ "volatile" ] ~docv:"LOCS" ~doc:"Volatile locations.")
+  in
+  let run trace vols =
+    let w =
+      try Safeopt_trace.Syntax.parse_wildcard trace
+      with Safeopt_trace.Syntax.Error (pos, m) ->
+        or_die (Error (Printf.sprintf "at offset %d: %s" pos m))
+    in
+    let vol = Safeopt_trace.Location.Volatile.of_list vols in
+    Fmt.pr "%a@." Safeopt_trace.Wildcard.pp w;
+    List.iteri
+      (fun i e ->
+        match Safeopt_core.Eliminable.classify vol w i with
+        | Some k ->
+            Fmt.pr "  %2d %-10s eliminable: %a%s@." i
+              (Fmt.str "%a" Safeopt_trace.Wildcard.pp_elt e)
+              Safeopt_core.Eliminable.pp_kind k
+              (if Safeopt_core.Eliminable.properly_eliminable vol w i then ""
+               else "  (not composable: last-action clause)")
+        | None ->
+            Fmt.pr "  %2d %-10s -@." i
+              (Fmt.str "%a" Safeopt_trace.Wildcard.pp_elt e))
+      w
+  in
+  Cmd.v
+    (Cmd.info "eliminable"
+       ~doc:"Classify each index of a trace per Definition 1")
+    Term.(const run $ trace_arg $ volatile_arg)
+
+(* --- matrix --- *)
+
+let matrix_cmd =
+  let run () = Fmt.pr "%a@?" Safeopt_core.Reorder.pp_matrix () in
+  Cmd.v
+    (Cmd.info "matrix" ~doc:"Print the section-4 reorderability matrix")
+    Term.(const run $ const ())
+
+(* --- deadlock --- *)
+
+let deadlock_cmd =
+  let run file fuel =
+    let p = or_die (load file) in
+    match Interp.find_deadlock ~fuel p with
+    | None -> Fmt.pr "no deadlock reachable@."
+    | Some i ->
+        Fmt.pr "@[<v>DEADLOCK after:@ %a@]@." Interleaving.pp i;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "deadlock" ~doc:"Search for a reachable deadlock")
+    Term.(const run $ file_arg $ fuel_arg)
+
+(* --- chain --- *)
+
+let chain_cmd =
+  let files_arg =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILES" ~doc:"Chain of programs, original first.")
+  in
+  let run files fuel =
+    let programs = List.map (fun f -> or_die (load f)) files in
+    let report = Safeopt_opt.Validate.validate_chain ~fuel programs in
+    Fmt.pr "%a@." Safeopt_opt.Validate.pp_chain_report report;
+    Fmt.pr "chain DRF guarantee: %s@."
+      (if Safeopt_opt.Validate.chain_ok report then "HOLDS" else "VIOLATED");
+    if not (Safeopt_opt.Validate.chain_ok report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chain"
+       ~doc:"Validate a chain of transformations (the paper's composition \
+             result)")
+    Term.(const run $ files_arg $ fuel_arg)
+
+(* --- robust --- *)
+
+let robust_cmd =
+  let run file fuel =
+    let p = or_die (load file) in
+    let p', promoted = Safeopt_tso.Robustness.enforce ~fuel p in
+    (match promoted with
+    | [] -> Fmt.pr "already data race free; no fences needed@."
+    | ls ->
+        Fmt.pr "promoted to volatile: %a@."
+          Fmt.(list ~sep:(any ", ") string)
+          ls;
+        Fmt.pr "--- robust program ---@.%a@." Pp.program p');
+    Fmt.pr "TSO-robust: %b@." (Safeopt_tso.Robustness.is_robust ~fuel p')
+  in
+  Cmd.v
+    (Cmd.info "robust"
+       ~doc:"Infer the volatile annotations (fences) that make the program \
+             data race free, hence SC on TSO")
+    Term.(const run $ file_arg $ fuel_arg)
+
+(* --- tso --- *)
+
+let tso_cmd =
+  let run file fuel =
+    let p = or_die (load file) in
+    let tso = Safeopt_tso.Machine.program_behaviours ~fuel p in
+    let weak = Safeopt_tso.Machine.weak_behaviours ~fuel p in
+    Fmt.pr "TSO behaviours:@.";
+    print_behaviours tso;
+    Fmt.pr "weak (TSO minus SC): %a@." Behaviour.Set.pp weak;
+    let _, _, explained = Safeopt_tso.Machine.explained_by_transformations ~fuel p in
+    Fmt.pr "explained by R-WR + E-RAW transformations: %b@." explained
+  in
+  Cmd.v
+    (Cmd.info "tso"
+       ~doc:"Enumerate store-buffer (TSO) behaviours and check the \
+             section-8 explanation")
+    Term.(const run $ file_arg $ fuel_arg)
+
+let pso_cmd =
+  let run file fuel =
+    let p = or_die (load file) in
+    Fmt.pr "PSO behaviours:@.";
+    print_behaviours (Safeopt_tso.Pso.program_behaviours ~fuel p);
+    Fmt.pr "weak (PSO minus SC):  %a@." Behaviour.Set.pp
+      (Safeopt_tso.Pso.weak_behaviours ~fuel p);
+    Fmt.pr "weak (PSO minus TSO): %a@." Behaviour.Set.pp
+      (Safeopt_tso.Pso.weak_beyond_tso ~fuel p);
+    let _, _, explained =
+      Safeopt_tso.Pso.explained_by_transformations ~fuel p
+    in
+    Fmt.pr "explained by R-WW + R-WR + E-RAW transformations: %b@." explained
+  in
+  Cmd.v
+    (Cmd.info "pso"
+       ~doc:"Enumerate partial-store-order behaviours (per-location store \
+             buffers)")
+    Term.(const run $ file_arg $ fuel_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "drfopt" ~version:"1.0.0"
+       ~doc:"Trace semantics and DRF-safe optimisation toolkit (Sevcik, PLDI \
+             2011)")
+    [
+      run_cmd;
+      drf_cmd;
+      transform_cmd;
+      opt_cmd;
+      validate_cmd;
+      deadlock_cmd;
+      denote_cmd;
+      eliminable_cmd;
+      chain_cmd;
+      robust_cmd;
+      litmus_cmd;
+      matrix_cmd;
+      tso_cmd;
+      pso_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

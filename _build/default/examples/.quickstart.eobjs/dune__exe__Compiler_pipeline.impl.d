@@ -1,0 +1,1 @@
+examples/compiler_pipeline.ml: Fmt List Parser Passes Pp Safeopt_lang Safeopt_opt Transform Validate

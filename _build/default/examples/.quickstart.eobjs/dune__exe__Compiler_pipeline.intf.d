@@ -1,0 +1,1 @@
+examples/compiler_pipeline.mli:

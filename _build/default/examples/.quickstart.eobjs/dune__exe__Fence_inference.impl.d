@@ -1,0 +1,1 @@
+examples/fence_inference.ml: Behaviour Corpus Fmt Interp List Litmus Machine Pso Robustness Safeopt_exec Safeopt_lang Safeopt_litmus Safeopt_tso String

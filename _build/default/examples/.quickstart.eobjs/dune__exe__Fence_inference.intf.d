@@ -1,0 +1,1 @@
+examples/fence_inference.mli:

@@ -1,0 +1,1 @@
+examples/fig_walkthrough.ml: Action Ast Behaviour Corpus Denote Fmt Interp Litmus Safeopt_core Safeopt_exec Safeopt_lang Safeopt_litmus Safeopt_opt Safeopt_trace Trace Traceset

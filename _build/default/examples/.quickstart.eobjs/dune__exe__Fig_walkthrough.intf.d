@@ -1,0 +1,1 @@
+examples/fig_walkthrough.mli:

@@ -1,0 +1,1 @@
+examples/litmus_tour.ml: Behaviour Corpus Fmt Interp List Litmus Pso Robustness Safeopt String Tso

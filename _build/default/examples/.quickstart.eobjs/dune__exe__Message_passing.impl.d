@@ -1,0 +1,1 @@
+examples/message_passing.ml: Corpus Fmt Interp Litmus Parser Pp Safeopt_exec Safeopt_lang Safeopt_litmus Safeopt_opt

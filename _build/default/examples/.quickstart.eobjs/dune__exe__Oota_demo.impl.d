@@ -1,0 +1,1 @@
+examples/oota_demo.ml: Ast Corpus Denote Fmt Interp List Litmus Origin Pp Safeopt_core Safeopt_exec Safeopt_lang Safeopt_litmus Safeopt_opt Safeopt_trace Traceset

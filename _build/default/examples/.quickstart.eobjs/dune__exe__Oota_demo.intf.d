@@ -1,0 +1,1 @@
+examples/oota_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Interp Parser Pp Safeopt_lang Safeopt_opt

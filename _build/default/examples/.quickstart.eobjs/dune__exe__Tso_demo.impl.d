@@ -1,0 +1,1 @@
+examples/tso_demo.ml: Behaviour Corpus Fmt Interp List Litmus Safeopt_exec Safeopt_lang Safeopt_litmus Safeopt_tso

@@ -1,0 +1,1 @@
+examples/tso_demo.mli:

@@ -1,0 +1,116 @@
+(* Message passing three ways: racy flags, volatile flag, lock-
+   protected — the workloads the paper's introduction motivates.  For
+   each variant: DRF verdict, behaviours, and what the optimiser may
+   and may not do to it.
+
+   Run with: dune exec examples/message_passing.exe *)
+
+open Safeopt_lang
+open Safeopt_litmus
+
+let banner fmt = Fmt.pr ("@.== " ^^ fmt ^^ " ==@.")
+
+let describe name p =
+  Fmt.pr "  %-12s drf=%-5b behaviours: %a@." name (Interp.is_drf p)
+    Fmt.(list ~sep:comma string)
+    (Interp.behaviour_strings (Interp.behaviours p))
+
+let () =
+  banner "three message-passing idioms";
+  let racy = Litmus.program Corpus.mp in
+  let vol = Litmus.program Corpus.mp_volatile in
+  let locked = Litmus.program Corpus.mp_locked in
+  describe "racy" racy;
+  describe "volatile" vol;
+  describe "locked" locked;
+
+  banner "what reordering does to each";
+  (* Swapping the data and flag writes (rule R-WW) is allowed
+     syntactically only when the flag is non-volatile.  Core syntax so
+     the two stores are adjacent. *)
+  let writer_core ~volatile =
+    Parser.parse_program
+      ((if volatile then "volatile flag;\n" else "")
+      ^ {|
+thread {
+  rd := 1;
+  rf := 1;
+  data := rd;
+  flag := rf;
+}
+thread {
+  r1 := flag;
+  if (r1 == 1) { r2 := data; print r2; }
+}
+|})
+  in
+  let try_swap name p =
+    match Safeopt_opt.Transform.apply_named "R-WW" p with
+    | Ok p' ->
+        let r = Safeopt_opt.Validate.validate ~original:p ~transformed:p' () in
+        Fmt.pr "  %-12s R-WW applies; new behaviour: %a; DRF guarantee %s@."
+          name
+          Fmt.(option ~none:(any "none") Safeopt_exec.Behaviour.pp)
+          r.Safeopt_opt.Validate.new_behaviour
+          (if Safeopt_opt.Validate.ok r then "HOLDS (racy original, vacuous)"
+           else "VIOLATED")
+    | Error _ -> Fmt.pr "  %-12s R-WW does not apply (flag is volatile)@." name
+  in
+  try_swap "racy" (writer_core ~volatile:false);
+  try_swap "volatile" (writer_core ~volatile:true);
+
+  banner "roach motel on the locked variant";
+  (* Move the reader's conditional print... not movable; but the
+     writer's store to data can move INTO the critical section. *)
+  let locked' =
+    Parser.parse_program
+      {|
+thread {
+  data := 1;
+  lock m;
+  flag := 1;
+  unlock m;
+}
+thread {
+  lock m;
+  r1 := flag;
+  if (r1 == 1) { r2 := data; print r2; }
+  unlock m;
+}
+|}
+  in
+  describe "hoistable" locked';
+  (match Safeopt_opt.Transform.apply_named "R-WL" locked' with
+  | Ok p' ->
+      Fmt.pr "  after R-WL:@.%a@." Pp.program p';
+      let r = Safeopt_opt.Validate.validate ~original:locked' ~transformed:p' () in
+      Fmt.pr "  DRF guarantee: %s@."
+        (if Safeopt_opt.Validate.ok r then "HOLDS" else "VIOLATED")
+  | Error e -> Fmt.pr "  R-WL failed: %s@." e);
+
+  banner "the unsafe direction";
+  (* Moving an access OUT of a critical section is not a rule, and for
+     good reason: doing it by hand creates a race. *)
+  let escaped =
+    Parser.parse_program
+      {|
+thread {
+  lock m;
+  flag := 1;
+  unlock m;
+  data := 1;
+}
+thread {
+  lock m;
+  r1 := flag;
+  if (r1 == 1) { r2 := data; print r2; }
+  unlock m;
+}
+|}
+  in
+  let r =
+    Safeopt_opt.Validate.validate ~original:locked' ~transformed:escaped ()
+  in
+  Fmt.pr "  store sunk out of the lock: %a@." Safeopt_opt.Validate.pp_report r;
+  Fmt.pr "  DRF guarantee: %s@."
+    (if Safeopt_opt.Validate.ok r then "HOLDS" else "VIOLATED")

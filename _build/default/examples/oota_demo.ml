@@ -1,0 +1,53 @@
+(* Out-of-thin-air, executable (section 5, Lemmas 2-3, Theorem 5): the
+   relay program cannot output 42 — no trace of it is an origin for 42,
+   no transformation can create one, and no execution of any
+   transformation of it mentions 42.
+
+   Run with: dune exec examples/oota_demo.exe *)
+
+open Safeopt_trace
+open Safeopt_lang
+open Safeopt_litmus
+open Safeopt_core
+
+let () =
+  let p = Litmus.program Corpus.oota in
+  Fmt.pr "== the relay program ==@.%a@.@." Pp.program p;
+
+  (* Lemma 6: no statement r := 42, so no trace is an origin for 42. *)
+  Fmt.pr "constants in the program: %a@."
+    Fmt.(brackets (list ~sep:comma int))
+    (Ast.constants_program p);
+  let universe = 0 :: 42 :: Denote.universe p in
+  let ts = Denote.traceset ~universe ~max_len:8 p in
+  Fmt.pr "traceset (bounded, universe includes 42): %d traces@."
+    (Traceset.cardinal ts);
+  Fmt.pr "some trace is an origin for 42: %b@."
+    (Origin.traceset_has_origin 42 ts);
+  Fmt.pr "some trace is an origin for 1:  %b@."
+    (Origin.traceset_has_origin 1 ts);
+
+  (* Lemma 3 on the bounded traceset: no execution mentions 42. *)
+  (match Origin.check_lemma3 42 ts ~max_steps:2_000_000 with
+  | Ok () -> Fmt.pr "Lemma 3 check: no execution mentions 42@."
+  | Error cex ->
+      Fmt.pr "Lemma 3 COUNTEREXAMPLE: %a@." Safeopt_exec.Interleaving.pp cex);
+
+  (* Theorem 5: no composition of the syntactic rules makes it print
+     42.  We take the whole reachable set under all rules and check
+     every program. *)
+  let reachable =
+    Safeopt_opt.Transform.reachable ~max_programs:2_000
+      (Safeopt_opt.Rule.all @ [ Safeopt_opt.Rule.i_ir ])
+      p
+  in
+  Fmt.pr "@.programs reachable via all rules (incl. read introduction): %d@."
+    (List.length reachable);
+  let bad =
+    List.filter (fun q -> Interp.can_output q 42) reachable
+  in
+  Fmt.pr "...of which can output 42: %d@." (List.length bad);
+  (* 1 is not a constant of the program either, so it is equally
+     unmanufacturable (Theorem 5 with c = 1). *)
+  let can_1 = List.filter (fun q -> Interp.can_output q 1) reachable in
+  Fmt.pr "...of which can output 1: %d@." (List.length can_1)

@@ -1,0 +1,1 @@
+lib/core/eliminable.ml: Action Fmt Fun List Location Option Safeopt_trace Value Wildcard

@@ -1,0 +1,1 @@
+lib/core/eliminable.mli: Fmt Location Safeopt_trace Wildcard

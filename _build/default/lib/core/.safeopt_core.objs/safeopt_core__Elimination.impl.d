@@ -1,0 +1,1 @@
+lib/core/elimination.ml: Action Array Eliminable Fmt Fun Int List Option Safeopt_trace Trace Traceset Wildcard

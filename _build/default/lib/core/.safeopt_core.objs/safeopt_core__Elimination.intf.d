@@ -1,0 +1,1 @@
+lib/core/elimination.mli: Fmt Location Safeopt_trace Trace Traceset Value Wildcard

@@ -1,0 +1,1 @@
+lib/core/origin.ml: Action Enumerate Interleaving List Option Safeopt_exec Safeopt_trace Traceset Traceset_system Value Wildcard

@@ -1,0 +1,1 @@
+lib/core/origin.mli: Interleaving Result Safeopt_exec Safeopt_trace Trace Traceset Value Wildcard

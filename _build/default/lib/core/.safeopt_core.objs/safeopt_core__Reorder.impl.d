@@ -1,0 +1,1 @@
+lib/core/reorder.ml: Action Array Fmt Fun Int List Location Option Safeopt_trace Traceset

@@ -1,0 +1,1 @@
+lib/core/reorder.mli: Fmt Location Safeopt_trace Trace Traceset

@@ -1,0 +1,1 @@
+lib/core/safety.ml: Behaviour Elimination Enumerate Fmt Option Reorder Safeopt_exec Traceset_system

@@ -1,0 +1,1 @@
+lib/core/safety.mli: Behaviour Fmt Location Safeopt_exec Safeopt_trace Traceset Value

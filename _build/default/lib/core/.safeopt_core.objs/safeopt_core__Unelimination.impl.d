@@ -1,0 +1,1 @@
+lib/core/unelimination.ml: Action Array Eliminable Elimination Fmt Fun Hashtbl Int Interleaving List Option Safeopt_exec Safeopt_trace Thread_id Traceset Wildcard

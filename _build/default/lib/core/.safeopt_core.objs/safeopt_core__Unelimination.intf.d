@@ -1,0 +1,1 @@
+lib/core/unelimination.mli: Elimination Fmt Interleaving Location Safeopt_exec Safeopt_trace Thread_id Trace Traceset Value

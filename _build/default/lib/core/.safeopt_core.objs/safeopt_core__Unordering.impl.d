@@ -1,0 +1,1 @@
+lib/core/unordering.ml: Action Array Fmt Fun Hashtbl Int Interleaving List Option Reorder Safeopt_exec Safeopt_trace Thread_id

@@ -1,0 +1,1 @@
+lib/core/unordering.mli: Fmt Interleaving Location Reorder Safeopt_exec Safeopt_trace Thread_id Trace

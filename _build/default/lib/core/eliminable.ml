@@ -1,0 +1,176 @@
+open Safeopt_trace
+
+type kind =
+  | Redundant_read_after_read of int
+  | Redundant_read_after_write of int
+  | Irrelevant_read
+  | Redundant_write_after_read of int
+  | Overwritten_write of int
+  | Redundant_last_write
+  | Redundant_release
+  | Redundant_external
+
+let pp_kind ppf = function
+  | Redundant_read_after_read j -> Fmt.pf ppf "redundant read after read %d" j
+  | Redundant_read_after_write j ->
+      Fmt.pf ppf "redundant read after write %d" j
+  | Irrelevant_read -> Fmt.string ppf "irrelevant read"
+  | Redundant_write_after_read j ->
+      Fmt.pf ppf "redundant write after read %d" j
+  | Overwritten_write j -> Fmt.pf ppf "write overwritten by %d" j
+  | Redundant_last_write -> Fmt.string ppf "redundant last write"
+  | Redundant_release -> Fmt.string ppf "redundant release"
+  | Redundant_external -> Fmt.string ppf "redundant external action"
+
+let elt t i = List.nth t i
+
+(* No write to [l] strictly between [lo] and [hi] (a wildcard read is
+   never a write). *)
+let no_write_between t l lo hi =
+  not
+    (List.exists2
+       (fun k e -> lo < k && k < hi && Wildcard.is_write e
+                   && Wildcard.location e = Some l)
+       (List.init (List.length t) Fun.id)
+       t)
+
+(* No access to [l] strictly between [lo] and [hi] other than the
+   endpoints. *)
+let no_access_between t l lo hi =
+  not
+    (List.exists2
+       (fun k e ->
+         lo < k && k < hi && Wildcard.is_access e
+         && Wildcard.location e = Some l)
+       (List.init (List.length t) Fun.id)
+       t)
+
+let no_ra_pair_between vol t lo hi =
+  not (Wildcard.has_release_acquire_pair_between vol t lo hi)
+
+let indexed t = List.mapi (fun k e -> (k, e)) t
+
+let classify vol (t : Wildcard.t) i =
+  let n = List.length t in
+  if i < 0 || i >= n then None
+  else
+    let ei = elt t i in
+    let non_volatile l = not (Location.Volatile.mem vol l) in
+    let clause1 () =
+      match ei with
+      | Wildcard.Concrete (Action.Read (l, v)) when non_volatile l ->
+          List.find_map
+            (fun (j, e) ->
+              match e with
+              | Wildcard.Concrete (Action.Read (l', v'))
+                when j < i && Location.equal l l' && Value.equal v v'
+                     && no_ra_pair_between vol t j i
+                     && no_write_between t l j i ->
+                  Some (Redundant_read_after_read j)
+              | _ -> None)
+            (indexed t)
+      | _ -> None
+    in
+    let clause2 () =
+      match ei with
+      | Wildcard.Concrete (Action.Read (l, v)) when non_volatile l ->
+          List.find_map
+            (fun (j, e) ->
+              match e with
+              | Wildcard.Concrete (Action.Write (l', v'))
+                when j < i && Location.equal l l' && Value.equal v v'
+                     && no_ra_pair_between vol t j i
+                     && no_write_between t l j i ->
+                  Some (Redundant_read_after_write j)
+              | _ -> None)
+            (indexed t)
+      | _ -> None
+    in
+    let clause3 () =
+      match ei with
+      | Wildcard.Wild_read l when non_volatile l -> Some Irrelevant_read
+      | _ -> None
+    in
+    let clause4 () =
+      match ei with
+      | Wildcard.Concrete (Action.Write (l, v)) when non_volatile l ->
+          List.find_map
+            (fun (j, e) ->
+              match e with
+              | Wildcard.Concrete (Action.Read (l', v'))
+                when j < i && Location.equal l l' && Value.equal v v'
+                     && no_ra_pair_between vol t j i
+                     && no_access_between t l j i ->
+                  Some (Redundant_write_after_read j)
+              | _ -> None)
+            (indexed t)
+      | _ -> None
+    in
+    let clause5 () =
+      match ei with
+      | Wildcard.Concrete (Action.Write (l, _)) when non_volatile l ->
+          List.find_map
+            (fun (j, e) ->
+              match e with
+              | Wildcard.Concrete (Action.Write (l', _))
+                when j > i && Location.equal l l'
+                     && no_ra_pair_between vol t i j
+                     && no_access_between t l i j ->
+                  Some (Overwritten_write j)
+              | _ -> None)
+            (indexed t)
+      | _ -> None
+    in
+    let clause6 () =
+      match ei with
+      | Wildcard.Concrete (Action.Write (l, _)) when non_volatile l ->
+          let later_bad =
+            List.exists
+              (fun (j, e) ->
+                j > i
+                && (Wildcard.is_release vol e
+                   || (Wildcard.is_access e && Wildcard.location e = Some l)))
+              (indexed t)
+          in
+          if later_bad then None else Some Redundant_last_write
+      | _ -> None
+    in
+    let clause78 () =
+      let is_rel = Wildcard.is_release vol ei in
+      let is_ext = Wildcard.is_external ei in
+      if not (is_rel || is_ext) then None
+      else
+        let later_bad =
+          List.exists
+            (fun (j, e) ->
+              j > i && (Wildcard.is_sync vol e || Wildcard.is_external e))
+            (indexed t)
+        in
+        if later_bad then None
+        else if is_rel then Some Redundant_release
+        else Some Redundant_external
+    in
+    List.find_map
+      (fun f -> f ())
+      [ clause1; clause2; clause3; clause4; clause5; clause6; clause78 ]
+
+let eliminable vol t i = Option.is_some (classify vol t i)
+
+let properly_eliminable vol t i =
+  match classify vol t i with
+  | Some
+      ( Redundant_read_after_read _ | Redundant_read_after_write _
+      | Irrelevant_read | Redundant_write_after_read _ | Overwritten_write _ )
+    ->
+      true
+  | Some (Redundant_last_write | Redundant_release | Redundant_external)
+  | None ->
+      false
+
+let eliminable_indices vol t =
+  List.filteri (fun i _ -> eliminable vol t i) (List.init (List.length t) Fun.id)
+
+let properly_eliminable_indices vol t =
+  List.filteri
+    (fun i _ -> properly_eliminable vol t i)
+    (List.init (List.length t) Fun.id)

@@ -1,0 +1,57 @@
+(** Eliminable indices of a wildcard trace (paper, Definition 1).
+
+    An index [i] of a wildcard trace [t] is eliminable if it is one of:
+
+    + {e redundant read after read}: [t_i = t_j = R\[l=v\]] for some
+      non-volatile [l] and [j < i], with no release-acquire pair and no
+      write to [l] strictly between [j] and [i];
+    + {e redundant read after write}: [t_i = R\[l=v\]], [t_j = W\[l=v\]]
+      for some non-volatile [l] and [j < i], with no release-acquire
+      pair and no write to [l] between [j] and [i];
+    + {e irrelevant read}: [t_i] is a wildcard non-volatile read;
+    + {e redundant write after read}: [t_i = W\[l=v\]],
+      [t_j = R\[l=v\]], [j < i], with no release-acquire pair and no
+      {e other access} to [l] between [j] and [i];
+    + {e overwritten write}: [t_i = W\[l=v\]] is overwritten by a later
+      write [t_j = W\[l=v'\]] ([i < j]), with no release-acquire pair
+      and no other access to [l] between [i] and [j].
+
+      {b Deviation from the paper's literal text:} Definition 1 states
+      clause 5 with [j < i], which would make the {e later} of two
+      back-to-back writes eliminable; but the paper's own worked example
+      (section 4: index 6, [W\[x=2\]], is eliminable in a trace where
+      index 7 is [W\[x=1\]]) and the E-WBW syntactic rule both eliminate
+      the {e earlier} write.  We take the example as authoritative.
+    + {e redundant last write}: [t_i] a normal write with no later
+      release action and no later memory access to the same location;
+    + {e redundant release}: [t_i] a release with no later
+      synchronisation or external action;
+    + {e redundant external action}: [t_i] external, with no later
+      synchronisation or external action. *)
+
+open Safeopt_trace
+
+type kind =
+  | Redundant_read_after_read of int  (** earlier read index [j] *)
+  | Redundant_read_after_write of int  (** earlier write index [j] *)
+  | Irrelevant_read
+  | Redundant_write_after_read of int  (** earlier read index [j] *)
+  | Overwritten_write of int  (** the later write index that overwrites *)
+  | Redundant_last_write
+  | Redundant_release
+  | Redundant_external
+
+val pp_kind : kind Fmt.t
+
+val classify : Location.Volatile.t -> Wildcard.t -> int -> kind option
+(** The first clause (in the order above) justifying elimination of
+    index [i], if any. *)
+
+val eliminable : Location.Volatile.t -> Wildcard.t -> int -> bool
+
+val properly_eliminable : Location.Volatile.t -> Wildcard.t -> int -> bool
+(** Clauses 1-5 only (section 6.1): the composable eliminations, which
+    exclude the last-action clauses 6-8. *)
+
+val eliminable_indices : Location.Volatile.t -> Wildcard.t -> int list
+val properly_eliminable_indices : Location.Volatile.t -> Wildcard.t -> int list

@@ -1,0 +1,52 @@
+open Safeopt_trace
+open Safeopt_exec
+
+let origin_index v t =
+  let rec go i seen_read = function
+    | [] -> None
+    | a :: rest -> (
+        match a with
+        | Action.Read (_, v') when Value.equal v v' -> go (i + 1) true rest
+        | (Action.Write (_, v') | Action.External v')
+          when Value.equal v v' && not seen_read ->
+            Some i
+        | _ -> go (i + 1) seen_read rest)
+  in
+  go 0 false t
+
+let is_origin v t = Option.is_some (origin_index v t)
+
+let wild_is_origin v (w : Wildcard.t) =
+  let rec go seen_read = function
+    | [] -> false
+    | Wildcard.Wild_read _ :: rest -> go seen_read rest
+    | Wildcard.Concrete a :: rest -> (
+        match a with
+        | Action.Read (_, v') when Value.equal v v' -> go true rest
+        | (Action.Write (_, v') | Action.External v')
+          when Value.equal v v' && not seen_read ->
+            true
+        | _ -> go seen_read rest)
+  in
+  go false w
+
+let traceset_has_origin v ts =
+  Traceset.fold (fun t acc -> acc || is_origin v t) ts false
+
+let interleaving_mentions v i =
+  List.exists
+    (fun (p : Interleaving.pair) ->
+      match Action.value p.action with
+      | Some v' -> Value.equal v v'
+      | None -> false)
+    i
+
+let check_lemma3 v ts ~max_steps =
+  if traceset_has_origin v ts then Ok ()
+  else
+    let execs =
+      Enumerate.maximal_executions ~max_steps (Traceset_system.make ts)
+    in
+    match List.find_opt (interleaving_mentions v) execs with
+    | Some cex -> Error cex
+    | None -> Ok ()

@@ -1,0 +1,35 @@
+(** Origins and the out-of-thin-air guarantee (paper, section 5,
+    Lemmas 2-3).
+
+    A trace [t] is an {e origin} for a value [v] if some [t_i] is a
+    write of [v] or an external action with value [v] and no earlier
+    [t_j] reads [v].  The transformations cannot introduce origins
+    (Lemma 2), and a traceset without an origin for [v] has no
+    execution that reads, writes or outputs [v] (Lemma 3) — so if a
+    program cannot "build" [v], no composition of transformations makes
+    it produce [v]. *)
+
+open Safeopt_trace
+open Safeopt_exec
+
+val origin_index : Value.t -> Trace.t -> int option
+(** The first index making the trace an origin for [v], if any. *)
+
+val is_origin : Value.t -> Trace.t -> bool
+
+val wild_is_origin : Value.t -> Wildcard.t -> bool
+(** Origin on wildcard traces: a wildcard read is not a read of any
+    particular value, so it neither blocks nor establishes an origin
+    (only concrete reads of [v] can license later writes of [v]). *)
+
+val traceset_has_origin : Value.t -> Traceset.t -> bool
+
+val interleaving_mentions : Value.t -> Interleaving.t -> bool
+(** Some action of the interleaving reads, writes or outputs [v]. *)
+
+val check_lemma3 :
+  Value.t -> Traceset.t -> max_steps:int -> (unit, Interleaving.t) Result.t
+(** Empirically validate Lemma 3 on an explicit traceset: if the
+    traceset has no origin for [v], no enumerated execution mentions
+    [v]; returns a counterexample execution otherwise.  (A
+    counterexample would falsify the implementation, not the paper.) *)

@@ -1,0 +1,263 @@
+open Safeopt_trace
+open Safeopt_exec
+
+type result = { wild : Interleaving.Wild.wt; matching : int array }
+
+let pp_result ppf r =
+  Fmt.pf ppf "@[<v>I = %a@ f = %a@]" Interleaving.Wild.pp r.wild
+    Fmt.(brackets (list ~sep:comma (pair ~sep:(any "->") int int)))
+    (Array.to_list (Array.mapi (fun i j -> (i, j)) r.matching))
+
+let wild_is_sync_or_external vol e = Wildcard.is_sync_or_external vol e
+
+let is_unelimination_function vol ~transformed ~wild ~f =
+  let n' = List.length transformed in
+  let n = List.length wild in
+  let tarr = Array.of_list transformed in
+  let warr = Array.of_list wild in
+  let in_range = Array.for_all (fun j -> j >= 0 && j < n) f in
+  let injective =
+    let seen = Hashtbl.create 16 in
+    Array.for_all
+      (fun j ->
+        if Hashtbl.mem seen j then false
+        else begin
+          Hashtbl.add seen j ();
+          true
+        end)
+      f
+  in
+  let matches =
+    Array.length f = n' && in_range && injective
+    && Array.for_all
+         (fun k ->
+           let p = tarr.(k) and q = warr.(f.(k)) in
+           Thread_id.equal p.Interleaving.tid q.Interleaving.Wild.tid
+           && Wildcard.matches_action q.Interleaving.Wild.elt
+                p.Interleaving.action
+           &&
+           match q.Interleaving.Wild.elt with
+           | Wildcard.Concrete _ -> true
+           | Wildcard.Wild_read _ -> false)
+         (Array.init n' Fun.id)
+  in
+  if not matches then false
+  else
+    let rng = Array.to_list f in
+    let introduced =
+      List.filter (fun j -> not (List.mem j rng)) (List.init n Fun.id)
+    in
+    (* (i) per-thread order *)
+    let cond1 = ref true in
+    for i = 0 to n' - 1 do
+      for j = i + 1 to n' - 1 do
+        if
+          Thread_id.equal tarr.(i).Interleaving.tid tarr.(j).Interleaving.tid
+          && f.(i) >= f.(j)
+        then cond1 := false
+      done
+    done;
+    (* (ii) synchronisation/external order among matched *)
+    let cond2 = ref true in
+    for i = 0 to n' - 1 do
+      for j = i + 1 to n' - 1 do
+        if
+          Action.is_sync_or_external vol tarr.(i).Interleaving.action
+          && Action.is_sync_or_external vol tarr.(j).Interleaving.action
+          && f.(i) >= f.(j)
+        then cond2 := false
+      done
+    done;
+    (* (iii) introduced sync/ext after matched sync/ext *)
+    let cond3 =
+      List.for_all
+        (fun j ->
+          (not (wild_is_sync_or_external vol warr.(j).Interleaving.Wild.elt))
+          || List.for_all
+               (fun i ->
+                 (not
+                    (wild_is_sync_or_external vol
+                       warr.(i).Interleaving.Wild.elt))
+                 || i < j)
+               rng)
+        introduced
+    in
+    (* (iv) introduced indices eliminable in their thread's trace *)
+    let cond4 =
+      List.for_all
+        (fun j ->
+          let tid = warr.(j).Interleaving.Wild.tid in
+          let thread_trace = Interleaving.Wild.trace_of tid wild in
+          let p = Interleaving.Wild.thread_index wild j in
+          Eliminable.eliminable vol thread_trace p)
+        introduced
+    in
+    !cond1 && !cond2 && cond3 && cond4
+
+(* --- Construction --- *)
+
+type node = {
+  tid : Thread_id.t;
+  pos : int;  (** position in the thread's wildcard trace *)
+  elt : Wildcard.elt;
+  matched : int option;  (** the I' index this node matches *)
+}
+
+let construct vol ~witness_for i' =
+  let tids = Interleaving.threads i' in
+  let witnesses =
+    List.map
+      (fun tid ->
+        let t = Interleaving.trace_of tid i' in
+        match witness_for tid t with
+        | Some w -> Some (tid, t, w)
+        | None -> None)
+      tids
+  in
+  if List.exists Option.is_none witnesses then None
+  else
+    let witnesses = List.filter_map Fun.id witnesses in
+    (* Map the k-th action of thread [tid] in I' to its I' index. *)
+    let i'_arr = Array.of_list i' in
+    let i'_index_of tid k =
+      let count = ref (-1) in
+      let found = ref None in
+      Array.iteri
+        (fun q p ->
+          if Thread_id.equal p.Interleaving.tid tid then begin
+            incr count;
+            if !count = k && !found = None then found := Some q
+          end)
+        i'_arr;
+      Option.get !found
+    in
+    (* Build nodes. *)
+    let nodes =
+      List.concat_map
+        (fun (tid, _t, (w : Elimination.witness)) ->
+          let kept = List.sort Int.compare w.Elimination.kept in
+          List.mapi
+            (fun pos elt ->
+              let matched =
+                match
+                  List.find_index (fun s -> s = pos) kept
+                with
+                | Some k -> Some (i'_index_of tid k)
+                | None -> None
+              in
+              { tid; pos; elt; matched })
+            w.Elimination.wild)
+        witnesses
+    in
+    let narr = Array.of_list nodes in
+    let n = Array.length narr in
+    let idx_of tid pos =
+      let r = ref (-1) in
+      Array.iteri
+        (fun i nd -> if Thread_id.equal nd.tid tid && nd.pos = pos then r := i)
+        narr;
+      !r
+    in
+    (* Edges. *)
+    let succs = Array.make n [] in
+    let indeg = Array.make n 0 in
+    let add_edge a b =
+      succs.(a) <- b :: succs.(a);
+      indeg.(b) <- indeg.(b) + 1
+    in
+    Array.iteri
+      (fun i nd ->
+        (* program order *)
+        let j = idx_of nd.tid (nd.pos + 1) in
+        if j >= 0 then add_edge i j)
+      narr;
+    (* matched sync/ext in I' order; matched sync/ext before introduced
+       sync/ext *)
+    let sync_nodes =
+      Array.to_list narr
+      |> List.mapi (fun i nd -> (i, nd))
+      |> List.filter (fun (_, nd) -> wild_is_sync_or_external vol nd.elt)
+    in
+    List.iter
+      (fun (i, ndi) ->
+        List.iter
+          (fun (j, ndj) ->
+            if i <> j then
+              match (ndi.matched, ndj.matched) with
+              | Some qi, Some qj -> if qi < qj then add_edge i j
+              | Some _, None -> add_edge i j
+              | None, _ -> ())
+          sync_nodes)
+      sync_nodes;
+    (* Kahn's algorithm.  Ready matched nodes are emitted in I' order;
+       introduced nodes are emitted just in time: deadline = the I'
+       index of the nearest matched program-order successor. *)
+    let deadline = Array.make n max_int in
+    Array.iteri
+      (fun i nd ->
+        match nd.matched with
+        | Some q -> deadline.(i) <- q
+        | None ->
+            let rec look pos =
+              let j = idx_of nd.tid pos in
+              if j < 0 then max_int
+              else
+                match narr.(j).matched with
+                | Some q -> q
+                | None -> look (pos + 1)
+            in
+            deadline.(i) <- look (nd.pos + 1))
+      narr;
+    let emitted = Array.make n false in
+    let order = ref [] in
+    let remaining = ref n in
+    while !remaining > 0 do
+      let best = ref None in
+      Array.iteri
+        (fun i _nd ->
+          if (not emitted.(i)) && indeg.(i) = 0 then
+            let key =
+              (deadline.(i), (match narr.(i).matched with None -> 0 | Some _ -> 1), i)
+            in
+            match !best with
+            | Some (bk, _) when compare bk key <= 0 -> ()
+            | _ -> best := Some (key, i))
+        narr;
+      match !best with
+      | None ->
+          (* Constraint cycle: cannot happen for valid witnesses
+             (see the acyclicity argument in the module documentation),
+             but fail gracefully. *)
+          remaining := -1
+      | Some (_, i) ->
+          emitted.(i) <- true;
+          decr remaining;
+          order := i :: !order;
+          List.iter (fun j -> indeg.(j) <- indeg.(j) - 1) succs.(i)
+    done;
+    if !remaining < 0 then None
+    else
+      let order = List.rev !order in
+      let wild =
+        List.map
+          (fun i ->
+            { Interleaving.Wild.tid = narr.(i).tid; elt = narr.(i).elt })
+          order
+      in
+      let matching = Array.make (Array.length i'_arr) (-1) in
+      List.iteri
+        (fun out_pos i ->
+          match narr.(i).matched with
+          | Some q -> matching.(q) <- out_pos
+          | None -> ())
+        order;
+      Some { wild; matching }
+
+let construct_from_traceset ?proper vol ~original ~universe i' =
+  let belongs_to w = Traceset.belongs_to original w ~universe in
+  let candidates = Traceset.to_list original in
+  construct vol
+    ~witness_for:(fun _tid t ->
+      Elimination.find_witness ?proper vol ~belongs_to ~candidates
+        ~transformed:t)
+    i'

@@ -1,0 +1,59 @@
+(** The unelimination construction (paper, Lemma 1 and Fig. 5).
+
+    Given a traceset [T], an elimination [T'] of [T], and an
+    interleaving [I'] of [T'], Lemma 1 produces a wildcard interleaving
+    [I] belonging-to [T] and an {e unelimination function} [f]: a
+    complete matching from [I'] into [I] such that
+
+    + [f] preserves per-thread order,
+    + [f] preserves the mutual order of synchronisation and external
+      actions,
+    + every synchronisation/external action {e introduced} by the
+      untransformation is ordered after all matched
+      synchronisation/external actions, and
+    + every introduced index is eliminable in [I].
+
+    The construction follows the paper's three steps: decompose [I']
+    into threads, uneliminate each thread's trace using an elimination
+    witness, and re-interleave, appending introduced actions as late as
+    their thread's program order allows. *)
+
+open Safeopt_trace
+open Safeopt_exec
+
+type result = {
+  wild : Interleaving.Wild.wt;  (** the wildcard interleaving [I] *)
+  matching : int array;  (** [f]: index in [I'] -> index in [I] *)
+}
+
+val pp_result : result Fmt.t
+
+val is_unelimination_function :
+  Location.Volatile.t ->
+  transformed:Interleaving.t ->
+  wild:Interleaving.Wild.wt ->
+  f:int array ->
+  bool
+(** Check the four clauses above for a candidate matching
+    (eliminability is checked per Definition 1 on each thread's trace
+    of [wild]). *)
+
+val construct :
+  Location.Volatile.t ->
+  witness_for:(Thread_id.t -> Trace.t -> Elimination.witness option) ->
+  Interleaving.t ->
+  result option
+(** [construct vol ~witness_for i'] uneliminates [i'].  [witness_for
+    tid t] must produce an elimination witness of thread [tid]'s trace
+    [t] against the original traceset (e.g. via
+    {!Elimination.find_witness}); [None] aborts the construction. *)
+
+val construct_from_traceset :
+  ?proper:bool ->
+  Location.Volatile.t ->
+  original:Traceset.t ->
+  universe:Value.t list ->
+  Interleaving.t ->
+  result option
+(** Convenience wrapper searching witnesses in an explicit original
+    traceset. *)

@@ -1,0 +1,180 @@
+open Safeopt_trace
+open Safeopt_exec
+
+type result = { interleaving : Interleaving.t; f : int array }
+
+let pp_result ppf r =
+  Fmt.pf ppf "@[<v>I = %a@ f = %a@]" Interleaving.pp r.interleaving
+    Fmt.(brackets (list ~sep:comma (pair ~sep:(any "->") int int)))
+    (Array.to_list (Array.mapi (fun i j -> (i, j)) r.f))
+
+(* Restrict the global matching to one thread, producing a trace-level
+   permutation of that thread's positions. *)
+let thread_restriction i' f tid =
+  let positions =
+    List.mapi (fun q (p : Interleaving.pair) -> (q, p)) i'
+    |> List.filter (fun (_, (p : Interleaving.pair)) ->
+           Thread_id.equal p.tid tid)
+    |> List.map fst
+  in
+  (* Trace-level f: the k-th action of the thread goes to the rank of
+     f.(q_k) among { f.(q) | q in positions }. *)
+  let images = List.map (fun q -> f.(q)) positions in
+  let sorted = List.sort Int.compare images in
+  let rank v =
+    let rec go i = function
+      | [] -> invalid_arg "thread_restriction"
+      | x :: rest -> if x = v then i else go (i + 1) rest
+    in
+    go 0 sorted
+  in
+  Array.of_list (List.map rank images)
+
+let is_unordering vol ~mem ~transformed ~f =
+  let arr = Array.of_list transformed in
+  let n = Array.length arr in
+  let is_perm =
+    Array.length f = n
+    &&
+    let seen = Array.make n false in
+    Array.for_all
+      (fun j ->
+        j >= 0 && j < n
+        &&
+        if seen.(j) then false
+        else begin
+          seen.(j) <- true;
+          true
+        end)
+      f
+  in
+  if not is_perm then false
+  else
+    let cond1 = ref true and cond2 = ref true in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let pi = arr.(i) and pj = arr.(j) in
+        if
+          Thread_id.equal pi.Interleaving.tid pj.Interleaving.tid
+          && (not
+                (Action.reorderable vol pj.Interleaving.action
+                   pi.Interleaving.action))
+          && f.(i) >= f.(j)
+        then cond1 := false;
+        if
+          Action.is_sync_or_external vol pi.Interleaving.action
+          && Action.is_sync_or_external vol pj.Interleaving.action
+          && f.(i) >= f.(j)
+        then cond2 := false
+      done
+    done;
+    !cond1 && !cond2
+    && List.for_all
+         (fun tid ->
+           let t = Interleaving.trace_of tid transformed in
+           let ft = thread_restriction transformed f tid in
+           Reorder.de_permutes vol ft t ~mem)
+         (Interleaving.threads transformed)
+
+let construct vol ~find_f i' =
+  let tids = Interleaving.threads i' in
+  let arr = Array.of_list i' in
+  let n = Array.length arr in
+  (* Per-thread de-permuting functions. *)
+  let per_thread =
+    List.map
+      (fun tid ->
+        let t = Interleaving.trace_of tid i' in
+        match find_f tid t with
+        | Some f -> Some (tid, f)
+        | None -> None)
+      tids
+  in
+  if List.exists Option.is_none per_thread then None
+  else
+    let per_thread = List.filter_map Fun.id per_thread in
+    (* For each I' index, its thread and its thread-local position. *)
+    let thread_pos = Array.make n 0 in
+    let counters = Hashtbl.create 8 in
+    Array.iteri
+      (fun q (p : Interleaving.pair) ->
+        let c =
+          Option.value ~default:0 (Hashtbl.find_opt counters p.tid)
+        in
+        thread_pos.(q) <- c;
+        Hashtbl.replace counters p.tid (c + 1))
+      arr;
+    (* Target per-thread successor chains: thread positions ordered by
+       f_theta. *)
+    let succs = Array.make n [] in
+    let indeg = Array.make n 0 in
+    let add_edge a b =
+      if a <> b then begin
+        succs.(a) <- b :: succs.(a);
+        indeg.(b) <- indeg.(b) + 1
+      end
+    in
+    List.iter
+      (fun (tid, f_t) ->
+        let positions =
+          List.filter
+            (fun q -> Thread_id.equal arr.(q).Interleaving.tid tid)
+            (List.init n Fun.id)
+        in
+        (* order positions by f_t of their thread-local index *)
+        let ordered =
+          List.sort
+            (fun q1 q2 ->
+              Int.compare f_t.(thread_pos.(q1)) f_t.(thread_pos.(q2)))
+            positions
+        in
+        let rec chain = function
+          | a :: (b :: _ as rest) ->
+              add_edge a b;
+              chain rest
+          | _ -> ()
+        in
+        chain ordered)
+      per_thread;
+    (* Global sync/external order from I'. *)
+    let sync_idx =
+      List.filter
+        (fun q ->
+          Action.is_sync_or_external vol arr.(q).Interleaving.action)
+        (List.init n Fun.id)
+    in
+    let rec chain = function
+      | a :: (b :: _ as rest) ->
+          add_edge a b;
+          chain rest
+      | _ -> ()
+    in
+    chain sync_idx;
+    (* Kahn, preferring small I' index. *)
+    let emitted = Array.make n false in
+    let order = ref [] in
+    let remaining = ref n in
+    let stuck = ref false in
+    while !remaining > 0 && not !stuck do
+      let best = ref None in
+      for q = n - 1 downto 0 do
+        if (not emitted.(q)) && indeg.(q) = 0 then best := Some q
+      done;
+      match !best with
+      | None -> stuck := true
+      | Some q ->
+          emitted.(q) <- true;
+          decr remaining;
+          order := q :: !order;
+          List.iter (fun j -> indeg.(j) <- indeg.(j) - 1) succs.(q)
+    done;
+    if !stuck then None
+    else
+      let order = List.rev !order in
+      let interleaving = List.map (fun q -> arr.(q)) order in
+      let f = Array.make n (-1) in
+      List.iteri (fun out_pos q -> f.(q) <- out_pos) order;
+      Some { interleaving; f }
+
+let construct_from_oracle vol ~mem i' =
+  construct vol ~find_f:(fun _tid t -> Reorder.find vol t ~mem) i'

@@ -1,0 +1,49 @@
+(** The unordering construction (paper, section 5, Theorem 2).
+
+    Given a traceset [T] and an interleaving [I'] of a reordering [T']
+    of [T], an {e unordering} from [I'] to [T] is a complete matching
+    [f] on [dom(I')] such that
+
+    + if [i < j], [T(I'_i) = T(I'_j)] and [A(I'_j)] is {e not}
+      reorderable with [A(I'_i)], then [f(i) < f(j)];
+    + if [i < j] and both actions are synchronisation or external
+      actions, then [f(i) < f(j)]; and
+    + for each thread, [f] restricted to that thread's actions
+      de-permutes its trace into [T].
+
+    [f.(I')] — the elements of [I'] arranged by [f] — is then an
+    interleaving of [T]; the paper proves by induction that it is an
+    execution with the same behaviour when [T] is data race free. *)
+
+open Safeopt_trace
+open Safeopt_exec
+
+type result = {
+  interleaving : Interleaving.t;  (** [f.(I')] *)
+  f : int array;  (** I' index -> index in [interleaving] *)
+}
+
+val pp_result : result Fmt.t
+
+val is_unordering :
+  Location.Volatile.t ->
+  mem:(Trace.t -> bool) ->
+  transformed:Interleaving.t ->
+  f:int array ->
+  bool
+(** Check the three clauses for a candidate matching. *)
+
+val construct :
+  Location.Volatile.t ->
+  find_f:(Thread_id.t -> Trace.t -> Reorder.f option) ->
+  Interleaving.t ->
+  result option
+(** Find per-thread de-permuting functions and merge them, preserving
+    the global order of synchronisation and external actions. *)
+
+val construct_from_oracle :
+  Location.Volatile.t ->
+  mem:(Trace.t -> bool) ->
+  Interleaving.t ->
+  result option
+(** Wrapper using {!Reorder.find} per thread. *)

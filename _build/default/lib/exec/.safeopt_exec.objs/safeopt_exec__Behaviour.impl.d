@@ -1,0 +1,1 @@
+lib/exec/behaviour.ml: Fmt List Safeopt_trace Set Value

@@ -1,0 +1,1 @@
+lib/exec/behaviour.mli: Fmt Safeopt_trace Set Value

@@ -1,0 +1,1 @@
+lib/exec/enumerate.ml: Action Array Behaviour Buffer Hashtbl Interleaving List Location Monitor Option Printf Random Safeopt_trace System Thread_id Value

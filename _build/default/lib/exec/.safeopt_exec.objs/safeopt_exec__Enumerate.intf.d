@@ -1,0 +1,1 @@
+lib/exec/enumerate.mli: Action Behaviour Interleaving Location Safeopt_trace System

@@ -1,0 +1,1 @@
+lib/exec/happens_before.ml: Action Array Interleaving Location Safeopt_trace Thread_id

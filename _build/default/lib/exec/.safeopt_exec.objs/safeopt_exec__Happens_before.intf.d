@@ -1,0 +1,1 @@
+lib/exec/happens_before.mli: Interleaving Location Safeopt_trace

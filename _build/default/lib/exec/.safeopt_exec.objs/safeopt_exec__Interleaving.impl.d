@@ -1,0 +1,1 @@
+lib/exec/interleaving.ml: Action Array Fmt Fun Int List Location Monitor Option Printf Safeopt_trace Thread_id Trace Traceset Value Wildcard

@@ -1,0 +1,1 @@
+lib/exec/interleaving.mli: Action Fmt Location Safeopt_trace Thread_id Trace Traceset Value Wildcard

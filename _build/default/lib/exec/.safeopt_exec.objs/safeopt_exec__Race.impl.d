@@ -1,0 +1,1 @@
+lib/exec/race.ml: Action Array Enumerate Happens_before Interleaving Option Safeopt_trace Thread_id Traceset_system

@@ -1,0 +1,1 @@
+lib/exec/race.mli: Interleaving Location Safeopt_trace

@@ -1,0 +1,1 @@
+lib/exec/system.ml: Action Location Safeopt_trace Value

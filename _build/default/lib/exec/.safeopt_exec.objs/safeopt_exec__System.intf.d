@@ -1,0 +1,1 @@
+lib/exec/system.mli: Action Location Safeopt_trace Value

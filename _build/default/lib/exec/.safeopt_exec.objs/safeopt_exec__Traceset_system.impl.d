@@ -1,0 +1,1 @@
+lib/exec/traceset_system.ml: Action List Location Printf Safeopt_trace System Thread_id Trace Traceset

@@ -1,0 +1,1 @@
+lib/exec/traceset_system.mli: Safeopt_trace System Thread_id Trace Traceset

@@ -1,0 +1,49 @@
+open Safeopt_trace
+
+type t = {
+  n : int;
+  vol : Location.Volatile.t;
+  tids : Thread_id.t array;
+  acts : Action.t array;
+  reach : bool array array;
+}
+
+let make vol i =
+  let arr = Array.of_list i in
+  let n = Array.length arr in
+  let tids = Array.map (fun p -> p.Interleaving.tid) arr in
+  let acts = Array.map (fun p -> p.Interleaving.action) arr in
+  (* Edge relation: program order + synchronises-with.  All edges go
+     forward in the index order, so one backward pass computes the
+     transitive closure. *)
+  let reach = Array.make_matrix n n false in
+  for a = 0 to n - 1 do
+    reach.(a).(a) <- true;
+    for b = a + 1 to n - 1 do
+      if
+        Thread_id.equal tids.(a) tids.(b)
+        || Action.release_acquire_pair vol acts.(a) acts.(b)
+      then reach.(a).(b) <- true
+    done
+  done;
+  for a = n - 1 downto 0 do
+    for b = a + 1 to n - 1 do
+      if reach.(a).(b) then
+        for c = b + 1 to n - 1 do
+          if reach.(b).(c) then reach.(a).(c) <- true
+        done
+    done
+  done;
+  { n; vol; tids; acts; reach }
+
+let program_order t i j =
+  i >= 0 && j < t.n && i <= j && Thread_id.equal t.tids.(i) t.tids.(j)
+
+let synchronises_with t i j =
+  i >= 0 && j < t.n && i < j
+  && Action.release_acquire_pair t.vol t.acts.(i) t.acts.(j)
+
+let hb t i j = i >= 0 && j < t.n && i <= j && t.reach.(i).(j)
+let hb_strict t i j = i <> j && hb t i j
+let ordered t i j = hb t i j || hb t j i
+let size t = t.n

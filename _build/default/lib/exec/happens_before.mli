@@ -1,0 +1,33 @@
+(** Program order, synchronises-with and happens-before (section 3).
+
+    All three are relations on the {e indices} of an interleaving.  The
+    happens-before order is the transitive closure of program order and
+    synchronises-with; it is a partial order because it is contained in
+    the (total) index order. *)
+
+open Safeopt_trace
+
+type t
+(** A precomputed happens-before structure for one interleaving. *)
+
+val make : Location.Volatile.t -> Interleaving.t -> t
+
+val program_order : t -> int -> int -> bool
+(** [i <=po j]: same thread and [i <= j]. *)
+
+val synchronises_with : t -> int -> int -> bool
+(** [i <sw j]: [i < j] and [A(I_i), A(I_j)] are a release-acquire pair
+    (unlock/lock of the same monitor, or volatile write/read of the same
+    location). *)
+
+val hb : t -> int -> int -> bool
+(** [i <=hb j]: transitive closure of program order and
+    synchronises-with.  Reflexive. *)
+
+val hb_strict : t -> int -> int -> bool
+(** [i <=hb j] and [i <> j]. *)
+
+val ordered : t -> int -> int -> bool
+(** [hb t i j || hb t j i]. *)
+
+val size : t -> int

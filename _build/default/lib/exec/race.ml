@@ -1,0 +1,50 @@
+open Safeopt_trace
+
+let adjacent_race vol i =
+  let arr = Array.of_list i in
+  let n = Array.length arr in
+  let rec go k =
+    if k + 1 >= n then None
+    else
+      let p = arr.(k) and q = arr.(k + 1) in
+      if
+        (not (Thread_id.equal p.Interleaving.tid q.Interleaving.tid))
+        && Action.conflicting vol p.Interleaving.action q.Interleaving.action
+      then Some (k, k + 1)
+      else go (k + 1)
+  in
+  go 0
+
+let has_adjacent_race vol i = Option.is_some (adjacent_race vol i)
+
+let hb_race vol i =
+  let hb = Happens_before.make vol i in
+  let arr = Array.of_list i in
+  let n = Array.length arr in
+  let found = ref None in
+  (try
+     for a = 0 to n - 1 do
+       for b = a + 1 to n - 1 do
+         if
+           (not
+              (Thread_id.equal arr.(a).Interleaving.tid
+                 arr.(b).Interleaving.tid))
+           && Action.conflicting vol arr.(a).Interleaving.action
+                arr.(b).Interleaving.action
+           && not (Happens_before.ordered hb a b)
+         then begin
+           found := Some (a, b);
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !found
+
+let has_hb_race vol i = Option.is_some (hb_race vol i)
+
+let find_racy_execution vol ts ~max_states =
+  Enumerate.find_adjacent_race ~max_states vol (Traceset_system.make ts)
+
+let traceset_drf vol ts ~max_states =
+  Option.is_none (find_racy_execution vol ts ~max_states)

@@ -1,0 +1,37 @@
+(** Data races and data race freedom (section 3).
+
+    The paper's primary definition: an interleaving has a data race if
+    it contains two {e adjacent} conflicting actions from different
+    threads.  The equivalent happens-before characterisation: an
+    execution is racy if two conflicting actions are unordered by
+    happens-before.  Both are implemented; their agreement on executions
+    is checked by a QCheck property in the test suite. *)
+
+open Safeopt_trace
+
+val adjacent_race : Location.Volatile.t -> Interleaving.t -> (int * int) option
+(** The first pair of adjacent conflicting actions from different
+    threads, if any. *)
+
+val has_adjacent_race : Location.Volatile.t -> Interleaving.t -> bool
+
+val hb_race : Location.Volatile.t -> Interleaving.t -> (int * int) option
+(** The first pair of conflicting actions unordered by happens-before,
+    if any. *)
+
+val has_hb_race : Location.Volatile.t -> Interleaving.t -> bool
+
+val traceset_drf :
+  Location.Volatile.t -> Safeopt_trace.Traceset.t -> max_states:int -> bool
+(** Exhaustively checks that no execution of the (explicit, finite)
+    traceset has an adjacent data race.
+    @raise Failure if more than [max_states] scheduler states are
+    explored (the traceset is too large for exhaustive checking). *)
+
+val find_racy_execution :
+  Location.Volatile.t ->
+  Safeopt_trace.Traceset.t ->
+  max_states:int ->
+  Interleaving.t option
+(** A witness execution ending in an adjacent conflicting pair, if the
+    traceset is racy. *)

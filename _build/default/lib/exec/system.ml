@@ -1,0 +1,11 @@
+open Safeopt_trace
+
+type 'ts step =
+  | Emit of Action.t * 'ts
+  | Read of Location.t * (Value.t -> 'ts option)
+
+type 'ts t = {
+  initial : 'ts list;
+  steps : 'ts -> 'ts step list;
+  key : 'ts -> string;
+}

@@ -1,0 +1,59 @@
+open Safeopt_trace
+
+let successors ts prefix =
+  (* All actions [a] such that [prefix ++ [a]] is in [ts]. *)
+  Traceset.fold
+    (fun t acc ->
+      if Trace.length t = Trace.length prefix + 1 && Trace.is_prefix prefix t
+      then
+        match List.nth_opt t (Trace.length prefix) with
+        | Some a -> a :: acc
+        | None -> acc
+      else acc)
+    ts []
+
+let make ts =
+  let tids = Traceset.thread_ids ts in
+  let n = match List.rev tids with [] -> 0 | t :: _ -> t + 1 in
+  let steps (tid, prefix) =
+    let succ = successors ts prefix in
+    (* Entry points: from the empty trace, thread [tid] may only start
+       itself. *)
+    let succ =
+      List.filter
+        (fun a ->
+          match a with
+          | Action.Start e -> prefix = [] && Thread_id.equal e tid
+          | _ -> prefix <> [])
+        succ
+    in
+    let read_locs =
+      List.filter_map
+        (function Action.Read (l, _) -> Some l | _ -> None)
+        succ
+      |> List.sort_uniq Location.compare
+    in
+    let reads =
+      List.map
+        (fun l ->
+          System.Read
+            ( l,
+              fun v ->
+                let ext = prefix @ [ Action.Read (l, v) ] in
+                if Traceset.mem ext ts then Some (tid, ext) else None ))
+        read_locs
+    in
+    let others =
+      List.filter_map
+        (fun a ->
+          match a with
+          | Action.Read _ -> None
+          | _ -> Some (System.Emit (a, (tid, prefix @ [ a ]))))
+        succ
+    in
+    reads @ others
+  in
+  let key (tid, prefix) =
+    Printf.sprintf "%d:%s" tid (Trace.to_string prefix)
+  in
+  { System.initial = List.init n (fun i -> (i, [])); steps; key }

@@ -1,0 +1,1 @@
+lib/gen/generators.ml: Action Ast Interp List Location Monitor Option Pp QCheck2 Safeopt_lang Safeopt_trace Trace Wildcard

@@ -1,0 +1,1 @@
+lib/gen/generators.mli: Action Ast Location QCheck2 Safeopt_lang Safeopt_trace Trace Wildcard

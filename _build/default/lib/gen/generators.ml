@@ -1,0 +1,143 @@
+open Safeopt_trace
+open Safeopt_lang
+module G = QCheck2.Gen
+
+let locations = [ "x"; "y"; "z"; "v" ]
+let volatile_candidate = "v"
+let registers = [ "r1"; "r2"; "r3"; "r4" ]
+let monitors = [ "m" ]
+let values = [ 0; 1; 2; 3 ]
+
+let location = G.oneofl locations
+let register = G.oneofl registers
+let monitor = G.oneofl monitors
+let value = G.oneofl values
+
+let action =
+  G.oneof
+    [
+      G.map2 (fun l v -> Action.Read (l, v)) location value;
+      G.map2 (fun l v -> Action.Write (l, v)) location value;
+      G.map (fun m -> Action.Lock m) monitor;
+      G.map (fun m -> Action.Unlock m) monitor;
+      G.map (fun v -> Action.External v) value;
+    ]
+
+(* Close pending locks so the trace is well-locked; unlocks of un-held
+   monitors are dropped during generation. *)
+let trace =
+  let open G in
+  let* n = int_range 0 8 in
+  let* actions = list_repeat n action in
+  let rec fix depth acc = function
+    | [] ->
+        let closing =
+          Monitor.Map.fold
+            (fun m d acc ->
+              List.init d (fun _ -> Action.Unlock m) @ acc)
+            depth []
+        in
+        List.rev acc @ closing
+    | Action.Unlock m :: rest ->
+        let d =
+          Option.value ~default:0 (Monitor.Map.find_opt m depth)
+        in
+        if d > 0 then
+          fix (Monitor.Map.add m (d - 1) depth) (Action.Unlock m :: acc) rest
+        else fix depth acc rest
+    | Action.Lock m :: rest ->
+        let d = Option.value ~default:0 (Monitor.Map.find_opt m depth) in
+        fix (Monitor.Map.add m (d + 1) depth) (Action.Lock m :: acc) rest
+    | a :: rest -> fix depth (a :: acc) rest
+  in
+  return (Action.Start 0 :: fix Monitor.Map.empty [] actions)
+
+let wildcard_trace =
+  let open G in
+  let* t = trace in
+  let* flips = list_repeat (List.length t) bool in
+  return
+    (List.map2
+       (fun a flip ->
+         match a with
+         | Action.Read (l, _) when flip -> Wildcard.Wild_read l
+         | _ -> Wildcard.Concrete a)
+       t flips)
+
+let operand =
+  G.oneof [ G.map (fun r -> Ast.Reg r) register; G.map (fun i -> Ast.Nat i) G.(int_range 0 3) ]
+
+let test_gen =
+  G.oneof
+    [
+      G.map2 (fun a b -> Ast.Eq (a, b)) operand operand;
+      G.map2 (fun a b -> Ast.Ne (a, b)) operand operand;
+    ]
+
+let simple_stmt =
+  G.oneof
+    [
+      G.map2 (fun l r -> Ast.Store (l, r)) location register;
+      G.map2 (fun r l -> Ast.Load (r, l)) register location;
+      G.map2 (fun r o -> Ast.Move (r, o)) register operand;
+      G.return Ast.Skip;
+      G.map (fun r -> Ast.Print r) register;
+    ]
+
+let stmt =
+  let open G in
+  oneof
+    [
+      simple_stmt;
+      map3 (fun t s1 s2 -> Ast.If (t, s1, s2)) test_gen simple_stmt simple_stmt;
+      map2 (fun s1 s2 -> Ast.Block [ s1; s2 ]) simple_stmt simple_stmt;
+    ]
+
+(* Lock-balanced threads: insert a critical section with probability
+   1/2, plus some free statements. *)
+let thread =
+  let open G in
+  let* pre = list_size (int_range 0 3) stmt in
+  let* with_cs = bool in
+  let* m = monitor in
+  let* cs = list_size (int_range 0 3) stmt in
+  let* post = list_size (int_range 0 2) stmt in
+  return
+    (if with_cs then pre @ (Ast.Lock m :: cs) @ (Ast.Unlock m :: post)
+     else pre @ post)
+
+let program =
+  let open G in
+  let* n = int_range 1 3 in
+  let* threads = list_repeat n thread in
+  let* vol = bool in
+  return
+    {
+      Ast.threads;
+      volatile =
+        (if vol then Location.Volatile.of_list [ volatile_candidate ]
+         else Location.Volatile.none);
+    }
+
+(* A fallback DRF shape: every access under the same lock. *)
+let locked_program =
+  let open G in
+  let* n = int_range 1 2 in
+  let* bodies = list_repeat n (list_size (int_range 0 4) simple_stmt) in
+  return
+    {
+      Ast.threads =
+        List.map (fun b -> (Ast.Lock "m" :: b) @ [ Ast.Unlock "m" ]) bodies;
+      volatile = Location.Volatile.none;
+    }
+
+let drf_program =
+  let open G in
+  let* candidates = list_repeat 8 program in
+  let drf p = try Interp.is_drf ~max_states:200_000 p with _ -> false in
+  match List.find_opt drf candidates with
+  | Some p -> return p
+  | None -> locked_program
+
+let print_trace = Trace.to_string
+let print_program = Pp.program_to_string

@@ -1,0 +1,42 @@
+(** QCheck generators for traces, interleavings and programs.
+
+    All generators draw from small alphabets (locations [x,y,z,v],
+    registers [r1..r4], monitor [m], values [0..3]) so that exhaustive
+    analyses of generated artefacts stay cheap and collisions —
+    redundant accesses, races, lock contention — are frequent, which is
+    what the properties need to exercise the interesting code paths. *)
+
+open Safeopt_trace
+open Safeopt_lang
+
+val locations : Location.t list
+val volatile_candidate : Location.t
+(** A designated location ("v") that program generators mark volatile
+    half of the time. *)
+
+val action : Action.t QCheck2.Gen.t
+(** An arbitrary action (not start). *)
+
+val trace : Trace.t QCheck2.Gen.t
+(** A properly-started, well-locked trace of length <= ~8 for thread 0
+    (pending unlocks are closed off at the end). *)
+
+val wildcard_trace : Wildcard.t QCheck2.Gen.t
+(** As {!trace}, with some reads generalised to wildcards. *)
+
+val stmt : Ast.stmt QCheck2.Gen.t
+(** A loop-free statement (depth <= 2). *)
+
+val thread : Ast.thread QCheck2.Gen.t
+(** A lock-balanced, loop-free thread of <= ~6 statements. *)
+
+val program : Ast.program QCheck2.Gen.t
+(** 1-3 threads; the location "v" is volatile with probability 1/2. *)
+
+val drf_program : Ast.program QCheck2.Gen.t
+(** Programs filtered to be data race free (by construction attempts +
+    checking; falls back to a lock-protected shape when random search
+    fails). *)
+
+val print_trace : Trace.t -> string
+val print_program : Ast.program -> string

@@ -1,0 +1,1 @@
+lib/lang/ast.ml: Int List Location Monitor Printf Reg Safeopt_trace Stdlib

@@ -1,0 +1,1 @@
+lib/lang/denote.ml: Action Ast Int List Safeopt_trace Semantics Seq Traceset Wildcard

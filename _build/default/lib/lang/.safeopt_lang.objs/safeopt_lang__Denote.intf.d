@@ -1,0 +1,1 @@
+lib/lang/denote.mli: Ast Safeopt_trace Trace Traceset Value Wildcard

@@ -1,0 +1,1 @@
+lib/lang/interp.ml: Ast Behaviour Enumerate List Option Safeopt_exec Safeopt_trace String Thread_system Value

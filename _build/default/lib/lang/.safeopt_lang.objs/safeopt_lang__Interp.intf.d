@@ -1,0 +1,1 @@
+lib/lang/interp.mli: Ast Behaviour Interleaving Safeopt_exec Safeopt_trace Value

@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Fmt List Option Printf String

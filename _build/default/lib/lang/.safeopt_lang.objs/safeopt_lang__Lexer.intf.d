@@ -1,0 +1,1 @@
+lib/lang/lexer.mli: Fmt

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Ast Fmt Lexer List Location Monitor Printf Reg Safeopt_trace

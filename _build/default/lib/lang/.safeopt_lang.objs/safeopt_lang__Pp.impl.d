@@ -1,0 +1,1 @@
+lib/lang/pp.ml: Ast Fmt List Location Monitor Reg Safeopt_trace String

@@ -1,0 +1,1 @@
+lib/lang/pp.mli: Ast Fmt

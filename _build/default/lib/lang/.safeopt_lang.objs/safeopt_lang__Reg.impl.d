@@ -1,0 +1,1 @@
+lib/lang/reg.ml: Fmt Map Set String

@@ -1,0 +1,1 @@
+lib/lang/reg.mli: Fmt Map Set

@@ -1,0 +1,1 @@
+lib/lang/semantics.ml: Action Ast Buffer List Location Monitor Option Pp Printf Reg Safeopt_trace Value

@@ -1,0 +1,1 @@
+lib/lang/semantics.mli: Ast Location Monitor Reg Safeopt_trace Trace Value

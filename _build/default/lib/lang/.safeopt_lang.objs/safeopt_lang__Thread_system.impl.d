@@ -1,0 +1,1 @@
+lib/lang/thread_system.ml: Action Ast List Location Printf Safeopt_exec Safeopt_trace Semantics Thread_id

@@ -1,0 +1,1 @@
+lib/lang/thread_system.mli: Ast Safeopt_exec Safeopt_trace

@@ -1,0 +1,91 @@
+(** Abstract syntax of the simple concurrent language (paper, Fig. 6).
+
+    {v
+    ri ::= r | i
+    T  ::= ri == ri | ri != ri
+    S  ::= l := r; | r := l; | r := ri; | lock m; | unlock m; | skip;
+         | print r; | {L} | if (T) S else S | while (T) S
+    L  ::= S | S L
+    P  ::= L || L || ... || L
+    v}
+
+    A program additionally carries its set of volatile locations
+    (section 2: "the set of volatile locations should be part of a
+    program"). *)
+
+open Safeopt_trace
+
+type operand = Reg of Reg.t | Nat of int  (** [ri ::= r | i] *)
+
+type test =
+  | Eq of operand * operand  (** [ri == ri] *)
+  | Ne of operand * operand  (** [ri != ri] *)
+
+type stmt =
+  | Store of Location.t * Reg.t  (** [l := r;] *)
+  | Load of Reg.t * Location.t  (** [r := l;] *)
+  | Move of Reg.t * operand  (** [r := ri;] *)
+  | Lock of Monitor.t  (** [lock m;] *)
+  | Unlock of Monitor.t  (** [unlock m;] *)
+  | Skip  (** [skip;] *)
+  | Print of Reg.t  (** [print r;] *)
+  | Block of stmt list  (** [{L}] *)
+  | If of test * stmt * stmt  (** [if (T) S else S] *)
+  | While of test * stmt  (** [while (T) S] *)
+
+type thread = stmt list  (** [L] *)
+
+type program = { threads : thread list; volatile : Location.Volatile.t }
+
+val program : ?volatile:Location.t list -> thread list -> program
+
+val equal_operand : operand -> operand -> bool
+val equal_test : test -> test -> bool
+val equal_stmt : stmt -> stmt -> bool
+val equal_thread : thread -> thread -> bool
+val equal_program : program -> program -> bool
+val compare_stmt : stmt -> stmt -> int
+
+(** {1 Static analyses used by the transformation rules} *)
+
+val fv_stmt : stmt -> Location.Set.t
+(** [fv(S)]: all shared-memory locations occurring in [S] (Fig. 10's
+    side conditions). *)
+
+val fv_thread : thread -> Location.Set.t
+val fv_program : program -> Location.Set.t
+
+val regs_stmt : stmt -> Reg.Set.t
+(** All register names occurring in [S] (read or written). *)
+
+val regs_thread : thread -> Reg.Set.t
+
+val sync_free_stmt : Location.Volatile.t -> stmt -> bool
+(** [S] contains no lock/unlock statements and no accesses to volatile
+    locations (section 6.1). *)
+
+val sync_free_thread : Location.Volatile.t -> thread -> bool
+
+val constants_stmt : stmt -> int list
+(** All integer literals [i] occurring in statements of the form
+    [r := i] (the only way the language can mention a value; used for
+    the out-of-thin-air Theorem 5). *)
+
+val constants_thread : thread -> int list
+val constants_program : program -> int list
+
+val all_constants_program : program -> int list
+(** Every literal in the program, including those in tests (a superset
+    of {!constants_program}; useful for choosing value universes). *)
+
+val monitors_program : program -> Monitor.t list
+
+val stmt_size : stmt -> int
+(** Number of AST nodes (for generators and benchmarks). *)
+
+val thread_size : thread -> int
+val program_size : program -> int
+
+val fresh_reg : Reg.Set.t -> Reg.t
+(** A register name not in the given set (used by desugaring and
+    transformations that need temporaries). *)

@@ -1,0 +1,52 @@
+open Safeopt_trace
+
+let universe_of_constants consts =
+  let consts = List.sort_uniq Int.compare (0 :: consts) in
+  let mx = List.fold_left max 0 consts in
+  consts @ [ mx + 1; mx + 2 ]
+
+let universe p = universe_of_constants (Ast.all_constants_program p)
+
+let joint_universe ps =
+  universe_of_constants (List.concat_map Ast.all_constants_program ps)
+
+let issues_program ?tau_fuel p t =
+  match t with
+  | [] -> true
+  | Action.Start i :: rest -> (
+      match List.nth_opt p.Ast.threads i with
+      | Some thread -> Semantics.issues ?tau_fuel (Semantics.initial thread) rest
+      | None -> false)
+  | _ -> false
+
+let belongs_to ?tau_fuel ~universe p w =
+  Seq.for_all (issues_program ?tau_fuel p) (Wildcard.instances ~universe w)
+
+let traceset ?tau_fuel ~universe ~max_len p =
+  (* Enumerate each thread's traces by DFS over [Semantics.next], reads
+     drawn from the universe.  All prefixes are collected. *)
+  let acc = ref Traceset.empty in
+  let add t = acc := Traceset.add t !acc in
+  List.iteri
+    (fun tid thread ->
+      let rec go c rev_trace len =
+        add (List.rev rev_trace);
+        if len < max_len then
+          match Semantics.next ?tau_fuel c with
+          | Semantics.Done | Semantics.Diverged -> ()
+          | Semantics.Write (l, v, c') ->
+              go c' (Action.Write (l, v) :: rev_trace) (len + 1)
+          | Semantics.Read (l, k) ->
+              List.iter
+                (fun v -> go (k v) (Action.Read (l, v) :: rev_trace) (len + 1))
+                universe
+          | Semantics.Lock (m, c') ->
+              go c' (Action.Lock m :: rev_trace) (len + 1)
+          | Semantics.Unlock (m, c') ->
+              go c' (Action.Unlock m :: rev_trace) (len + 1)
+          | Semantics.Output (v, c') ->
+              go c' (Action.External v :: rev_trace) (len + 1)
+      in
+      go (Semantics.initial thread) [ Action.Start tid ] 1)
+    p.Ast.threads;
+  !acc

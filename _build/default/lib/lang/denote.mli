@@ -1,0 +1,41 @@
+(** The traceset denotation [[P]] of a program (paper, section 6).
+
+    [[P]] is the set of traces [S(i) :: t] where thread [i]'s initial
+    configuration may issue [t], plus the empty trace; it is infinite
+    whenever the program reads (a read may return any value).  Two
+    views are provided:
+
+    - a {e membership oracle} ({!issues_program}, {!belongs_to}) by
+      deterministic replay against the small-step semantics — exact, no
+      value enumeration for concrete traces;
+    - an {e explicit enumeration} ({!traceset}) over a finite value
+      universe, bounded in length, for the semantic-transformation
+      checkers that need to search a traceset.
+
+    The default universe ({!universe}) is the program's literals, 0 and
+    two fresh values; for this equality-only language two fresh values
+    distinguish everything a larger universe could (DESIGN.md,
+    "small-model argument"). *)
+
+open Safeopt_trace
+
+val universe : Ast.program -> Value.t list
+(** Literals of [P] (including test operands), 0, and two fresh
+    values. *)
+
+val joint_universe : Ast.program list -> Value.t list
+(** A universe adequate for several programs at once (union of
+    literals, 0, two values fresh for all of them) — use when comparing
+    a program against its transformation. *)
+
+val issues_program : ?tau_fuel:int -> Ast.program -> Trace.t -> bool
+(** Is the trace in [[P]]? *)
+
+val belongs_to : ?tau_fuel:int -> universe:Value.t list -> Ast.program -> Wildcard.t -> bool
+(** Do all instances of the wildcard trace over [universe] lie in
+    [[P]]? *)
+
+val traceset :
+  ?tau_fuel:int -> universe:Value.t list -> max_len:int -> Ast.program -> Traceset.t
+(** All traces of [[P]] of length at most [max_len] whose read values
+    are drawn from [universe].  Prefix-closed by construction. *)

@@ -1,0 +1,44 @@
+open Safeopt_trace
+open Safeopt_exec
+
+let behaviours ?fuel ?max_states ?(por = false) p =
+  let local =
+    if por then Some (Thread_system.local_actions p) else None
+  in
+  Enumerate.behaviours ?max_states ?local (Thread_system.make ?fuel p)
+
+let find_race ?fuel ?max_states p =
+  Enumerate.find_adjacent_race ?max_states p.Ast.volatile
+    (Thread_system.make ?fuel p)
+
+let is_drf ?fuel ?max_states p = Option.is_none (find_race ?fuel ?max_states p)
+
+let maximal_executions ?fuel ?max_steps p =
+  Enumerate.maximal_executions ?max_steps (Thread_system.make ?fuel p)
+
+let count_states ?fuel ?max_states ?(por = false) p =
+  let local =
+    if por then Some (Thread_system.local_actions p) else None
+  in
+  Enumerate.count_states ?max_states ?local (Thread_system.make ?fuel p)
+
+let find_deadlock ?fuel ?max_states p =
+  Enumerate.find_deadlock ?max_states (Thread_system.make ?fuel p)
+
+let sample_behaviours ?fuel ?max_actions ~seed ~runs p =
+  Enumerate.sample_behaviours ?max_actions ~seed ~runs
+    (Thread_system.make ?fuel p)
+
+let can_output ?fuel ?max_states p v =
+  Behaviour.Set.exists
+    (fun b -> List.exists (Value.equal v) b)
+    (behaviours ?fuel ?max_states p)
+
+let behaviour_strings bs =
+  Behaviour.Set.maximal bs
+  |> List.map (fun b ->
+         match b with
+         | [] -> "(no output)"
+         | vs ->
+             String.concat "; "
+               (List.map (fun v -> "print " ^ Value.to_string v) vs))

@@ -1,0 +1,46 @@
+(** Whole-program sequentially consistent analysis.
+
+    Thin wrappers tying {!Thread_system} to the exhaustive scheduler in
+    [Safeopt_exec.Enumerate]: behaviours, data-race freedom, executions
+    — the paper's section-3 notions computed for concrete programs. *)
+
+open Safeopt_trace
+open Safeopt_exec
+
+val behaviours :
+  ?fuel:int -> ?max_states:int -> ?por:bool -> Ast.program -> Behaviour.Set.t
+(** All observable behaviours of all SC executions (prefix-closed).
+    [por] (default false) enables the thread-local partial-order
+    reduction ({!Thread_system.local_actions}); the result is
+    unchanged, the exploration usually smaller. *)
+
+val is_drf : ?fuel:int -> ?max_states:int -> Ast.program -> bool
+(** No execution has two adjacent conflicting accesses from different
+    threads. *)
+
+val find_race :
+  ?fuel:int -> ?max_states:int -> Ast.program -> Interleaving.t option
+(** A witness racy execution, if any. *)
+
+val maximal_executions :
+  ?fuel:int -> ?max_steps:int -> Ast.program -> Interleaving.t list
+
+val count_states :
+  ?fuel:int -> ?max_states:int -> ?por:bool -> Ast.program -> int
+
+val find_deadlock :
+  ?fuel:int -> ?max_states:int -> Ast.program -> Interleaving.t option
+(** A witness execution reaching a state where every thread is blocked
+    on a lock (and at least one is not finished). *)
+
+val sample_behaviours :
+  ?fuel:int -> ?max_actions:int -> seed:int -> runs:int -> Ast.program ->
+  Behaviour.Set.t
+(** Randomised-scheduler under-approximation of {!behaviours}, for
+    programs too large to enumerate exhaustively. *)
+
+val can_output : ?fuel:int -> ?max_states:int -> Ast.program -> Value.t -> bool
+(** Does any behaviour contain the given value? *)
+
+val behaviour_strings : Behaviour.Set.t -> string list
+(** Human-readable maximal behaviours, e.g. ["print 1; print 0"]. *)

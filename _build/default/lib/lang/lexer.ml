@@ -1,0 +1,142 @@
+type token =
+  | IDENT of string
+  | NAT of int
+  | THREAD
+  | VOLATILE
+  | LOCK
+  | UNLOCK
+  | SKIP
+  | PRINT
+  | IF
+  | ELSE
+  | WHILE
+  | ASSIGN
+  | EQ
+  | NE
+  | SEMI
+  | COMMA
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | EOF
+
+type pos = { line : int; col : int }
+
+exception Error of pos * string
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %S" s
+  | NAT i -> Fmt.pf ppf "literal %d" i
+  | THREAD -> Fmt.string ppf "'thread'"
+  | VOLATILE -> Fmt.string ppf "'volatile'"
+  | LOCK -> Fmt.string ppf "'lock'"
+  | UNLOCK -> Fmt.string ppf "'unlock'"
+  | SKIP -> Fmt.string ppf "'skip'"
+  | PRINT -> Fmt.string ppf "'print'"
+  | IF -> Fmt.string ppf "'if'"
+  | ELSE -> Fmt.string ppf "'else'"
+  | WHILE -> Fmt.string ppf "'while'"
+  | ASSIGN -> Fmt.string ppf "':='"
+  | EQ -> Fmt.string ppf "'=='"
+  | NE -> Fmt.string ppf "'!='"
+  | SEMI -> Fmt.string ppf "';'"
+  | COMMA -> Fmt.string ppf "','"
+  | LPAREN -> Fmt.string ppf "'('"
+  | RPAREN -> Fmt.string ppf "')'"
+  | LBRACE -> Fmt.string ppf "'{'"
+  | RBRACE -> Fmt.string ppf "'}'"
+  | EOF -> Fmt.string ppf "end of input"
+
+let keyword = function
+  | "thread" -> Some THREAD
+  | "volatile" -> Some VOLATILE
+  | "lock" -> Some LOCK
+  | "unlock" -> Some UNLOCK
+  | "skip" -> Some SKIP
+  | "print" -> Some PRINT
+  | "if" -> Some IF
+  | "else" -> Some ELSE
+  | "while" -> Some WHILE
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and bol = ref 0 in
+  let pos i = { line = !line; col = i - !bol + 1 } in
+  let toks = ref [] in
+  let emit t p = toks := (t, p) :: !toks in
+  let rec go i =
+    if i >= n then emit EOF (pos i)
+    else
+      let c = src.[i] in
+      match c with
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '\n' ->
+          incr line;
+          bol := i + 1;
+          go (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+          let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+          go (skip (i + 2))
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+          let rec skip j =
+            if j + 1 >= n then raise (Error (pos i, "unterminated comment"))
+            else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+            else begin
+              if src.[j] = '\n' then begin
+                incr line;
+                bol := j + 1
+              end;
+              skip (j + 1)
+            end
+          in
+          go (skip (i + 2))
+      | ':' when i + 1 < n && src.[i + 1] = '=' ->
+          emit ASSIGN (pos i);
+          go (i + 2)
+      | '=' when i + 1 < n && src.[i + 1] = '=' ->
+          emit EQ (pos i);
+          go (i + 2)
+      | '!' when i + 1 < n && src.[i + 1] = '=' ->
+          emit NE (pos i);
+          go (i + 2)
+      | ';' ->
+          emit SEMI (pos i);
+          go (i + 1)
+      | ',' ->
+          emit COMMA (pos i);
+          go (i + 1)
+      | '(' ->
+          emit LPAREN (pos i);
+          go (i + 1)
+      | ')' ->
+          emit RPAREN (pos i);
+          go (i + 1)
+      | '{' ->
+          emit LBRACE (pos i);
+          go (i + 1)
+      | '}' ->
+          emit RBRACE (pos i);
+          go (i + 1)
+      | c when is_digit c ->
+          let rec scan j = if j < n && is_digit src.[j] then scan (j + 1) else j in
+          let j = scan i in
+          emit (NAT (int_of_string (String.sub src i (j - i)))) (pos i);
+          go j
+      | c when is_ident_start c ->
+          let rec scan j =
+            if j < n && is_ident_char src.[j] then scan (j + 1) else j
+          in
+          let j = scan i in
+          let s = String.sub src i (j - i) in
+          emit (Option.value ~default:(IDENT s) (keyword s)) (pos i);
+          go j
+      | c -> raise (Error (pos i, Printf.sprintf "unexpected character %C" c))
+  in
+  go 0;
+  List.rev !toks

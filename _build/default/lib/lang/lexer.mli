@@ -1,0 +1,40 @@
+(** Hand-written lexer for the concrete syntax.
+
+    Tokens: identifiers, natural-number literals, keywords ([thread],
+    [volatile], [lock], [unlock], [skip], [print], [if], [else],
+    [while]), and the punctuation [:=], [==], [!=], [;], [,], [(], [)],
+    [{], [}].  Line comments start with [//]; [/* ... */] block comments
+    are supported.  Menhir is deliberately not used: the grammar is
+    LL(1) and the substrate stays dependency-free (see DESIGN.md). *)
+
+type token =
+  | IDENT of string
+  | NAT of int
+  | THREAD
+  | VOLATILE
+  | LOCK
+  | UNLOCK
+  | SKIP
+  | PRINT
+  | IF
+  | ELSE
+  | WHILE
+  | ASSIGN  (** [:=] *)
+  | EQ  (** [==] *)
+  | NE  (** [!=] *)
+  | SEMI
+  | COMMA
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | EOF
+
+type pos = { line : int; col : int }
+
+exception Error of pos * string
+
+val pp_token : token Fmt.t
+
+val tokenize : string -> (token * pos) list
+(** @raise Error on an unrecognised character or unterminated comment. *)

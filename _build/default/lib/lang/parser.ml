@@ -1,0 +1,293 @@
+open Safeopt_trace
+
+type pos = Lexer.pos
+
+exception Error of pos * string
+
+(* Surface syntax before desugaring: arguments may be registers,
+   locations or literals in any position. *)
+type sarg = SReg of Reg.t | SLoc of Location.t | SNat of int
+
+type scond = sarg * bool * sarg (* lhs, is_eq, rhs *)
+
+type sstmt =
+  | SAssign of string * sarg * pos
+  | SLock of Monitor.t
+  | SUnlock of Monitor.t
+  | SSkip
+  | SPrint of sarg
+  | SBlock of sstmt list
+  | SIf of scond * sstmt * sstmt option
+  | SWhile of scond * sstmt
+
+type state = { mutable toks : (Lexer.token * pos) list }
+
+let peek st =
+  match st.toks with [] -> (Lexer.EOF, { Lexer.line = 0; col = 0 }) | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let err pos fmt = Fmt.kstr (fun s -> raise (Error (pos, s))) fmt
+
+let expect st tok what =
+  let t, p = peek st in
+  if t = tok then advance st
+  else err p "expected %s, found %a" what Lexer.pp_token t
+
+let ident st what =
+  match peek st with
+  | Lexer.IDENT s, _ ->
+      advance st;
+      s
+  | t, p -> err p "expected %s, found %a" what Lexer.pp_token t
+
+let arg st =
+  match peek st with
+  | Lexer.IDENT s, _ ->
+      advance st;
+      if Reg.is_register_name s then SReg s else SLoc s
+  | Lexer.NAT i, _ ->
+      advance st;
+      SNat i
+  | t, p -> err p "expected a register, location or literal, found %a" Lexer.pp_token t
+
+let cond st =
+  let lhs = arg st in
+  let is_eq =
+    match peek st with
+    | Lexer.EQ, _ ->
+        advance st;
+        true
+    | Lexer.NE, _ ->
+        advance st;
+        false
+    | t, p -> err p "expected '==' or '!=', found %a" Lexer.pp_token t
+  in
+  let rhs = arg st in
+  (lhs, is_eq, rhs)
+
+let rec stmt st : sstmt =
+  match peek st with
+  | Lexer.LOCK, _ ->
+      advance st;
+      let m = ident st "a monitor name" in
+      expect st Lexer.SEMI "';'";
+      SLock m
+  | Lexer.UNLOCK, _ ->
+      advance st;
+      let m = ident st "a monitor name" in
+      expect st Lexer.SEMI "';'";
+      SUnlock m
+  | Lexer.SKIP, _ ->
+      advance st;
+      expect st Lexer.SEMI "';'";
+      SSkip
+  | Lexer.PRINT, _ ->
+      advance st;
+      let a = arg st in
+      expect st Lexer.SEMI "';'";
+      SPrint a
+  | Lexer.LBRACE, _ ->
+      advance st;
+      let body = stmts st in
+      expect st Lexer.RBRACE "'}'";
+      SBlock body
+  | Lexer.IF, _ ->
+      advance st;
+      expect st Lexer.LPAREN "'('";
+      let c = cond st in
+      expect st Lexer.RPAREN "')'";
+      let s1 = stmt st in
+      let s2 =
+        match peek st with
+        | Lexer.ELSE, _ ->
+            advance st;
+            Some (stmt st)
+        | _ -> None
+      in
+      SIf (c, s1, s2)
+  | Lexer.WHILE, _ ->
+      advance st;
+      expect st Lexer.LPAREN "'('";
+      let c = cond st in
+      expect st Lexer.RPAREN "')'";
+      SWhile (c, stmt st)
+  | Lexer.IDENT x, p ->
+      advance st;
+      expect st Lexer.ASSIGN "':='";
+      let rhs = arg st in
+      expect st Lexer.SEMI "';'";
+      SAssign (x, rhs, p)
+  | t, p -> err p "expected a statement, found %a" Lexer.pp_token t
+
+and stmts st : sstmt list =
+  match peek st with
+  | (Lexer.RBRACE | Lexer.EOF), _ -> []
+  | _ ->
+      let s = stmt st in
+      s :: stmts st
+
+(* --- Desugaring to the Fig. 6 core --- *)
+
+type fresh = { mutable next : int; used : Reg.Set.t }
+
+let fresh_reg f =
+  let rec go () =
+    let r = Printf.sprintf "rt%d" f.next in
+    f.next <- f.next + 1;
+    if Reg.Set.mem r f.used then go () else r
+  in
+  go ()
+
+let rec used_regs_sstmt = function
+  | SAssign (x, a, _) ->
+      let from_arg = function SReg r -> Reg.Set.singleton r | _ -> Reg.Set.empty in
+      Reg.Set.union
+        (if Reg.is_register_name x then Reg.Set.singleton x else Reg.Set.empty)
+        (from_arg a)
+  | SLock _ | SUnlock _ | SSkip -> Reg.Set.empty
+  | SPrint (SReg r) -> Reg.Set.singleton r
+  | SPrint _ -> Reg.Set.empty
+  | SBlock l -> used_regs_sstmts l
+  | SIf ((a, _, b), s1, s2) ->
+      let from_arg = function SReg r -> Reg.Set.singleton r | _ -> Reg.Set.empty in
+      Reg.Set.union (from_arg a)
+        (Reg.Set.union (from_arg b)
+           (Reg.Set.union (used_regs_sstmt s1)
+              (match s2 with Some s -> used_regs_sstmt s | None -> Reg.Set.empty)))
+  | SWhile ((a, _, b), s) ->
+      let from_arg = function SReg r -> Reg.Set.singleton r | _ -> Reg.Set.empty in
+      Reg.Set.union (from_arg a) (Reg.Set.union (from_arg b) (used_regs_sstmt s))
+
+and used_regs_sstmts l =
+  List.fold_left (fun acc s -> Reg.Set.union acc (used_regs_sstmt s)) Reg.Set.empty l
+
+(* Desugar an argument to a core operand, emitting prefix statements for
+   location arguments (hoisted loads). *)
+let desugar_arg f a : Ast.stmt list * Ast.operand =
+  match a with
+  | SReg r -> ([], Ast.Reg r)
+  | SNat i -> ([], Ast.Nat i)
+  | SLoc l ->
+      let r = fresh_reg f in
+      ([ Ast.Load (r, l) ], Ast.Reg r)
+
+let desugar_cond f (a, is_eq, b) : Ast.stmt list * Ast.test =
+  let pa, oa = desugar_arg f a in
+  let pb, ob = desugar_arg f b in
+  (pa @ pb, if is_eq then Ast.Eq (oa, ob) else Ast.Ne (oa, ob))
+
+let rec desugar_stmt f (s : sstmt) : Ast.stmt list =
+  match s with
+  | SSkip -> [ Ast.Skip ]
+  | SLock m -> [ Ast.Lock m ]
+  | SUnlock m -> [ Ast.Unlock m ]
+  | SPrint a -> (
+      match a with
+      | SReg r -> [ Ast.Print r ]
+      | SNat i ->
+          let r = fresh_reg f in
+          [ Ast.Move (r, Ast.Nat i); Ast.Print r ]
+      | SLoc l ->
+          let r = fresh_reg f in
+          [ Ast.Load (r, l); Ast.Print r ])
+  | SAssign (x, rhs, pos) ->
+      if Reg.is_register_name x then
+        match rhs with
+        | SReg r' -> [ Ast.Move (x, Ast.Reg r') ]
+        | SNat i -> [ Ast.Move (x, Ast.Nat i) ]
+        | SLoc l -> [ Ast.Load (x, l) ]
+      else begin
+        match rhs with
+        | SReg r -> [ Ast.Store (x, r) ]
+        | SNat i ->
+            let r = fresh_reg f in
+            [ Ast.Move (r, Ast.Nat i); Ast.Store (x, r) ]
+        | SLoc l ->
+            if Location.equal l x then
+              err pos "self-assignment '%s := %s' has no core form" x l
+            else
+              let r = fresh_reg f in
+              [ Ast.Load (r, l); Ast.Store (x, r) ]
+      end
+  | SBlock l -> [ Ast.Block (desugar_stmts f l) ]
+  | SIf (c, s1, s2) ->
+      let pre, t = desugar_cond f c in
+      let d1 = block_of f s1 in
+      let d2 =
+        match s2 with Some s -> block_of f s | None -> Ast.Skip
+      in
+      pre @ [ Ast.If (t, d1, d2) ]
+  | SWhile (((a, _, b) as c), s) ->
+      (* A location in a loop condition would need the load re-executed
+         on every iteration; hoisting it once would change the memory
+         accesses, so we reject it rather than desugar incorrectly. *)
+      let check = function
+        | SLoc l ->
+            err { Lexer.line = 0; col = 0 }
+              "location '%s' in a while condition: load it into a register \
+               inside the loop explicitly"
+              l
+        | _ -> ()
+      in
+      check a;
+      check b;
+      let _, t = desugar_cond f c in
+      [ Ast.While (t, block_of f s) ]
+
+and block_of f s =
+  match desugar_stmt f s with
+  | [ single ] -> single
+  | many -> Ast.Block many
+
+and desugar_stmts f l = List.concat_map (desugar_stmt f) l
+
+let desugar_thread (l : sstmt list) : Ast.thread =
+  let f = { next = 0; used = used_regs_sstmts l } in
+  desugar_stmts f l
+
+(* --- Top level --- *)
+
+let parse_volatiles st =
+  let rec go acc =
+    match peek st with
+    | Lexer.VOLATILE, _ ->
+        advance st;
+        let rec names acc =
+          let l = ident st "a location name" in
+          let acc = l :: acc in
+          match peek st with
+          | Lexer.COMMA, _ ->
+              advance st;
+              names acc
+          | _ ->
+              expect st Lexer.SEMI "';'";
+              acc
+        in
+        go (names acc)
+    | _ -> acc
+  in
+  List.rev (go [])
+
+let parse_program src =
+  let st = { toks = Lexer.tokenize src } in
+  let volatile = parse_volatiles st in
+  let rec threads acc =
+    match peek st with
+    | Lexer.THREAD, _ ->
+        advance st;
+        expect st Lexer.LBRACE "'{'";
+        let body = stmts st in
+        expect st Lexer.RBRACE "'}'";
+        threads (desugar_thread body :: acc)
+    | Lexer.EOF, _ -> List.rev acc
+    | t, p -> err p "expected 'thread', found %a" Lexer.pp_token t
+  in
+  let threads = threads [] in
+  { Ast.threads; volatile = Location.Volatile.of_list volatile }
+
+let parse_thread src =
+  let st = { toks = Lexer.tokenize src } in
+  let body = stmts st in
+  expect st Lexer.EOF "end of input";
+  desugar_thread body

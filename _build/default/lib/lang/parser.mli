@@ -1,0 +1,40 @@
+(** Recursive-descent parser for the concrete syntax.
+
+    {v
+    program  ::= ("volatile" ident ("," ident)* ";")*  thread+
+    thread   ::= "thread" "{" stmt* "}"
+    stmt     ::= ident ":=" arg ";"
+               | "lock" ident ";" | "unlock" ident ";"
+               | "skip" ";" | "print" arg ";"
+               | "{" stmt* "}"
+               | "if" "(" cond ")" stmt ("else" stmt)?
+               | "while" "(" cond ")" stmt
+    arg      ::= ident | nat
+    cond     ::= arg ("==" | "!=") arg
+    v}
+
+    Identifiers beginning with ['r'] are registers; all others in
+    assignment/argument positions are shared locations (the paper's
+    section 2 convention).  Identifiers after [lock]/[unlock] are
+    monitors.
+
+    {b Desugaring.}  The paper's examples freely write [x := 1],
+    [print x] or [if (x == 1)], which are not in the Fig. 6 core
+    grammar.  The parser accepts them and desugars to the core with
+    fresh temporaries ([rt0], [rt1], ...):
+    [x := 1] becomes [rt0 := 1; x := rt0], [print x] becomes
+    [rt0 := x; print rt0], and a location operand in a condition is
+    hoisted to a load before the conditional.  A missing [else] is
+    filled with [skip;].  The desugaring makes the intended memory
+    accesses of the informal examples explicit; figure reproductions
+    that depend on exact traces write core syntax directly. *)
+
+type pos = Lexer.pos
+
+exception Error of pos * string
+
+val parse_program : string -> Ast.program
+(** @raise Error on syntax errors (also re-raises {!Lexer.Error}). *)
+
+val parse_thread : string -> Ast.thread
+(** Parse a bare statement list (no [thread {}] wrapper). *)

@@ -1,0 +1,48 @@
+open Safeopt_trace
+
+let operand ppf = function
+  | Ast.Reg r -> Reg.pp ppf r
+  | Ast.Nat i -> Fmt.int ppf i
+
+let test ppf = function
+  | Ast.Eq (a, b) -> Fmt.pf ppf "%a == %a" operand a operand b
+  | Ast.Ne (a, b) -> Fmt.pf ppf "%a != %a" operand a operand b
+
+let rec stmt ppf = function
+  | Ast.Store (l, r) -> Fmt.pf ppf "%a := %a;" Location.pp l Reg.pp r
+  | Ast.Load (r, l) -> Fmt.pf ppf "%a := %a;" Reg.pp r Location.pp l
+  | Ast.Move (r, o) -> Fmt.pf ppf "%a := %a;" Reg.pp r operand o
+  | Ast.Lock m -> Fmt.pf ppf "lock %a;" Monitor.pp m
+  | Ast.Unlock m -> Fmt.pf ppf "unlock %a;" Monitor.pp m
+  | Ast.Skip -> Fmt.pf ppf "skip;"
+  | Ast.Print r -> Fmt.pf ppf "print %a;" Reg.pp r
+  | Ast.Block l -> Fmt.pf ppf "{@;<1 2>@[<v>%a@]@ }" thread l
+  | Ast.If (t, s1, s2) ->
+      Fmt.pf ppf "@[<v>if (%a)@;<1 2>%a@ else@;<1 2>%a@]" test t stmt s1 stmt
+        s2
+  | Ast.While (t, s) -> Fmt.pf ppf "@[<v>while (%a)@;<1 2>%a@]" test t stmt s
+
+and thread ppf l = Fmt.(list ~sep:cut stmt) ppf l
+
+let program ppf (p : Ast.program) =
+  Fmt.pf ppf "@[<v>";
+  if not (Location.Volatile.is_empty p.volatile) then
+    Fmt.pf ppf "volatile %a;@ "
+      Fmt.(list ~sep:(any ", ") Location.pp)
+      (Location.Volatile.to_list p.volatile);
+  Fmt.(list ~sep:cut)
+    (fun ppf t -> Fmt.pf ppf "@[<v>thread {@;<1 2>@[<v>%a@]@ }@]" thread t)
+    ppf p.threads;
+  Fmt.pf ppf "@]"
+
+let stmt_to_string s = Fmt.str "@[<v>%a@]" stmt s
+let thread_to_string t = Fmt.str "@[<v>%a@]" thread t
+let program_to_string p = Fmt.str "%a" program p
+
+let compact s =
+  String.concat " "
+    (String.split_on_char '\n' s |> List.map String.trim
+    |> List.filter (fun x -> x <> ""))
+
+let stmt_compact s = compact (stmt_to_string s)
+let thread_compact t = compact (thread_to_string t)

@@ -1,0 +1,17 @@
+(** Pretty-printing of programs in the concrete syntax accepted by
+    {!Parser} (round-trip property tested in the suite). *)
+
+val operand : Ast.operand Fmt.t
+val test : Ast.test Fmt.t
+val stmt : Ast.stmt Fmt.t
+val thread : Ast.thread Fmt.t
+val program : Ast.program Fmt.t
+
+val stmt_to_string : Ast.stmt -> string
+val thread_to_string : Ast.thread -> string
+val program_to_string : Ast.program -> string
+
+val stmt_compact : Ast.stmt -> string
+(** Single-line rendering (used in state keys and error messages). *)
+
+val thread_compact : Ast.thread -> string

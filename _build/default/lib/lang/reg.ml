@@ -1,0 +1,9 @@
+type t = string
+
+let equal = String.equal
+let compare = String.compare
+let pp = Fmt.string
+let is_register_name s = String.length s > 0 && s.[0] = 'r'
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)

@@ -1,0 +1,16 @@
+(** Thread-local register names.
+
+    By the paper's convention (section 2), identifiers beginning with
+    ['r'] denote registers; the parser enforces this. *)
+
+type t = string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+
+val is_register_name : string -> bool
+(** True iff the identifier starts with ['r']. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,115 @@
+open Safeopt_trace
+
+type config = {
+  mons : int Monitor.Map.t;
+  regs : Value.t Reg.Map.t;
+  code : Ast.stmt list;
+}
+
+let initial thread =
+  { mons = Monitor.Map.empty; regs = Reg.Map.empty; code = thread }
+
+let config_key c =
+  let b = Buffer.create 64 in
+  Monitor.Map.iter
+    (fun m d -> if d <> 0 then Buffer.add_string b (Printf.sprintf "%s:%d;" m d))
+    c.mons;
+  Buffer.add_char b '|';
+  Reg.Map.iter
+    (fun r v -> if v <> 0 then Buffer.add_string b (Printf.sprintf "%s:%d;" r v))
+    c.regs;
+  Buffer.add_char b '|';
+  Buffer.add_string b (Pp.thread_compact c.code);
+  Buffer.contents b
+
+let value_of c = function
+  | Ast.Nat i -> i
+  | Ast.Reg r -> Option.value ~default:Value.default (Reg.Map.find_opt r c.regs)
+
+let eval_test c = function
+  | Ast.Eq (a, b) -> Value.equal (value_of c a) (value_of c b)
+  | Ast.Ne (a, b) -> not (Value.equal (value_of c a) (value_of c b))
+
+type outcome =
+  | Done
+  | Diverged
+  | Write of Location.t * Value.t * config
+  | Read of Location.t * (Value.t -> config)
+  | Lock of Monitor.t * config
+  | Unlock of Monitor.t * config
+  | Output of Value.t * config
+
+let mon_depth c m = Option.value ~default:0 (Monitor.Map.find_opt m c.mons)
+
+let rec next ?(tau_fuel = 100_000) c =
+  if tau_fuel <= 0 then Diverged
+  else
+    match c.code with
+    | [] -> Done
+    | s :: k -> (
+        let tau code = next ~tau_fuel:(tau_fuel - 1) { c with code } in
+        match s with
+        | Ast.Skip -> tau k
+        | Ast.Block l -> tau (l @ k)
+        | Ast.Move (r, o) ->
+            next ~tau_fuel:(tau_fuel - 1)
+              { c with regs = Reg.Map.add r (value_of c o) c.regs; code = k }
+        | Ast.If (t, s1, s2) -> tau ((if eval_test c t then s1 else s2) :: k)
+        | Ast.While (t, s) ->
+            if eval_test c t then tau (s :: Ast.While (t, s) :: k) else tau k
+        | Ast.Store (l, r) ->
+            Write (l, value_of c (Ast.Reg r), { c with code = k })
+        | Ast.Load (r, l) ->
+            Read
+              (l, fun v -> { c with regs = Reg.Map.add r v c.regs; code = k })
+        | Ast.Lock m ->
+            Lock
+              ( m,
+                {
+                  c with
+                  mons = Monitor.Map.add m (mon_depth c m + 1) c.mons;
+                  code = k;
+                } )
+        | Ast.Unlock m ->
+            let d = mon_depth c m in
+            if d > 0 then
+              Unlock
+                (m, { c with mons = Monitor.Map.add m (d - 1) c.mons; code = k })
+            else tau k (* E-ULK: unlock of an un-held monitor is silent *)
+        | Ast.Print r -> Output (value_of c (Ast.Reg r), { c with code = k }))
+
+let issues ?tau_fuel c t =
+  let rec go c = function
+    | [] -> true
+    | a :: rest -> (
+        match (next ?tau_fuel c, a) with
+        | Write (l, v, c'), Action.Write (l', v') ->
+            Location.equal l l' && Value.equal v v' && go c' rest
+        | Read (l, k), Action.Read (l', v) ->
+            Location.equal l l' && go (k v) rest
+        | Lock (m, c'), Action.Lock m' -> Monitor.equal m m' && go c' rest
+        | Unlock (m, c'), Action.Unlock m' -> Monitor.equal m m' && go c' rest
+        | Output (v, c'), Action.External v' -> Value.equal v v' && go c' rest
+        | (Done | Diverged | Write _ | Read _ | Lock _ | Unlock _ | Output _), _
+          ->
+            false)
+  in
+  go c t
+
+let run_sequential ?tau_fuel ?(max_actions = 100_000) c ~read ~write =
+  let rec go c n acc =
+    if n >= max_actions then List.rev acc
+    else
+      match next ?tau_fuel c with
+      | Done | Diverged -> List.rev acc
+      | Write (l, v, c') ->
+          write l v;
+          go c' (n + 1) (Action.Write (l, v) :: acc)
+      | Read (l, k) ->
+          let v = read l in
+          go (k v) (n + 1) (Action.Read (l, v) :: acc)
+      | Lock (m, c') -> go c' (n + 1) (Action.Lock m :: acc)
+      | Unlock (m, c') -> go c' (n + 1) (Action.Unlock m :: acc)
+      | Output (v, c') -> go c' (n + 1) (Action.External v :: acc)
+  in
+  go c 0 []

@@ -1,0 +1,23 @@
+(** Programs as thread systems for the execution-enumeration engine.
+
+    Each thread first emits its start action [S(i)] (rule PAR of Fig. 7)
+    and then follows the small-step semantics.  If the program contains
+    loops, an action-fuel counter is embedded in the thread state so
+    that the global state graph is acyclic and the engine's analyses
+    terminate (they are then exact up to executions of [fuel] actions
+    per thread); loop-free programs carry no fuel and are analysed
+    exactly. *)
+
+type state
+
+val make : ?fuel:int -> Ast.program -> state Safeopt_exec.System.t
+(** [fuel] (default 64) is used only when the program contains a
+    [while] loop. *)
+
+val has_loop : Ast.program -> bool
+
+val local_actions : Ast.program -> Safeopt_trace.Action.t -> bool
+(** The partial-order-reduction predicate for {!Safeopt_exec.Enumerate}:
+    true for reads and writes of locations that, syntactically, only a
+    single thread of the program accesses (such actions are invisible
+    and independent of every other thread). *)

@@ -1,0 +1,1 @@
+lib/litmus/corpus.ml: List Litmus

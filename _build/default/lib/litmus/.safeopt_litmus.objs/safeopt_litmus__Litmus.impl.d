@@ -1,0 +1,1 @@
+lib/litmus/litmus.ml: Ast Behaviour Fmt Interp List Parser Safeopt_exec Safeopt_lang

@@ -1,0 +1,1 @@
+lib/litmus/litmus.mli: Ast Behaviour Fmt Safeopt_exec Safeopt_lang

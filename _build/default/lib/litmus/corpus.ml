@@ -1,0 +1,542 @@
+let make = Litmus.make
+
+(* --- Paper examples --------------------------------------------------- *)
+
+let intro_racy =
+  make ~name:"intro_racy"
+    ~descr:"section 1 motivating example (request/response flags), racy"
+    ~drf:false
+    ~can:[ [ 2 ]; [] ]
+    ~cannot:[ [ 1 ] ]
+    {|
+thread {
+  data := 1;
+  askReady := 1;
+  r1 := ansReady;
+  if (r1 == 1) { r2 := data; print r2; }
+}
+thread {
+  r3 := askReady;
+  if (r3 == 1) { data := 2; ansReady := 1; }
+}
+|}
+
+let intro_racy_opt =
+  make ~name:"intro_racy_opt"
+    ~descr:"section 1 example after constant propagation: can print 1"
+    ~drf:false
+    ~can:[ [ 1 ]; [] ]
+    ~cannot:[ [ 2 ] ]
+    {|
+thread {
+  data := 1;
+  askReady := 1;
+  r1 := ansReady;
+  if (r1 == 1) { r2 := 1; print r2; }
+}
+thread {
+  r3 := askReady;
+  if (r3 == 1) { data := 2; ansReady := 1; }
+}
+|}
+
+let intro_volatile =
+  make ~name:"intro_volatile"
+    ~descr:"section 1 example with volatile flags: DRF, prints only 2"
+    ~drf:true
+    ~can:[ [ 2 ]; [] ]
+    ~cannot:[ [ 1 ] ]
+    {|
+volatile askReady, ansReady;
+thread {
+  data := 1;
+  askReady := 1;
+  r1 := ansReady;
+  if (r1 == 1) { r2 := data; print r2; }
+}
+thread {
+  r3 := askReady;
+  if (r3 == 1) { data := 2; ansReady := 1; }
+}
+|}
+
+let fig1_original =
+  make ~name:"fig1_original"
+    ~descr:"Fig. 1 original: overwritten write and duplicated read present"
+    ~drf:false
+    ~can:[ [ 1; 1 ]; [ 1; 2 ]; [ 0; 0 ] ]
+    ~cannot:[ [ 1; 0 ] ]
+    {|
+thread {
+  x := 2;
+  y := 1;
+  x := 1;
+}
+thread {
+  r1 := y;
+  print r1;
+  r1 := x;
+  r2 := x;
+  print r2;
+}
+|}
+
+let fig1_transformed =
+  make ~name:"fig1_transformed"
+    ~descr:"Fig. 1 transformed: can output 1 then 0"
+    ~drf:false
+    ~can:[ [ 1; 0 ]; [ 1; 1 ]; [ 0; 0 ] ]
+    {|
+thread {
+  y := 1;
+  x := 1;
+}
+thread {
+  r1 := y;
+  print r1;
+  r1 := x;
+  r2 := r1;
+  print r2;
+}
+|}
+
+let fig2_original =
+  make ~name:"fig2_original"
+    ~descr:"Fig. 2 original: read of y before write of x; cannot print 1"
+    ~drf:false
+    ~can:[ [ 0 ] ]
+    ~cannot:[ [ 1 ] ]
+    {|
+thread {
+  r2 := y;
+  x := 1;
+  print r2;
+}
+thread {
+  r1 := x;
+  y := r1;
+}
+|}
+
+let fig2_transformed =
+  make ~name:"fig2_transformed"
+    ~descr:"Fig. 2 transformed: write of x hoisted; can print 1"
+    ~drf:false
+    ~can:[ [ 0 ]; [ 1 ] ]
+    {|
+thread {
+  x := 1;
+  r2 := y;
+  print r2;
+}
+thread {
+  r1 := x;
+  y := r1;
+}
+|}
+
+let fig3_a =
+  make ~name:"fig3_a"
+    ~descr:"Fig. 3 (a): lock-protected prints; DRF; cannot print two zeros"
+    ~drf:true
+    ~can:[ [ 0; 1 ] ]
+    ~cannot:[ [ 0; 0 ] ]
+    {|
+thread {
+  lock m;
+  x := 1;
+  print y;
+  unlock m;
+}
+thread {
+  lock m;
+  y := 1;
+  print x;
+  unlock m;
+}
+|}
+
+let fig3_b =
+  make ~name:"fig3_b"
+    ~descr:"Fig. 3 (b): irrelevant reads introduced; racy; still cannot print \
+            two zeros under SC"
+    ~drf:false
+    ~can:[ [ 0; 1 ] ]
+    ~cannot:[ [ 0; 0 ] ]
+    {|
+thread {
+  r1 := y;
+  lock m;
+  x := 1;
+  print y;
+  unlock m;
+}
+thread {
+  r2 := x;
+  lock m;
+  y := 1;
+  print x;
+  unlock m;
+}
+|}
+
+let fig3_c =
+  make ~name:"fig3_c"
+    ~descr:"Fig. 3 (c): introduced reads reused; can print two zeros"
+    ~drf:false
+    ~can:[ [ 0; 0 ]; [ 0; 1 ] ]
+    {|
+thread {
+  r1 := y;
+  lock m;
+  x := 1;
+  print r1;
+  unlock m;
+}
+thread {
+  r2 := x;
+  lock m;
+  y := 1;
+  print r2;
+  unlock m;
+}
+|}
+
+let oota =
+  make ~name:"oota"
+    ~descr:"section 5 out-of-thin-air candidate: relays x and y; cannot \
+            output 42"
+    ~drf:false
+    ~can:[ [ 0 ] ]
+    ~cannot:[ [ 42 ]; [ 1 ] ]
+    {|
+thread {
+  r2 := y;
+  x := r2;
+  print r2;
+}
+thread {
+  r1 := x;
+  y := r1;
+}
+|}
+
+let sec4_elim_original =
+  make ~name:"sec4_elim_original"
+    ~descr:"section 4 elimination example, original single thread"
+    ~drf:true
+    ~can:[ [ 1 ] ]
+    {|
+thread {
+  x := 1;
+  r1 := y;
+  r2 := x;
+  print r2;
+  if (r2 != 0) {
+    lock m;
+    x := 2;
+    x := r2;
+    unlock m;
+  }
+}
+|}
+
+let sec4_elim_transformed =
+  make ~name:"sec4_elim_transformed"
+    ~descr:"section 4 elimination example, transformed single thread"
+    ~drf:true
+    ~can:[ [ 1 ] ]
+    {|
+thread {
+  x := 1;
+  print 1;
+  lock m;
+  x := 1;
+  unlock m;
+}
+|}
+
+let sec5_unelim =
+  make ~name:"sec5_unelim"
+    ~descr:"section 5 program for the Fig. 5 unelimination construction"
+    ~drf:true
+    ~can:[ [ 0 ]; [ 1 ] ]
+    {|
+volatile v;
+thread {
+  v := 1;
+  y := 1;
+}
+thread {
+  r1 := x;
+  r2 := v;
+  print r2;
+}
+|}
+
+(* --- Classical litmus shapes ----------------------------------------- *)
+
+let sb =
+  make ~name:"sb" ~descr:"store buffering: SC forbids 0,0" ~drf:false
+    ~can:[ [ 0; 1 ]; [ 1; 1 ] ]
+    ~cannot:[ [ 0; 0 ] ]
+    {|
+thread {
+  x := 1;
+  r1 := y;
+  print r1;
+}
+thread {
+  y := 1;
+  r2 := x;
+  print r2;
+}
+|}
+
+let mp =
+  make ~name:"mp" ~descr:"message passing with plain flag: racy" ~drf:false
+    ~can:[ [ 1 ]; [] ]
+    ~cannot:[ [ 0 ] ]
+    {|
+thread {
+  data := 1;
+  flag := 1;
+}
+thread {
+  r1 := flag;
+  if (r1 == 1) { r2 := data; print r2; }
+}
+|}
+
+let mp_volatile =
+  make ~name:"mp_volatile"
+    ~descr:"message passing with volatile flag: DRF, reader sees the data"
+    ~drf:true
+    ~can:[ [ 1 ]; [] ]
+    ~cannot:[ [ 0 ] ]
+    {|
+volatile flag;
+thread {
+  data := 1;
+  flag := 1;
+}
+thread {
+  r1 := flag;
+  if (r1 == 1) { r2 := data; print r2; }
+}
+|}
+
+let mp_locked =
+  make ~name:"mp_locked" ~descr:"message passing under a lock: DRF" ~drf:true
+    ~can:[ [ 1 ]; [] ]
+    ~cannot:[ [ 0 ] ]
+    {|
+thread {
+  lock m;
+  data := 1;
+  flag := 1;
+  unlock m;
+}
+thread {
+  lock m;
+  r1 := flag;
+  r2 := data;
+  unlock m;
+  if (r1 == 1) print r2;
+}
+|}
+
+let lb =
+  make ~name:"lb" ~descr:"load buffering: SC forbids 1,1" ~drf:false
+    ~can:[ [ 0; 0 ]; [ 0; 1 ] ]
+    ~cannot:[ [ 1; 1 ] ]
+    {|
+thread {
+  r1 := y;
+  x := 1;
+  print r1;
+}
+thread {
+  r2 := x;
+  y := 1;
+  print r2;
+}
+|}
+
+let corr =
+  make ~name:"corr"
+    ~descr:"read-read coherence: after seeing 1, cannot see 0 again"
+    ~drf:false
+    ~can:[ [ 0; 0 ]; [ 0; 1 ]; [ 1; 1 ] ]
+    ~cannot:[ [ 1; 0 ] ]
+    {|
+thread {
+  x := 1;
+}
+thread {
+  r1 := x;
+  r2 := x;
+  print r1;
+  print r2;
+}
+|}
+
+let iriw =
+  make ~name:"iriw"
+    ~descr:"independent reads of independent writes: SC forbids both \
+            observers disagreeing on the order"
+    ~drf:false
+    ~can:[ [ 2 ]; [ 3 ] ]
+    ~cannot:[ [ 2; 3 ]; [ 3; 2 ] ]
+    {|
+thread { x := 1; }
+thread { y := 1; }
+thread {
+  r1 := x;
+  r2 := y;
+  if (r1 == 1) if (r2 == 0) print 2;
+}
+thread {
+  r3 := y;
+  r4 := x;
+  if (r3 == 1) if (r4 == 0) print 3;
+}
+|}
+
+let dekker_volatile =
+  make ~name:"dekker_volatile"
+    ~descr:"Dekker core with volatile flags: DRF, at most one enters"
+    ~drf:true
+    ~can:[ [ 1 ]; [ 2 ]; [] ]
+    ~cannot:[ [ 1; 2 ]; [ 2; 1 ] ]
+    {|
+volatile f0, f1;
+thread {
+  f0 := 1;
+  r1 := f1;
+  if (r1 == 0) print 1;
+}
+thread {
+  f1 := 1;
+  r2 := f0;
+  if (r2 == 0) print 2;
+}
+|}
+
+let wrc =
+  make ~name:"wrc"
+    ~descr:"write-to-read causality: once the chain is observed, the data \
+            must be visible"
+    ~drf:false
+    ~can:[ [ 1 ]; [] ]
+    ~cannot:[ [ 0 ] ]
+    {|
+thread { x := 1; }
+thread {
+  r1 := x;
+  if (r1 == 1) y := 1;
+}
+thread {
+  r2 := y;
+  if (r2 == 1) { r3 := x; print r3; }
+}
+|}
+
+let sb_volatile =
+  make ~name:"sb_volatile"
+    ~descr:"store buffering with volatile locations: DRF and SC forbids 0,0"
+    ~drf:true
+    ~can:[ [ 0; 1 ]; [ 1; 1 ] ]
+    ~cannot:[ [ 0; 0 ] ]
+    {|
+volatile x, y;
+thread {
+  x := 1;
+  r1 := y;
+  print r1;
+}
+thread {
+  y := 1;
+  r2 := x;
+  print r2;
+}
+|}
+
+let peterson_once =
+  make ~name:"peterson_once"
+    ~descr:"test-once Peterson with volatile flags and turn: DRF, mutual \
+            exclusion"
+    ~drf:true
+    ~can:[ [ 1 ]; [ 2 ]; [] ]
+    ~cannot:[ [ 1; 2 ]; [ 2; 1 ] ]
+    {|
+volatile f0, f1, turn;
+thread {
+  f0 := 1;
+  turn := 1;
+  r1 := f1;
+  r2 := turn;
+  if (r1 == 0) print 1;
+  else if (r2 == 0) print 1;
+}
+thread {
+  f1 := 1;
+  turn := 0;
+  r3 := f0;
+  r4 := turn;
+  if (r3 == 0) print 2;
+  else if (r4 == 1) print 2;
+}
+|}
+
+let co_ww_rr =
+  make ~name:"co_ww_rr"
+    ~descr:"write-write coherence observed by a reader: values cannot \
+            appear out of store order"
+    ~drf:false
+    ~can:[ [ 9 ] ]
+    ~cannot:[ [ 8 ] ]
+    {|
+thread {
+  x := 1;
+  x := 2;
+}
+thread {
+  r1 := x;
+  r2 := x;
+  if (r1 == 2) if (r2 == 1) print 8;
+  if (r1 == 1) if (r2 == 2) print 9;
+}
+|}
+
+let all =
+  [
+    intro_racy;
+    intro_racy_opt;
+    intro_volatile;
+    fig1_original;
+    fig1_transformed;
+    fig2_original;
+    fig2_transformed;
+    fig3_a;
+    fig3_b;
+    fig3_c;
+    oota;
+    sec4_elim_original;
+    sec4_elim_transformed;
+    sec5_unelim;
+    sb;
+    mp;
+    mp_volatile;
+    mp_locked;
+    lb;
+    corr;
+    iriw;
+    dekker_volatile;
+    wrc;
+    sb_volatile;
+    peterson_once;
+    co_ww_rr;
+  ]
+
+let by_name n = List.find_opt (fun (t : Litmus.t) -> t.Litmus.name = n) all

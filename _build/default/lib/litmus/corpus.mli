@@ -1,0 +1,84 @@
+(** The litmus corpus: every program the paper discusses, plus the
+    classical shared-memory litmus shapes.
+
+    Paper examples keep their figure/section names; transformed
+    variants end in [_opt].  The [can]/[cannot] expectations encode the
+    paper's claims about each program under sequential consistency
+    (e.g. "Fig. 1's transformed program can output 1 then 0, the
+    original cannot"). *)
+
+val intro_racy : Litmus.t
+(** The section-1 motivating example (request/response flags). *)
+
+val intro_racy_opt : Litmus.t
+(** Its constant-propagated version that can print 1. *)
+
+val intro_volatile : Litmus.t
+(** The same with volatile flags — data race free (section 3). *)
+
+val fig1_original : Litmus.t
+val fig1_transformed : Litmus.t
+val fig2_original : Litmus.t
+val fig2_transformed : Litmus.t
+
+val fig3_a : Litmus.t
+(** Fig. 3 (a): lock-protected, DRF, cannot print two zeros. *)
+
+val fig3_b : Litmus.t
+(** Fig. 3 (b): with introduced irrelevant reads — racy, still cannot
+    print two zeros under SC. *)
+
+val fig3_c : Litmus.t
+(** Fig. 3 (c): after reusing the introduced reads — prints two zeros. *)
+
+val oota : Litmus.t
+(** The section-5 out-of-thin-air candidate (relay of x and y). *)
+
+val sec4_elim_original : Litmus.t
+val sec4_elim_transformed : Litmus.t
+(** The section-4 elimination example around a lock. *)
+
+val sec5_unelim : Litmus.t
+(** The section-5 program used for the Fig. 5 unelimination. *)
+
+val sb : Litmus.t
+(** Store buffering: racy; SC forbids r1 = r2 = 0. *)
+
+val mp : Litmus.t
+(** Message passing with plain flags: racy. *)
+
+val mp_volatile : Litmus.t
+(** Message passing with a volatile flag: DRF, reader sees the data. *)
+
+val mp_locked : Litmus.t
+(** Message passing under a lock: DRF. *)
+
+val lb : Litmus.t
+(** Load buffering: racy; SC forbids r1 = r2 = 1. *)
+
+val corr : Litmus.t
+(** Coherence of read-read: two reads of the same location by one
+    thread cannot see values out of order under SC. *)
+
+val iriw : Litmus.t
+(** Independent reads of independent writes (4 threads). *)
+
+val dekker_volatile : Litmus.t
+(** The core of Dekker's mutual exclusion with volatile flags: DRF and
+    at most one thread enters. *)
+
+val wrc : Litmus.t
+(** Write-to-read causality chain across three threads. *)
+
+val sb_volatile : Litmus.t
+(** Store buffering on volatile locations: DRF; the TSO machine must
+    not weaken it. *)
+
+val peterson_once : Litmus.t
+(** Test-once Peterson mutual exclusion with volatile flags and turn. *)
+
+val co_ww_rr : Litmus.t
+(** Write-write coherence as seen by a two-read observer. *)
+
+val all : Litmus.t list
+val by_name : string -> Litmus.t option

@@ -1,0 +1,55 @@
+open Safeopt_exec
+open Safeopt_lang
+
+type t = {
+  name : string;
+  descr : string;
+  source : string;
+  drf : bool;
+  can : Behaviour.t list;
+  cannot : Behaviour.t list;
+}
+
+type outcome = {
+  test : t;
+  program : Ast.program;
+  drf_actual : bool;
+  behaviours : Behaviour.Set.t;
+  failures : string list;
+}
+
+let program t = Parser.parse_program t.source
+
+let make ~name ~descr ?(drf = true) ?(can = []) ?(cannot = []) source =
+  { name; descr; source; drf; can; cannot }
+
+let check ?fuel ?max_states t =
+  let p = program t in
+  let drf_actual = Interp.is_drf ?fuel ?max_states p in
+  let behaviours = Interp.behaviours ?fuel ?max_states p in
+  let failures = ref [] in
+  let fail fmt = Fmt.kstr (fun s -> failures := s :: !failures) fmt in
+  if drf_actual <> t.drf then
+    fail "expected %s but found %s"
+      (if t.drf then "data race free" else "racy")
+      (if drf_actual then "data race free" else "racy");
+  List.iter
+    (fun b ->
+      if not (Behaviour.Set.mem b behaviours) then
+        fail "expected possible behaviour %a is not observable" Behaviour.pp b)
+    t.can;
+  List.iter
+    (fun b ->
+      if Behaviour.Set.mem b behaviours then
+        fail "forbidden behaviour %a is observable" Behaviour.pp b)
+    t.cannot;
+  { test = t; program = p; drf_actual; behaviours; failures = List.rev !failures }
+
+let passed o = o.failures = []
+
+let pp_outcome ppf o =
+  if passed o then Fmt.pf ppf "%-18s ok" o.test.name
+  else
+    Fmt.pf ppf "@[<v>%-18s FAILED@ %a@]" o.test.name
+      Fmt.(list ~sep:cut string)
+      o.failures

@@ -1,0 +1,45 @@
+(** Litmus tests: named programs with expected SC verdicts.
+
+    Each test carries concrete syntax (exercising the parser), an
+    expected data-race-freedom verdict, and behaviours that must /
+    must not be observable under sequential consistency.  {!check}
+    runs the exhaustive interpreter and compares. *)
+
+open Safeopt_exec
+open Safeopt_lang
+
+type t = {
+  name : string;
+  descr : string;
+  source : string;  (** concrete syntax *)
+  drf : bool;  (** expected: is the program data race free? *)
+  can : Behaviour.t list;  (** behaviours that must be observable *)
+  cannot : Behaviour.t list;  (** behaviours that must not be observable *)
+}
+
+type outcome = {
+  test : t;
+  program : Ast.program;
+  drf_actual : bool;
+  behaviours : Behaviour.Set.t;
+  failures : string list;  (** empty iff all expectations hold *)
+}
+
+val program : t -> Ast.program
+(** Parse the test's source. *)
+
+val check : ?fuel:int -> ?max_states:int -> t -> outcome
+
+val passed : outcome -> bool
+
+val pp_outcome : outcome Fmt.t
+
+val make :
+  name:string ->
+  descr:string ->
+  ?drf:bool ->
+  ?can:Behaviour.t list ->
+  ?cannot:Behaviour.t list ->
+  string ->
+  t
+(** [make ~name ~descr src]; [drf] defaults to [true]. *)

@@ -1,0 +1,1 @@
+lib/opt/liveness.ml: Ast List Reg Safeopt_lang

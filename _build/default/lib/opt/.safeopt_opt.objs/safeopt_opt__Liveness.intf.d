@@ -1,0 +1,1 @@
+lib/opt/liveness.mli: Ast Reg Safeopt_lang

@@ -1,0 +1,1 @@
+lib/opt/passes.ml: Ast List Liveness Location Option Pp Printf Reg Rule Safeopt_lang Safeopt_trace Transform

@@ -1,0 +1,1 @@
+lib/opt/passes.mli: Ast Result Rule Safeopt_lang Transform

@@ -1,0 +1,1 @@
+lib/opt/rule.ml: Ast Fmt List Location Reg Safeopt_lang Safeopt_trace String

@@ -1,0 +1,1 @@
+lib/opt/rule.mli: Ast Fmt Location Reg Safeopt_lang Safeopt_trace

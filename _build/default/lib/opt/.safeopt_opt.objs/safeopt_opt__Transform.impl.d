@@ -1,0 +1,1 @@
+lib/opt/transform.ml: Ast Fmt Hashtbl List Pp Printf Queue Rule Safeopt_lang Safeopt_trace Thread_id

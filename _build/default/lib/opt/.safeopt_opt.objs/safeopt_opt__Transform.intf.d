@@ -1,0 +1,1 @@
+lib/opt/transform.mli: Ast Fmt Location Result Rule Safeopt_lang Safeopt_trace Thread_id

@@ -1,0 +1,1 @@
+lib/opt/validate.ml: Ast Behaviour Denote Fmt Hashtbl Interleaving Interp List Option Safeopt_core Safeopt_exec Safeopt_lang Safeopt_trace Trace Traceset

@@ -1,0 +1,1 @@
+lib/opt/validate.mli: Ast Behaviour Fmt Interleaving Safeopt_exec Safeopt_lang Safeopt_trace Trace

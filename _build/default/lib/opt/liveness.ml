@@ -1,0 +1,49 @@
+open Safeopt_lang
+
+type t = Reg.Set.t
+
+let use_operand acc = function
+  | Ast.Reg r -> Reg.Set.add r acc
+  | Ast.Nat _ -> acc
+
+let use_test acc = function
+  | Ast.Eq (a, b) | Ast.Ne (a, b) -> use_operand (use_operand acc a) b
+
+let rec stmt (s : Ast.stmt) (live_out : t) : t =
+  match s with
+  | Ast.Store (_, r) | Ast.Print r -> Reg.Set.add r live_out
+  | Ast.Load (r, _) -> Reg.Set.remove r live_out
+  | Ast.Move (r, o) -> use_operand (Reg.Set.remove r live_out) o
+  | Ast.Lock _ | Ast.Unlock _ | Ast.Skip -> live_out
+  | Ast.Block l -> thread l live_out
+  | Ast.If (t, s1, s2) ->
+      use_test (Reg.Set.union (stmt s1 live_out) (stmt s2 live_out)) t
+  | Ast.While (t, body) ->
+      (* fixpoint: live-in of the loop includes the test's uses and the
+         body's live-in with the loop's own live-in as its live-out;
+         two iterations reach the fixpoint because the domain is a
+         union of the two bounds *)
+      let once = use_test (Reg.Set.union live_out (stmt body live_out)) t in
+      use_test (Reg.Set.union live_out (stmt body once)) t
+
+and thread (l : Ast.thread) (live_out : t) : t =
+  List.fold_right stmt l live_out
+
+let annotate l =
+  let rec go = function
+    | [] -> ([], Reg.Set.empty)
+    | s :: rest ->
+        let annotated, live_after_rest = go rest in
+        ((s, live_after_rest) :: annotated, stmt s live_after_rest)
+  in
+  fst (go l)
+
+let dead_move s live_out =
+  match s with
+  | Ast.Move (r, _) -> not (Reg.Set.mem r live_out)
+  | _ -> false
+
+let dead_load s live_out =
+  match s with
+  | Ast.Load (r, _) -> not (Reg.Set.mem r live_out)
+  | _ -> false

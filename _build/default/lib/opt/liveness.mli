@@ -1,0 +1,29 @@
+(** Backward register-liveness analysis for the section-6 language.
+
+    A register is {e live} at a program point if some path from that
+    point reads it (in a store, print, move source, or test operand)
+    before writing it.  Used by the dead-code passes: a move to a dead
+    register is silent in the trace semantics and can be dropped
+    outright; a load into a dead register is an {e irrelevant read}
+    whose removal is a Definition-1 semantic elimination (clause 3). *)
+
+open Safeopt_lang
+
+type t = Reg.Set.t
+(** The live-out set at a point. *)
+
+val stmt : Ast.stmt -> t -> t
+(** [stmt s live_out] is the live-in set before [s]. *)
+
+val thread : Ast.thread -> t -> t
+(** Live-in of a statement list given live-out after it. *)
+
+val annotate : Ast.thread -> (Ast.stmt * t) list
+(** Each top-level statement paired with the registers live {e after}
+    it (the whole thread's live-out is empty). *)
+
+val dead_move : Ast.stmt -> t -> bool
+(** Is the statement a move whose target is dead after it? *)
+
+val dead_load : Ast.stmt -> t -> bool
+(** Is the statement a load whose target is dead after it? *)

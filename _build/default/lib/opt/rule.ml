@@ -1,0 +1,310 @@
+open Safeopt_trace
+open Safeopt_lang
+
+type t = {
+  name : string;
+  descr : string;
+  rewrites_at :
+    Location.Volatile.t -> ctx:Reg.Set.t -> Ast.thread -> Ast.thread list;
+}
+
+let pp ppf r = Fmt.pf ppf "%s (%s)" r.name r.descr
+
+let names_of_run run =
+  ( Ast.fv_thread run,
+    List.fold_left
+      (fun acc s -> Reg.Set.union acc (Ast.regs_stmt s))
+      Reg.Set.empty run )
+
+let window_ok vol x regs run =
+  Ast.sync_free_thread vol run
+  &&
+  let locs, rs = names_of_run run in
+  (not (Location.Set.mem x locs))
+  && List.for_all (fun r -> not (Reg.Set.mem r rs)) regs
+
+(* Split a list into (middle, last, rest-after-last) for every possible
+   window: middle of length 0..n-2, followed by the window's last
+   statement. *)
+let windows_after (l : Ast.thread) : (Ast.stmt list * Ast.stmt * Ast.thread) list =
+  let rec go middle_rev = function
+    | [] -> []
+    | last :: rest ->
+        (List.rev middle_rev, last, rest) :: go (last :: middle_rev) rest
+  in
+  go [] l
+
+let non_volatile vol x = not (Location.Volatile.mem vol x)
+
+(* --- Fig. 10: eliminations --- *)
+
+let e_rar =
+  {
+    name = "E-RAR";
+    descr = "r1:=x; S; r2:=x ~> r1:=x; S; r2:=r1";
+    rewrites_at =
+      (fun vol ~ctx:_ l ->
+        match l with
+        | Ast.Load (r1, x) :: rest when non_volatile vol x ->
+            windows_after rest
+            |> List.filter_map (fun (middle, last, after) ->
+                   match last with
+                   | Ast.Load (r2, x') when Location.equal x x' ->
+                       if window_ok vol x [ r1; r2 ] middle then
+                         Some
+                           (Ast.Load (r1, x)
+                            :: middle
+                            @ (Ast.Move (r2, Ast.Reg r1) :: after))
+                       else None
+                   | _ -> None)
+        | _ -> []);
+  }
+
+let e_raw =
+  {
+    name = "E-RAW";
+    descr = "x:=r1; S; r2:=x ~> x:=r1; S; r2:=r1";
+    rewrites_at =
+      (fun vol ~ctx:_ l ->
+        match l with
+        | Ast.Store (x, r1) :: rest when non_volatile vol x ->
+            windows_after rest
+            |> List.filter_map (fun (middle, last, after) ->
+                   match last with
+                   | Ast.Load (r2, x') when Location.equal x x' ->
+                       if window_ok vol x [ r1; r2 ] middle then
+                         Some
+                           (Ast.Store (x, r1)
+                            :: middle
+                            @ (Ast.Move (r2, Ast.Reg r1) :: after))
+                       else None
+                   | _ -> None)
+        | _ -> []);
+  }
+
+let e_war =
+  {
+    name = "E-WAR";
+    descr = "r:=x; S; x:=r ~> r:=x; S";
+    rewrites_at =
+      (fun vol ~ctx:_ l ->
+        match l with
+        | Ast.Load (r, x) :: rest when non_volatile vol x ->
+            windows_after rest
+            |> List.filter_map (fun (middle, last, after) ->
+                   match last with
+                   | Ast.Store (x', r') when Location.equal x x' && Reg.equal r r'
+                     ->
+                       if window_ok vol x [ r ] middle then
+                         Some ((Ast.Load (r, x) :: middle) @ after)
+                       else None
+                   | _ -> None)
+        | _ -> []);
+  }
+
+let e_wbw =
+  {
+    name = "E-WBW";
+    descr = "x:=r1; S; x:=r2 ~> S; x:=r2";
+    rewrites_at =
+      (fun vol ~ctx:_ l ->
+        match l with
+        | Ast.Store (x, r1) :: rest when non_volatile vol x ->
+            windows_after rest
+            |> List.filter_map (fun (middle, last, after) ->
+                   match last with
+                   | Ast.Store (x', r2) when Location.equal x x' ->
+                       if window_ok vol x [ r1; r2 ] middle then
+                         Some (middle @ (Ast.Store (x, r2) :: after))
+                       else None
+                   | _ -> None)
+        | _ -> []);
+  }
+
+let e_ir =
+  {
+    name = "E-IR";
+    descr = "r:=x; r:=i ~> r:=i";
+    rewrites_at =
+      (fun vol ~ctx:_ l ->
+        match l with
+        | Ast.Load (r, x) :: Ast.Move (r', (Ast.Nat _ as i)) :: rest
+          when Reg.equal r r' && non_volatile vol x ->
+            [ Ast.Move (r, i) :: rest ]
+        | _ -> []);
+  }
+
+let eliminations = [ e_rar; e_raw; e_war; e_wbw; e_ir ]
+
+(* --- Fig. 11: reorderings (adjacent swaps) --- *)
+
+let swap2 name descr matcher =
+  {
+    name;
+    descr;
+    rewrites_at =
+      (fun vol ~ctx:_ l ->
+        match l with
+        | s1 :: s2 :: rest ->
+            if matcher vol s1 s2 then [ s2 :: s1 :: rest ] else []
+        | _ -> []);
+  }
+
+let r_rr =
+  swap2 "R-RR" "r1:=x; r2:=y ~> r2:=y; r1:=x" (fun vol s1 s2 ->
+      match (s1, s2) with
+      | Ast.Load (r1, x), Ast.Load (r2, _y) ->
+          (not (Reg.equal r1 r2)) && non_volatile vol x
+      | _ -> false)
+
+let r_ww =
+  swap2 "R-WW" "x:=r1; y:=r2 ~> y:=r2; x:=r1" (fun vol s1 s2 ->
+      match (s1, s2) with
+      | Ast.Store (x, _r1), Ast.Store (y, _r2) ->
+          (not (Location.equal x y)) && non_volatile vol y
+      | _ -> false)
+
+let r_wr =
+  swap2 "R-WR" "x:=r1; r2:=y ~> r2:=y; x:=r1" (fun vol s1 s2 ->
+      match (s1, s2) with
+      | Ast.Store (x, r1), Ast.Load (r2, y) ->
+          (not (Reg.equal r1 r2))
+          && (not (Location.equal x y))
+          && (non_volatile vol x || non_volatile vol y)
+      | _ -> false)
+
+let r_rw =
+  swap2 "R-RW" "r1:=x; y:=r2 ~> y:=r2; r1:=x" (fun vol s1 s2 ->
+      match (s1, s2) with
+      | Ast.Load (r1, x), Ast.Store (y, r2) ->
+          (not (Reg.equal r1 r2))
+          && (not (Location.equal x y))
+          && non_volatile vol x && non_volatile vol y
+      | _ -> false)
+
+let r_wl =
+  swap2 "R-WL" "x:=r; lock m ~> lock m; x:=r" (fun vol s1 s2 ->
+      match (s1, s2) with
+      | Ast.Store (x, _), Ast.Lock _ -> non_volatile vol x
+      | _ -> false)
+
+let r_rl =
+  swap2 "R-RL" "r:=x; lock m ~> lock m; r:=x" (fun vol s1 s2 ->
+      match (s1, s2) with
+      | Ast.Load (_, x), Ast.Lock _ -> non_volatile vol x
+      | _ -> false)
+
+let r_uw =
+  swap2 "R-UW" "unlock m; x:=r ~> x:=r; unlock m" (fun vol s1 s2 ->
+      match (s1, s2) with
+      | Ast.Unlock _, Ast.Store (x, _) -> non_volatile vol x
+      | _ -> false)
+
+let r_ur =
+  swap2 "R-UR" "unlock m; r:=x ~> r:=x; unlock m" (fun vol s1 s2 ->
+      match (s1, s2) with
+      | Ast.Unlock _, Ast.Load (_, x) -> non_volatile vol x
+      | _ -> false)
+
+let r_xr =
+  swap2 "R-XR" "print r1; r2:=x ~> r2:=x; print r1" (fun vol s1 s2 ->
+      match (s1, s2) with
+      | Ast.Print r1, Ast.Load (r2, x) ->
+          (not (Reg.equal r1 r2)) && non_volatile vol x
+      | _ -> false)
+
+let r_xw =
+  swap2 "R-XW" "print r1; x:=r2 ~> x:=r2; print r1" (fun vol s1 s2 ->
+      match (s1, s2) with
+      | Ast.Print _, Ast.Store (x, _) -> non_volatile vol x
+      | _ -> false)
+
+let reorderings =
+  [ r_rr; r_ww; r_wr; r_rw; r_wl; r_rl; r_uw; r_ur; r_xr; r_xw ]
+
+(* Register moves are silent in the trace semantics, so commuting a
+   move with an adjacent statement (respecting register dependencies)
+   is an identity transformation on tracesets — trivially safe (the
+   paper's "trace preserving transformations", section 2.1).  These
+   rules let the window-based rules fire on programs where desugaring
+   interleaved moves between memory accesses. *)
+
+let move_mentions r = function
+  | Ast.Store (_, r') | Ast.Print r' -> Reg.equal r r'
+  | Ast.Load (r', _) -> Reg.equal r r'
+  | Ast.Move (r', o) ->
+      Reg.equal r r' || (match o with Ast.Reg r'' -> Reg.equal r r'' | _ -> false)
+  | Ast.Lock _ | Ast.Unlock _ | Ast.Skip -> false
+  | Ast.Block _ | Ast.If _ | Ast.While _ -> true (* conservative *)
+
+let move_assigns = function
+  | Ast.Load (r, _) | Ast.Move (r, _) -> Some r
+  | _ -> None
+
+let movable_past (r, o) s =
+  (not (move_mentions r s))
+  &&
+  match o with
+  | Ast.Reg src -> (
+      match move_assigns s with
+      | Some r' -> not (Reg.equal r' src)
+      | None -> true)
+  | Ast.Nat _ -> true
+
+let m_fwd =
+  swap2 "M-FWD" "r:=ri; S ~> S; r:=ri  (moves are silent)" (fun _vol s1 s2 ->
+      match s1 with
+      | Ast.Move (r, o) -> movable_past (r, o) s2
+      | _ -> false)
+
+let m_bwd =
+  swap2 "M-BWD" "S; r:=ri ~> r:=ri; S  (moves are silent)" (fun _vol s1 s2 ->
+      match s2 with
+      | Ast.Move (r, o) -> movable_past (r, o) s1
+      | _ -> false)
+
+let moves = [ m_fwd; m_bwd ]
+
+let rec read_locations_stmt = function
+  | Ast.Load (_, l) -> Location.Set.singleton l
+  | Ast.Store _ | Ast.Move _ | Ast.Lock _ | Ast.Unlock _ | Ast.Skip
+  | Ast.Print _ ->
+      Location.Set.empty
+  | Ast.Block body ->
+      List.fold_left
+        (fun acc s -> Location.Set.union acc (read_locations_stmt s))
+        Location.Set.empty body
+  | Ast.If (_, s1, s2) ->
+      Location.Set.union (read_locations_stmt s1) (read_locations_stmt s2)
+  | Ast.While (_, s) -> read_locations_stmt s
+
+let i_ir =
+  {
+    name = "I-IR";
+    descr = "S ~> r:=x; S  (irrelevant read introduction; unsafe in general)";
+    rewrites_at =
+      (fun vol ~ctx l ->
+        if l = [] then []
+        else
+          (* Introduce, ahead of the remaining statements, a read of any
+             non-volatile location they read, into a register fresh for
+             the whole thread ([ctx]) so the value is never used — e.g.
+             a compiler hoisting a loop-invariant load (section 2.1). *)
+          let locs =
+            List.fold_left
+              (fun acc s -> Location.Set.union acc (read_locations_stmt s))
+              Location.Set.empty l
+            |> Location.Set.filter (non_volatile vol)
+          in
+          let _, regs = names_of_run l in
+          let r = Ast.fresh_reg (Reg.Set.union ctx regs) in
+          Location.Set.elements locs
+          |> List.map (fun x -> Ast.Load (r, x) :: l));
+  }
+
+let all = eliminations @ reorderings
+
+let by_name n =
+  List.find_opt
+    (fun r -> String.lowercase_ascii r.name = String.lowercase_ascii n)
+    ((i_ir :: moves) @ all)

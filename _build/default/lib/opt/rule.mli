@@ -1,0 +1,124 @@
+(** Syntactic transformation rules (paper, Figs. 10 and 11).
+
+    A rule rewrites a window at the head of a statement list and
+    returns the whole rewritten list; the engine ({!Transform}) tries
+    every position of every statement list of the program, including
+    inside blocks, conditionals and loop bodies (the Fig. 9 congruence
+    template).
+
+    The three-statement elimination windows [first; S; last] take any
+    {e run} of statements as the middle [S] where the paper has a
+    single statement; this is the same transformation set (wrap the run
+    in a block) and matches how a compiler would use the rules.  Side
+    conditions are the paper's: the middle must be sync-free and must
+    not mention the window's location or registers. *)
+
+open Safeopt_trace
+open Safeopt_lang
+
+type t = {
+  name : string;  (** e.g. "E-RAR" *)
+  descr : string;
+  rewrites_at :
+    Location.Volatile.t -> ctx:Reg.Set.t -> Ast.thread -> Ast.thread list;
+      (** All single rewrites whose window starts at the head of the
+          given list; each result is the full rewritten list.  [ctx] is
+          the register set of the whole enclosing thread (used by rules
+          that need globally fresh registers). *)
+}
+
+val pp : t Fmt.t
+
+(** {1 Fig. 10: eliminations} *)
+
+val e_rar : t
+(** [r1:=x; S; r2:=x  ~>  r1:=x; S; r2:=r1] *)
+
+val e_raw : t
+(** [x:=r1; S; r2:=x  ~>  x:=r1; S; r2:=r1] *)
+
+val e_war : t
+(** [r:=x; S; x:=r  ~>  r:=x; S] *)
+
+val e_wbw : t
+(** [x:=r1; S; x:=r2  ~>  S; x:=r2] *)
+
+val e_ir : t
+(** [r:=x; r:=i  ~>  r:=i] *)
+
+val eliminations : t list
+
+(** {1 Fig. 11: reorderings} *)
+
+val r_rr : t
+(** [r1:=x; r2:=y  ~>  r2:=y; r1:=x]  (r1 <> r2, x not volatile) *)
+
+val r_ww : t
+(** [x:=r1; y:=r2  ~>  y:=r2; x:=r1]  (x <> y, y not volatile) *)
+
+val r_wr : t
+(** [x:=r1; r2:=y  ~>  r2:=y; x:=r1]  (r1 <> r2, x <> y, x or y not
+    volatile) *)
+
+val r_rw : t
+(** [r1:=x; y:=r2  ~>  y:=r2; r1:=x]  (r1 <> r2, x <> y, both not
+    volatile) *)
+
+val r_wl : t
+(** [x:=r; lock m  ~>  lock m; x:=r]  (roach motel) *)
+
+val r_rl : t
+(** [r:=x; lock m  ~>  lock m; r:=x] *)
+
+val r_uw : t
+(** [unlock m; x:=r  ~>  x:=r; unlock m] *)
+
+val r_ur : t
+(** [unlock m; r:=x  ~>  r:=x; unlock m] *)
+
+val r_xr : t
+(** [print r1; r2:=x  ~>  r2:=x; print r1]  (r1 <> r2) *)
+
+val r_xw : t
+(** [print r1; x:=r2  ~>  x:=r2; print r1] *)
+
+val reorderings : t list
+
+(** {1 Beyond Figs. 10-11} *)
+
+val i_ir : t
+(** Irrelevant read {e introduction}: [S ~> r:=x; S] for a dead fresh
+    register [r] — the Fig. 3 transformation that is {b unsafe} in
+    combination with cross-synchronisation read elimination.  Provided
+    to reproduce the paper's limitation example; not in
+    {!eliminations}/{!reorderings}. *)
+
+val m_fwd : t
+val m_bwd : t
+(** Commute a register move with an adjacent dependency-free statement.
+    Moves are silent in the trace semantics, so these are identity
+    transformations on tracesets (trivially safe, section 2.1); they
+    let the window rules fire on programs where desugaring interleaved
+    moves between memory accesses. *)
+
+val moves : t list
+
+val all : t list
+(** {!eliminations} followed by {!reorderings} (not {!i_ir}, not
+    {!moves}). *)
+
+val by_name : string -> t option
+
+(** {1 Helpers shared with the passes} *)
+
+val names_of_run : Ast.stmt list -> Location.Set.t * Reg.Set.t
+(** Locations and registers mentioned by a run of statements. *)
+
+val window_ok :
+  Location.Volatile.t ->
+  Location.t ->
+  Reg.t list ->
+  Ast.stmt list ->
+  bool
+(** The middle of a 3-window is admissible: sync-free, does not mention
+    the location, does not mention any of the registers. *)

@@ -1,0 +1,52 @@
+(** The Fig. 9 congruence engine: apply rules anywhere in a program.
+
+    A {e step} applies one rule instance at one site of one thread (the
+    reflexive-transitive closure of such steps equals the paper's
+    simultaneous relation, since each sub-position may also stay
+    unchanged by T-ID). *)
+
+open Safeopt_trace
+open Safeopt_lang
+
+type step = {
+  rule : string;
+  thread : Thread_id.t;
+  before : Ast.program;
+  after : Ast.program;
+}
+
+val pp_step : step Fmt.t
+
+type chain = step list
+(** Earliest step first; [before] of each step is [after] of the
+    previous. *)
+
+val pp_chain : chain Fmt.t
+
+val thread_rewrites :
+  Rule.t -> Location.Volatile.t -> Ast.thread -> Ast.thread list
+(** All single applications of the rule in one thread: at every
+    position of the top-level list and recursively inside blocks,
+    conditional branches and loop bodies. *)
+
+val program_rewrites : Rule.t list -> Ast.program -> step list
+(** All single-rule single-site successors of a program. *)
+
+val reachable :
+  ?max_programs:int -> Rule.t list -> Ast.program -> Ast.program list
+(** All programs reachable by any composition of the rules (BFS with
+    deduplication).  Includes the program itself. *)
+
+val find_chain :
+  ?max_programs:int ->
+  Rule.t list ->
+  source:Ast.program ->
+  target:Ast.program ->
+  chain option
+(** A rule chain rewriting [source] into [target], if one is reachable
+    within the budget. *)
+
+val apply_named : string -> Ast.program -> (Ast.program, string) Result.t
+(** Apply the first available instance of the named rule ([Rule.by_name])
+    anywhere in the program; [Error] if the rule is unknown or does not
+    apply. *)

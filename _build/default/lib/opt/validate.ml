@@ -1,0 +1,139 @@
+open Safeopt_trace
+open Safeopt_lang
+open Safeopt_exec
+
+type relation =
+  | Unchecked
+  | Elimination
+  | Reordering
+  | Elimination_then_reordering
+
+let pp_relation ppf = function
+  | Unchecked -> Fmt.string ppf "unchecked"
+  | Elimination -> Fmt.string ppf "elimination"
+  | Reordering -> Fmt.string ppf "reordering"
+  | Elimination_then_reordering ->
+      Fmt.string ppf "elimination-then-reordering"
+
+type report = {
+  original_drf : bool;
+  transformed_drf : bool;
+  new_behaviour : Behaviour.t option;
+  race_witness : Interleaving.t option;
+  relation : relation;
+  relation_holds : bool option;
+  relation_counterexample : Trace.t option;
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<v>original DRF: %b@ transformed DRF: %b@ new behaviour: %a@ relation \
+     (%a): %a@]"
+    r.original_drf r.transformed_drf
+    Fmt.(option ~none:(any "none") Behaviour.pp)
+    r.new_behaviour pp_relation r.relation
+    Fmt.(option ~none:(any "n/a") bool)
+    r.relation_holds;
+  Option.iter
+    (fun t -> Fmt.pf ppf "@ unwitnessed trace: %a" Trace.pp t)
+    r.relation_counterexample
+
+let behaviours_ok r =
+  (not r.original_drf) || (r.transformed_drf && Option.is_none r.new_behaviour)
+
+let ok r =
+  behaviours_ok r
+  && match r.relation_holds with None -> true | Some b -> b
+
+let validate_with ?fuel ?max_states ~relation ~relation_check ~original
+    ~transformed () =
+  let b_orig = Interp.behaviours ?fuel ?max_states original in
+  let b_trans = Interp.behaviours ?fuel ?max_states transformed in
+  let new_behaviour = Safeopt_core.Safety.behaviour_subset b_trans b_orig in
+  let original_drf = Interp.is_drf ?fuel ?max_states original in
+  let race_witness = Interp.find_race ?fuel ?max_states transformed in
+  let relation_holds, relation_counterexample = relation_check () in
+  {
+    original_drf;
+    transformed_drf = Option.is_none race_witness;
+    new_behaviour;
+    race_witness;
+    relation;
+    relation_holds;
+    relation_counterexample;
+  }
+
+let validate ?fuel ?max_states ~original ~transformed () =
+  validate_with ?fuel ?max_states ~relation:Unchecked
+    ~relation_check:(fun () -> (None, None))
+    ~original ~transformed ()
+
+let validate_semantic ?fuel ?max_states ?(max_len = 12) ~relation ~original
+    ~transformed () =
+  let universe = Denote.joint_universe [ original; transformed ] in
+  let vol = original.Ast.volatile in
+  let relation_check () =
+    match relation with
+    | Unchecked -> (None, None)
+    | _ ->
+        let ts_trans = Denote.traceset ~universe ~max_len transformed in
+        let orig_len = max_len + Ast.program_size original + 1 in
+        let ts_orig = Denote.traceset ~universe ~max_len:orig_len original in
+        let cex =
+          match relation with
+          | Unchecked -> None
+          | Elimination ->
+              Safeopt_core.Elimination.find_unwitnessed vol ~original:ts_orig
+                ~universe ~transformed:ts_trans
+          | Reordering ->
+              Safeopt_core.Reorder.find_undepermutable vol
+                ~mem:(fun t -> Traceset.mem t ts_orig)
+                ~transformed:ts_trans
+          | Elimination_then_reordering ->
+              let memo = Hashtbl.create 97 in
+              let mem t =
+                let k = Trace.to_string t in
+                match Hashtbl.find_opt memo k with
+                | Some b -> b
+                | None ->
+                    let b =
+                      Safeopt_core.Elimination.is_member vol
+                        ~original:ts_orig ~universe t
+                    in
+                    Hashtbl.add memo k b;
+                    b
+              in
+              Safeopt_core.Reorder.find_undepermutable vol ~mem
+                ~transformed:ts_trans
+        in
+        (Some (Option.is_none cex), cex)
+  in
+  validate_with ?fuel ?max_states ~relation ~relation_check ~original
+    ~transformed ()
+
+type chain_report = { pairwise : report list; end_to_end : report }
+
+let pp_chain_report ppf c =
+  List.iteri
+    (fun i r -> Fmt.pf ppf "@[<v2>step %d -> %d:@ %a@]@ " i (i + 1) pp_report r)
+    c.pairwise;
+  Fmt.pf ppf "@[<v2>end to end:@ %a@]" pp_report c.end_to_end
+
+let chain_ok c = List.for_all ok c.pairwise && ok c.end_to_end
+
+let validate_chain ?fuel ?max_states programs =
+  match programs with
+  | [] -> invalid_arg "Validate.validate_chain: empty chain"
+  | first :: _ ->
+      let rec pairs = function
+        | a :: (b :: _ as rest) ->
+            validate ?fuel ?max_states ~original:a ~transformed:b ()
+            :: pairs rest
+        | _ -> []
+      in
+      let last = List.nth programs (List.length programs - 1) in
+      {
+        pairwise = pairs programs;
+        end_to_end =
+          validate ?fuel ?max_states ~original:first ~transformed:last ();
+      }

@@ -1,0 +1,93 @@
+(** Program-level validation of transformations (the tool face of
+    Theorems 1-5).
+
+    Given an original program and a candidate transformation of it,
+    check by exhaustive enumeration:
+    - data race freedom of both programs,
+    - inclusion of observable behaviours, and
+    - optionally, that the transformation is justified semantically: the
+      bounded denotation of the transformed program is related to the
+      original's by elimination, reordering, or elimination followed by
+      reordering (Lemma 5's composition).
+
+    The headline predicate {!ok} is the DRF guarantee: {e if} the
+    original is DRF, the transformed program must be DRF and add no
+    behaviours.  For racy originals the guarantee is vacuous, but
+    {!report.new_behaviour} still tells you what changed. *)
+
+open Safeopt_trace
+open Safeopt_lang
+open Safeopt_exec
+
+type relation =
+  | Unchecked
+  | Elimination
+  | Reordering
+  | Elimination_then_reordering
+
+val pp_relation : relation Fmt.t
+
+type report = {
+  original_drf : bool;
+  transformed_drf : bool;
+  new_behaviour : Behaviour.t option;
+      (** a behaviour of the transformed program the original lacks *)
+  race_witness : Interleaving.t option;
+      (** a racy execution of the transformed program when the original
+          is DRF but the transformed is not *)
+  relation : relation;
+  relation_holds : bool option;  (** [None] when [Unchecked] *)
+  relation_counterexample : Trace.t option;
+      (** when a relation check fails: a transformed trace with no
+          witness (no eliminable embedding / no de-permuting function) *)
+}
+
+val pp_report : report Fmt.t
+
+val ok : report -> bool
+(** [original_drf] implies ([transformed_drf] and no new behaviour);
+    and the relation check, if performed, succeeded. *)
+
+val behaviours_ok : report -> bool
+(** The DRF-guarantee part alone. *)
+
+val validate :
+  ?fuel:int ->
+  ?max_states:int ->
+  original:Ast.program ->
+  transformed:Ast.program ->
+  unit ->
+  report
+(** Interpreter-level checks only ([relation = Unchecked]). *)
+
+type chain_report = {
+  pairwise : report list;  (** adjacent pairs, in order *)
+  end_to_end : report;  (** first program vs last *)
+}
+
+val pp_chain_report : chain_report Fmt.t
+
+val chain_ok : chain_report -> bool
+(** Every pairwise report and the end-to-end report satisfy {!ok} —
+    the paper's main composition result: a finite chain of safe
+    transformations starting from a DRF program adds no behaviours. *)
+
+val validate_chain :
+  ?fuel:int -> ?max_states:int -> Ast.program list -> chain_report
+(** Validate a chain of at least one program ([relation = Unchecked]
+    per pair).
+    @raise Invalid_argument on an empty chain. *)
+
+val validate_semantic :
+  ?fuel:int ->
+  ?max_states:int ->
+  ?max_len:int ->
+  relation:relation ->
+  original:Ast.program ->
+  transformed:Ast.program ->
+  unit ->
+  report
+(** Additionally check the claimed traceset relation on the programs'
+    bounded denotations ([max_len], default 12, bounds trace length;
+    both denotations use their joint value universe).  Expensive —
+    intended for litmus-sized programs. *)

@@ -1,0 +1,1 @@
+lib/trace/action.ml: Fmt Hashtbl Int Location Monitor Thread_id Value

@@ -1,0 +1,1 @@
+lib/trace/action.mli: Fmt Location Monitor Thread_id Value

@@ -1,0 +1,1 @@
+lib/trace/location.ml: Fmt Hashtbl Map Set String

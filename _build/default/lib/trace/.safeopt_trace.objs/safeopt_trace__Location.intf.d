@@ -1,0 +1,1 @@
+lib/trace/location.mli: Fmt Map Set

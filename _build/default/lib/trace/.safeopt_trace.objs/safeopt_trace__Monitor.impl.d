@@ -1,0 +1,1 @@
+lib/trace/monitor.ml: Fmt Hashtbl Map String

@@ -1,0 +1,1 @@
+lib/trace/monitor.mli: Fmt Map

@@ -1,0 +1,1 @@
+lib/trace/syntax.ml: Action Fmt List String Wildcard

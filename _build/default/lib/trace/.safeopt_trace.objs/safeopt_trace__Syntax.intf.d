@@ -1,0 +1,1 @@
+lib/trace/syntax.mli: Action Trace Wildcard

@@ -1,0 +1,1 @@
+lib/trace/thread_id.ml: Fmt Hashtbl Int

@@ -1,0 +1,1 @@
+lib/trace/thread_id.mli: Fmt

@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Action Fmt Fun Int List Location Monitor Option Printf

@@ -1,0 +1,1 @@
+lib/trace/trace.mli: Action Fmt Location Monitor Value

@@ -1,0 +1,1 @@
+lib/trace/traceset.ml: Action Fmt Int List Location Seq Set Thread_id Trace Value Wildcard

@@ -1,0 +1,1 @@
+lib/trace/traceset.mli: Fmt Location Thread_id Trace Value Wildcard

@@ -1,0 +1,1 @@
+lib/trace/wildcard.ml: Action Fmt Int List Location Seq Value

@@ -1,0 +1,1 @@
+lib/trace/wildcard.mli: Action Fmt Location Seq Trace Value

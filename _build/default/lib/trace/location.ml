@@ -1,0 +1,22 @@
+type t = string
+
+let equal = String.equal
+let compare = String.compare
+let hash (l : t) = Hashtbl.hash l
+let pp = Fmt.string
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)
+
+module Volatile = struct
+  type t = Set.t
+
+  let none = Set.empty
+  let of_list = Set.of_list
+  let to_list = Set.elements
+  let mem vs l = Set.mem l vs
+  let add = Set.add
+  let is_empty = Set.is_empty
+  let equal = Set.equal
+  let pp ppf vs = Fmt.(braces (list ~sep:comma string)) ppf (Set.elements vs)
+end

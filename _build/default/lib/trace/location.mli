@@ -1,0 +1,37 @@
+(** Shared-memory locations.
+
+    Locations are named; in the paper's examples they are the variables
+    [x], [y], [z], ...  A location is either {e normal} or {e volatile};
+    volatility is not a property of the location name itself but of the
+    program it occurs in (paper, section 2: "the set of volatile locations
+    should be part of a program"), so it is carried separately as a
+    {!Volatile.t} set. *)
+
+type t = string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : t Fmt.t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+(** The set of volatile locations of a program. *)
+module Volatile : sig
+  type location := t
+
+  type t
+  (** An immutable set of location names designated volatile. *)
+
+  val none : t
+  (** No location is volatile (the default in the paper's examples). *)
+
+  val of_list : location list -> t
+  val to_list : t -> location list
+  val mem : t -> location -> bool
+  val add : location -> t -> t
+  val is_empty : t -> bool
+  val equal : t -> t -> bool
+  val pp : t Fmt.t
+end

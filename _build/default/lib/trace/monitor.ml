@@ -1,0 +1,8 @@
+type t = string
+
+let equal = String.equal
+let compare = String.compare
+let hash (m : t) = Hashtbl.hash m
+let pp = Fmt.string
+
+module Map = Map.Make (String)

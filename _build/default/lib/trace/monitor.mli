@@ -1,0 +1,10 @@
+(** Monitor (lock) names, ranged over by [m], [m1], [m2] in the paper. *)
+
+type t = string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : t Fmt.t
+
+module Map : Map.S with type key = t

@@ -1,0 +1,146 @@
+type pos = int
+
+exception Error of pos * string
+
+type state = { src : string; mutable pos : int }
+
+let err st fmt = Fmt.kstr (fun m -> raise (Error (st.pos, m))) fmt
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  skip_ws st;
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> err st "expected %C, found %C" c c'
+  | None -> err st "expected %C, found end of input" c
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_'
+
+let ident st =
+  skip_ws st;
+  let start = st.pos in
+  let rec go () =
+    match peek st with
+    | Some c when is_ident_char c ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  if st.pos = start then err st "expected an identifier"
+  else String.sub st.src start (st.pos - start)
+
+let number st =
+  skip_ws st;
+  let start = st.pos in
+  let rec go () =
+    match peek st with
+    | Some c when c >= '0' && c <= '9' ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  if st.pos = start then err st "expected a number"
+  else int_of_string (String.sub st.src start (st.pos - start))
+
+(* R[x=1] or R[x=*], W[x=1], L[m], U[m], X(1), S(0) *)
+let element st : Wildcard.elt =
+  skip_ws st;
+  match peek st with
+  | Some ('R' | 'r') ->
+      advance st;
+      expect st '[';
+      let l = ident st in
+      expect st '=';
+      skip_ws st;
+      let e =
+        match peek st with
+        | Some '*' ->
+            advance st;
+            Wildcard.Wild_read l
+        | _ -> Wildcard.Concrete (Action.Read (l, number st))
+      in
+      expect st ']';
+      e
+  | Some ('W' | 'w') ->
+      advance st;
+      expect st '[';
+      let l = ident st in
+      expect st '=';
+      let v = number st in
+      expect st ']';
+      Wildcard.Concrete (Action.Write (l, v))
+  | Some ('L' | 'l') ->
+      advance st;
+      expect st '[';
+      let m = ident st in
+      expect st ']';
+      Wildcard.Concrete (Action.Lock m)
+  | Some ('U' | 'u') ->
+      advance st;
+      expect st '[';
+      let m = ident st in
+      expect st ']';
+      Wildcard.Concrete (Action.Unlock m)
+  | Some ('X' | 'x') ->
+      advance st;
+      expect st '(';
+      let v = number st in
+      expect st ')';
+      Wildcard.Concrete (Action.External v)
+  | Some ('S' | 's') ->
+      advance st;
+      expect st '(';
+      let t = number st in
+      expect st ')';
+      Wildcard.Concrete (Action.Start t)
+  | Some c -> err st "expected an action (R/W/L/U/X/S), found %C" c
+  | None -> err st "expected an action, found end of input"
+
+let parse_wildcard src : Wildcard.t =
+  let st = { src; pos = 0 } in
+  skip_ws st;
+  (match peek st with Some '[' -> advance st | _ -> ());
+  let rec elements acc =
+    skip_ws st;
+    match peek st with
+    | None | Some ']' -> List.rev acc
+    | Some (';' | ',') ->
+        advance st;
+        elements acc
+    | Some _ -> elements (element st :: acc)
+  in
+  let es = elements [] in
+  skip_ws st;
+  (match peek st with Some ']' -> advance st | _ -> ());
+  skip_ws st;
+  (match peek st with
+  | None -> ()
+  | Some c -> err st "trailing input starting with %C" c);
+  es
+
+let parse_trace src =
+  let w = parse_wildcard src in
+  match Wildcard.to_trace w with
+  | Some t -> t
+  | None -> raise (Error (0, "wildcard reads are not allowed here"))
+
+let parse_action src =
+  match parse_wildcard src with
+  | [ Wildcard.Concrete a ] -> a
+  | [ Wildcard.Wild_read _ ] ->
+      raise (Error (0, "wildcard reads are not allowed here"))
+  | _ -> raise (Error (0, "expected exactly one action"))

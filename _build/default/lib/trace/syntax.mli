@@ -1,0 +1,21 @@
+(** Parser for the paper's trace notation.
+
+    Accepts the exact notation the library prints:
+    {v S(0); R[x=1]; W[y=0]; L[m]; U[m]; X(2); R[z=*] v}
+    with [;] or [,] separators and optional surrounding brackets.
+    [R\[l=*\]] denotes a wildcard read.  Inverse of {!Wildcard.pp} /
+    {!Trace.pp} (round-trip tested). *)
+
+type pos = int
+(** Character offset of an error. *)
+
+exception Error of pos * string
+
+val parse_wildcard : string -> Wildcard.t
+(** @raise Error on malformed input. *)
+
+val parse_trace : string -> Trace.t
+(** As {!parse_wildcard}, but wildcards are rejected. *)
+
+val parse_action : string -> Action.t
+(** A single action. *)

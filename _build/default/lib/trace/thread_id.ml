@@ -1,0 +1,6 @@
+type t = int
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Int.compare a b
+let hash (t : t) = Hashtbl.hash t
+let pp = Fmt.int

@@ -1,0 +1,12 @@
+(** Thread identifiers.
+
+    The paper creates threads statically and uses thread identifiers as
+    entry points (section 3), so a thread id is just the index of the
+    thread in the parallel composition. *)
+
+type t = int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : t Fmt.t

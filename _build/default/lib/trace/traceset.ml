@@ -1,0 +1,81 @@
+module S = Set.Make (struct
+  type t = Trace.t
+
+  let compare = Trace.compare
+end)
+
+type t = S.t
+
+let empty = S.add [] S.empty
+let is_empty s = S.is_empty (S.remove [] s)
+let cardinal = S.cardinal
+let mem t s = S.mem t s
+
+let add t s =
+  List.fold_left (fun s p -> S.add p s) s (Trace.prefixes t)
+
+let union = S.union
+let equal = S.equal
+let subset = S.subset
+let of_list ts = List.fold_left (fun s t -> add t s) empty ts
+
+let to_list s =
+  S.elements s
+  |> List.sort (fun a b ->
+         let c = Int.compare (Trace.length a) (Trace.length b) in
+         if c <> 0 then c else Trace.compare a b)
+
+let maximal s =
+  S.elements s
+  |> List.filter (fun t ->
+         not (S.exists (fun t' -> Trace.is_strict_prefix t t') s))
+
+let elements_of_thread tid s =
+  S.elements s
+  |> List.filter (fun t ->
+         match t with
+         | Action.Start tid' :: _ -> Thread_id.equal tid tid'
+         | _ -> false)
+
+let thread_ids s =
+  S.fold
+    (fun t acc ->
+      match t with
+      | Action.Start tid :: _ when not (List.mem tid acc) -> tid :: acc
+      | _ -> acc)
+    s []
+  |> List.sort Thread_id.compare
+
+let filter p s = of_list (List.filter p (S.elements s))
+let map_traces f s = of_list (List.map f (S.elements s))
+let iter f s = S.iter f s
+let fold f s init = S.fold f s init
+let pp ppf s = Fmt.(braces (list ~sep:semi Trace.pp)) ppf (to_list s)
+
+let prefix_closed s =
+  S.for_all
+    (fun t -> List.for_all (fun p -> S.mem p s) (Trace.prefixes t))
+    s
+
+let well_locked s = S.for_all Trace.well_locked s
+let properly_started s = S.for_all Trace.properly_started s
+let well_formed s = prefix_closed s && well_locked s && properly_started s
+
+let belongs_to s w ~universe =
+  if Wildcard.wildcard_count w = 0 then
+    match Wildcard.to_trace w with Some t -> mem t s | None -> false
+  else Seq.for_all (fun t -> mem t s) (Wildcard.instances ~universe w)
+
+let locations s =
+  S.fold (fun t acc -> Location.Set.union (Trace.locations t) acc) s
+    Location.Set.empty
+
+let values s =
+  S.fold
+    (fun t acc ->
+      List.fold_left
+        (fun acc a ->
+          match Action.value a with Some v -> v :: acc | None -> acc)
+        acc t)
+    s []
+  |> List.sort_uniq Value.compare

@@ -1,0 +1,9 @@
+type t = int
+
+let default = 0
+let is_default v = v = default
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Int.compare a b
+let hash (v : t) = Hashtbl.hash v
+let pp = Fmt.int
+let to_string = string_of_int

@@ -1,0 +1,19 @@
+(** Values manipulated by programs and carried by memory actions.
+
+    The paper's language (Fig. 6) computes over natural numbers with
+    equality tests only; we model values as OCaml [int]s.  Every memory
+    location is zero-initialised, so [default] is [0] (paper, section 2). *)
+
+type t = int
+
+val default : t
+(** The default (initial) value of every location: [0]. *)
+
+val is_default : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : t Fmt.t
+val to_string : t -> string

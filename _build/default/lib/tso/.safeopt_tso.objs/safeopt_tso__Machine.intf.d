@@ -1,0 +1,1 @@
+lib/tso/machine.mli: Ast Behaviour Location Safeopt_exec Safeopt_lang Safeopt_trace System

@@ -1,0 +1,1 @@
+lib/tso/robustness.ml: Action Ast Behaviour Interleaving Interp List Location Machine Safeopt_exec Safeopt_lang Safeopt_trace

@@ -1,0 +1,1 @@
+lib/tso/robustness.mli: Ast Location Safeopt_lang Safeopt_trace

@@ -1,0 +1,189 @@
+open Safeopt_trace
+open Safeopt_exec
+open Safeopt_lang
+
+type 'ts state = {
+  threads : 'ts array;
+  buffers : (Location.t * Value.t) list array;  (** newest first *)
+  mem : Value.t Location.Map.t;
+  locks : (Thread_id.t * int) Monitor.Map.t;
+}
+
+let state_key sys st =
+  let b = Buffer.create 64 in
+  Array.iter
+    (fun ts ->
+      Buffer.add_string b (sys.System.key ts);
+      Buffer.add_char b '\x00')
+    st.threads;
+  Buffer.add_char b '\x01';
+  Array.iter
+    (fun buf ->
+      List.iter
+        (fun (l, v) -> Buffer.add_string b (Printf.sprintf "%s=%d," l v))
+        buf;
+      Buffer.add_char b '\x00')
+    st.buffers;
+  Buffer.add_char b '\x01';
+  Location.Map.iter
+    (fun l v -> Buffer.add_string b (Printf.sprintf "%s=%d;" l v))
+    st.mem;
+  Buffer.add_char b '\x01';
+  Monitor.Map.iter
+    (fun m (o, d) -> Buffer.add_string b (Printf.sprintf "%s=%d,%d;" m o d))
+    st.locks;
+  Buffer.contents b
+
+let read_value st tid l =
+  (* Store-to-load forwarding: newest buffered write to [l] wins. *)
+  match List.find_opt (fun (l', _) -> Location.equal l l') st.buffers.(tid) with
+  | Some (_, v) -> Some v
+  | None -> Location.Map.find_opt l st.mem
+
+(* Transitions: Some action for thread steps, None for buffer drains
+   (invisible). *)
+let transitions vol sys st =
+  let out = ref [] in
+  (* Drain steps. *)
+  Array.iteri
+    (fun tid buf ->
+      match List.rev buf with
+      | [] -> ()
+      | (l, v) :: _older_rev ->
+          let buffers = Array.copy st.buffers in
+          buffers.(tid) <- List.filteri (fun i _ -> i < List.length buf - 1) buf;
+          out :=
+            (None, { st with buffers; mem = Location.Map.add l v st.mem })
+            :: !out)
+    st.buffers;
+  (* Thread steps. *)
+  Array.iteri
+    (fun tid ts ->
+      let buffer_empty = st.buffers.(tid) = [] in
+      List.iter
+        (fun step ->
+          match step with
+          | System.Read (l, k) -> (
+              let v =
+                Option.value ~default:Value.default (read_value st tid l)
+              in
+              match k v with
+              | Some ts' ->
+                  let threads = Array.copy st.threads in
+                  threads.(tid) <- ts';
+                  out := (Some (Action.Read (l, v)), { st with threads }) :: !out
+              | None -> ())
+          | System.Emit (a, ts') -> (
+              let commit st' =
+                let threads = Array.copy st'.threads in
+                threads.(tid) <- ts';
+                out := (Some a, { st' with threads }) :: !out
+              in
+              match a with
+              | Action.Read _ ->
+                  invalid_arg "Tso: reads must use System.Read steps"
+              | Action.Write (l, v) ->
+                  if Location.Volatile.mem vol l then begin
+                    (* Fencing write: needs an empty buffer, goes
+                       straight to memory. *)
+                    if buffer_empty then
+                      commit { st with mem = Location.Map.add l v st.mem }
+                  end
+                  else begin
+                    let buffers = Array.copy st.buffers in
+                    buffers.(tid) <- (l, v) :: st.buffers.(tid);
+                    commit { st with buffers }
+                  end
+              | Action.Lock m ->
+                  if buffer_empty then (
+                    match Monitor.Map.find_opt m st.locks with
+                    | None ->
+                        commit
+                          { st with locks = Monitor.Map.add m (tid, 1) st.locks }
+                    | Some (owner, d) when Thread_id.equal owner tid ->
+                        commit
+                          {
+                            st with
+                            locks = Monitor.Map.add m (tid, d + 1) st.locks;
+                          }
+                    | Some _ -> ())
+              | Action.Unlock m ->
+                  if buffer_empty then (
+                    match Monitor.Map.find_opt m st.locks with
+                    | Some (owner, d) when Thread_id.equal owner tid ->
+                        let locks =
+                          if d = 1 then Monitor.Map.remove m st.locks
+                          else Monitor.Map.add m (tid, d - 1) st.locks
+                        in
+                        commit { st with locks }
+                    | _ -> ())
+              | Action.External _ | Action.Start _ -> commit st))
+        (sys.System.steps ts))
+    st.threads;
+  List.rev !out
+
+let behaviours ?(max_states = Enumerate.default_max_states) vol sys =
+  let memo : (string, Behaviour.Set.t) Hashtbl.t = Hashtbl.create 997 in
+  let on_stack : (string, unit) Hashtbl.t = Hashtbl.create 97 in
+  let count = ref 0 in
+  let rec go st =
+    let k = state_key sys st in
+    match Hashtbl.find_opt memo k with
+    | Some s -> s
+    | None ->
+        if Hashtbl.mem on_stack k then raise Enumerate.Cyclic;
+        Hashtbl.add on_stack k ();
+        incr count;
+        if !count > max_states then raise (Enumerate.Too_many_states !count);
+        let s =
+          List.fold_left
+            (fun acc (a, st') ->
+              let sub = go st' in
+              let sub =
+                match a with
+                | Some (Action.External v) ->
+                    Behaviour.Set.map (fun b -> v :: b) sub
+                | _ -> sub
+              in
+              Behaviour.Set.union acc sub)
+            (Behaviour.Set.singleton [])
+            (transitions vol sys st)
+        in
+        Hashtbl.remove on_stack k;
+        Hashtbl.replace memo k s;
+        s
+  in
+  go
+    {
+      threads = Array.of_list sys.System.initial;
+      buffers = Array.make (List.length sys.System.initial) [];
+      mem = Location.Map.empty;
+      locks = Monitor.Map.empty;
+    }
+
+let program_behaviours ?fuel ?max_states (p : Ast.program) =
+  behaviours ?max_states p.Ast.volatile (Thread_system.make ?fuel p)
+
+let weak_behaviours ?fuel ?max_states p =
+  let tso = program_behaviours ?fuel ?max_states p in
+  let sc = Interp.behaviours ?fuel ?max_states p in
+  Behaviour.Set.diff tso sc
+
+let explained_by_transformations ?fuel ?max_states ?(max_programs = 2_000) p =
+  let tso = program_behaviours ?fuel ?max_states p in
+  let rules =
+    (* the silent move-commutation rules only make desugared stores
+       adjacent; they are identity transformations on tracesets *)
+    Safeopt_opt.Rule.moves
+    @ List.filter_map Safeopt_opt.Rule.by_name [ "R-WR"; "E-RAW" ]
+  in
+  let reachable =
+    Safeopt_opt.Transform.reachable ~max_programs rules p
+  in
+  let sc_union =
+    List.fold_left
+      (fun acc q ->
+        Behaviour.Set.union acc (Interp.behaviours ?fuel ?max_states q))
+      Behaviour.Set.empty reachable
+  in
+  (tso, sc_union, Behaviour.Set.subset tso sc_union)

@@ -1,0 +1,203 @@
+open Safeopt_trace
+open Safeopt_exec
+open Safeopt_lang
+
+(* Per-thread, per-location FIFO buffers; list newest-first. *)
+type 'ts state = {
+  threads : 'ts array;
+  buffers : Value.t list Location.Map.t array;
+  mem : Value.t Location.Map.t;
+  locks : (Thread_id.t * int) Monitor.Map.t;
+}
+
+let state_key sys st =
+  let b = Buffer.create 64 in
+  Array.iter
+    (fun ts ->
+      Buffer.add_string b (sys.System.key ts);
+      Buffer.add_char b '\x00')
+    st.threads;
+  Buffer.add_char b '\x01';
+  Array.iter
+    (fun bufs ->
+      Location.Map.iter
+        (fun l vs ->
+          Buffer.add_string b l;
+          Buffer.add_char b '=';
+          List.iter (fun v -> Buffer.add_string b (string_of_int v ^ ",")) vs;
+          Buffer.add_char b ';')
+        bufs;
+      Buffer.add_char b '\x00')
+    st.buffers;
+  Buffer.add_char b '\x01';
+  Location.Map.iter
+    (fun l v -> Buffer.add_string b (Printf.sprintf "%s=%d;" l v))
+    st.mem;
+  Buffer.add_char b '\x01';
+  Monitor.Map.iter
+    (fun m (o, d) -> Buffer.add_string b (Printf.sprintf "%s=%d,%d;" m o d))
+    st.locks;
+  Buffer.contents b
+
+let buffer_of st tid l =
+  Option.value ~default:[] (Location.Map.find_opt l st.buffers.(tid))
+
+let buffers_empty st tid = Location.Map.for_all (fun _ vs -> vs = []) st.buffers.(tid)
+
+let read_value st tid l =
+  match buffer_of st tid l with
+  | v :: _ -> v (* newest pending write to l *)
+  | [] -> Option.value ~default:Value.default (Location.Map.find_opt l st.mem)
+
+let transitions vol sys st =
+  let out = ref [] in
+  (* Drain: the oldest entry of any per-location queue. *)
+  Array.iteri
+    (fun tid bufs ->
+      Location.Map.iter
+        (fun l vs ->
+          match List.rev vs with
+          | [] -> ()
+          | oldest :: _ ->
+              let vs' = List.filteri (fun i _ -> i < List.length vs - 1) vs in
+              let buffers = Array.copy st.buffers in
+              buffers.(tid) <-
+                (if vs' = [] then Location.Map.remove l bufs
+                 else Location.Map.add l vs' bufs);
+              out :=
+                (None, { st with buffers; mem = Location.Map.add l oldest st.mem })
+                :: !out)
+        bufs)
+    st.buffers;
+  (* Thread steps. *)
+  Array.iteri
+    (fun tid ts ->
+      List.iter
+        (fun step ->
+          match step with
+          | System.Read (l, k) -> (
+              let v = read_value st tid l in
+              match k v with
+              | Some ts' ->
+                  let threads = Array.copy st.threads in
+                  threads.(tid) <- ts';
+                  out := (Some (Action.Read (l, v)), { st with threads }) :: !out
+              | None -> ())
+          | System.Emit (a, ts') -> (
+              let commit st' =
+                let threads = Array.copy st'.threads in
+                threads.(tid) <- ts';
+                out := (Some a, { st' with threads }) :: !out
+              in
+              match a with
+              | Action.Read _ ->
+                  invalid_arg "Pso: reads must use System.Read steps"
+              | Action.Write (l, v) ->
+                  if Location.Volatile.mem vol l then begin
+                    if buffers_empty st tid then
+                      commit { st with mem = Location.Map.add l v st.mem }
+                  end
+                  else begin
+                    let buffers = Array.copy st.buffers in
+                    buffers.(tid) <-
+                      Location.Map.add l (v :: buffer_of st tid l)
+                        st.buffers.(tid);
+                    commit { st with buffers }
+                  end
+              | Action.Lock m ->
+                  if buffers_empty st tid then (
+                    match Monitor.Map.find_opt m st.locks with
+                    | None ->
+                        commit
+                          { st with locks = Monitor.Map.add m (tid, 1) st.locks }
+                    | Some (owner, d) when Thread_id.equal owner tid ->
+                        commit
+                          {
+                            st with
+                            locks = Monitor.Map.add m (tid, d + 1) st.locks;
+                          }
+                    | Some _ -> ())
+              | Action.Unlock m ->
+                  if buffers_empty st tid then (
+                    match Monitor.Map.find_opt m st.locks with
+                    | Some (owner, d) when Thread_id.equal owner tid ->
+                        let locks =
+                          if d = 1 then Monitor.Map.remove m st.locks
+                          else Monitor.Map.add m (tid, d - 1) st.locks
+                        in
+                        commit { st with locks }
+                    | _ -> ())
+              | Action.External _ | Action.Start _ -> commit st))
+        (sys.System.steps ts))
+    st.threads;
+  List.rev !out
+
+let behaviours ?(max_states = Enumerate.default_max_states) vol sys =
+  let memo : (string, Behaviour.Set.t) Hashtbl.t = Hashtbl.create 997 in
+  let on_stack : (string, unit) Hashtbl.t = Hashtbl.create 97 in
+  let count = ref 0 in
+  let rec go st =
+    let k = state_key sys st in
+    match Hashtbl.find_opt memo k with
+    | Some s -> s
+    | None ->
+        if Hashtbl.mem on_stack k then raise Enumerate.Cyclic;
+        Hashtbl.add on_stack k ();
+        incr count;
+        if !count > max_states then raise (Enumerate.Too_many_states !count);
+        let s =
+          List.fold_left
+            (fun acc (a, st') ->
+              let sub = go st' in
+              let sub =
+                match a with
+                | Some (Action.External v) ->
+                    Behaviour.Set.map (fun b -> v :: b) sub
+                | _ -> sub
+              in
+              Behaviour.Set.union acc sub)
+            (Behaviour.Set.singleton [])
+            (transitions vol sys st)
+        in
+        Hashtbl.remove on_stack k;
+        Hashtbl.replace memo k s;
+        s
+  in
+  go
+    {
+      threads = Array.of_list sys.System.initial;
+      buffers =
+        Array.make (List.length sys.System.initial) Location.Map.empty;
+      mem = Location.Map.empty;
+      locks = Monitor.Map.empty;
+    }
+
+let program_behaviours ?fuel ?max_states (p : Ast.program) =
+  behaviours ?max_states p.Ast.volatile (Thread_system.make ?fuel p)
+
+let weak_behaviours ?fuel ?max_states p =
+  Behaviour.Set.diff
+    (program_behaviours ?fuel ?max_states p)
+    (Interp.behaviours ?fuel ?max_states p)
+
+let weak_beyond_tso ?fuel ?max_states p =
+  Behaviour.Set.diff
+    (program_behaviours ?fuel ?max_states p)
+    (Machine.program_behaviours ?fuel ?max_states p)
+
+let explained_by_transformations ?fuel ?max_states ?(max_programs = 2_000) p =
+  let pso = program_behaviours ?fuel ?max_states p in
+  let rules =
+    (* the silent move-commutation rules only make desugared stores
+       adjacent; they are identity transformations on tracesets *)
+    Safeopt_opt.Rule.moves
+    @ List.filter_map Safeopt_opt.Rule.by_name [ "R-WW"; "R-WR"; "E-RAW" ]
+  in
+  let reachable = Safeopt_opt.Transform.reachable ~max_programs rules p in
+  let sc_union =
+    List.fold_left
+      (fun acc q ->
+        Behaviour.Set.union acc (Interp.behaviours ?fuel ?max_states q))
+      Behaviour.Set.empty reachable
+  in
+  (pso, sc_union, Behaviour.Set.subset pso sc_union)

@@ -1,0 +1,28 @@
+  $ drfopt matrix
+  $ drfopt eliminable "S(0); W[x=1]; R[y=*]; R[x=1]; X(1); L[m]; W[x=2]; W[x=1]; U[m]"
+  $ cat > mp.lit <<'PROG'
+  > volatile flag;
+  > thread { data := 1; flag := 1; }
+  > thread { r1 := flag; if (r1 == 1) { r2 := data; print r2; } }
+  > PROG
+  $ drfopt run mp.lit | tail -3
+  $ drfopt drf mp.lit
+  $ cat > relay.lit <<'PROG'
+  > thread { r1 := x; y := r1; }
+  > PROG
+  $ drfopt denote relay.lit
+  $ cat > rar.lit <<'PROG'
+  > thread { r1 := x; r2 := x; print r2; }
+  > PROG
+  $ drfopt transform rar.lit --rule E-RAR
+  $ drfopt litmus sb
+  $ cat > dl.lit <<'PROG'
+  > thread { lock m; lock n; unlock n; unlock m; }
+  > thread { lock n; lock m; unlock m; unlock n; }
+  > PROG
+  $ drfopt deadlock dl.lit
+  $ cat > sb.lit <<'PROG'
+  > thread { x := 1; r1 := y; print r1; }
+  > thread { y := 1; r2 := x; print r2; }
+  > PROG
+  $ drfopt robust sb.lit | head -2

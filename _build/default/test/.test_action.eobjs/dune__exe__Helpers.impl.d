@@ -1,0 +1,1 @@
+test/helpers.ml: Action Alcotest List Location Safeopt_exec Safeopt_lang Safeopt_trace String Trace Traceset Wildcard

@@ -1,0 +1,1 @@
+test/test_action.ml: Action Alcotest Helpers Safeopt_trace

@@ -1,0 +1,1 @@
+test/test_denote.ml: Alcotest Denote Helpers List Safeopt_lang Safeopt_trace Trace Traceset

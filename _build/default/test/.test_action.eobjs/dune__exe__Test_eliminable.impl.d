@@ -1,0 +1,1 @@
+test/test_eliminable.ml: Alcotest Eliminable Fmt Helpers List Safeopt_core Safeopt_trace Wildcard

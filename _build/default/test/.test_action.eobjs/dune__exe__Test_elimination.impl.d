@@ -1,0 +1,1 @@
+test/test_elimination.ml: Alcotest Elimination Helpers List Safeopt_core Safeopt_lang Safeopt_trace Traceset Wildcard

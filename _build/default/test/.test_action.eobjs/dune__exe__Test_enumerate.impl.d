@@ -1,0 +1,1 @@
+test/test_enumerate.ml: Alcotest Behaviour Enumerate Helpers Interleaving List Safeopt_exec Safeopt_trace Traceset Traceset_system

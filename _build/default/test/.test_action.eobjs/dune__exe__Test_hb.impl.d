@@ -1,0 +1,1 @@
+test/test_hb.ml: Alcotest Happens_before Helpers Safeopt_exec

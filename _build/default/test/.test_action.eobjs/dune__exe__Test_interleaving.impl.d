@@ -1,0 +1,1 @@
+test/test_interleaving.ml: Alcotest Helpers Interleaving Location Safeopt_exec Safeopt_trace Traceset

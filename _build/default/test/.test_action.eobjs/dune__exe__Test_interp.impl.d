@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Behaviour Helpers Interleaving Interp List Safeopt_exec Safeopt_lang

@@ -1,0 +1,1 @@
+test/test_lexer_parser.ml: Alcotest Ast Helpers Lexer List Parser Pp Safeopt_lang Safeopt_trace

@@ -1,0 +1,1 @@
+test/test_litmus.ml: Alcotest Corpus List Litmus Safeopt_lang Safeopt_litmus

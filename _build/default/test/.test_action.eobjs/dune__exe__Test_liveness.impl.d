@@ -1,0 +1,1 @@
+test/test_liveness.ml: Alcotest Ast Fmt List Liveness Parser Reg Safeopt_lang Safeopt_opt

@@ -1,0 +1,1 @@
+test/test_origin.ml: Alcotest Helpers List Origin Safeopt_core Safeopt_exec Safeopt_lang Safeopt_litmus Safeopt_opt

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Ast Behaviour Denote Helpers Interp List Passes Pp Result Rule Safeopt_exec Safeopt_lang Safeopt_litmus Safeopt_opt Safeopt_trace Transform Validate

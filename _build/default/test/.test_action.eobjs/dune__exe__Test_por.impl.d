@@ -1,0 +1,1 @@
+test/test_por.ml: Alcotest Behaviour Corpus Helpers Interp List Litmus Printf Safeopt_exec Safeopt_lang Safeopt_litmus Thread_system

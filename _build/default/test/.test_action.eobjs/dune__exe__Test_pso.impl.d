@@ -1,0 +1,1 @@
+test/test_pso.ml: Alcotest Behaviour Corpus Helpers Interp List Litmus Machine Pso Safeopt_exec Safeopt_lang Safeopt_litmus Safeopt_tso

@@ -1,0 +1,1 @@
+test/test_race.ml: Alcotest Helpers Interleaving Race Safeopt_exec Safeopt_trace

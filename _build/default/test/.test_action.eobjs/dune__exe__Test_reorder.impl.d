@@ -1,0 +1,1 @@
+test/test_reorder.ml: Alcotest Array Elimination Fmt Helpers Reorder Safeopt_core Safeopt_trace Traceset

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Ast Corpus Interp List Litmus Pso Robustness Safeopt_exec Safeopt_lang Safeopt_litmus Safeopt_tso

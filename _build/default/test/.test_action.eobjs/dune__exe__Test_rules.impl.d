@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Ast Fmt Helpers List Location Parser Pp Reg Rule Safeopt_lang Safeopt_opt Safeopt_trace

@@ -1,0 +1,1 @@
+test/test_safety.ml: Alcotest Helpers Safeopt_core Safeopt_exec Safeopt_lang Safeopt_litmus Safeopt_trace Safety Traceset

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Ast Hashtbl Helpers Option Parser Safeopt_lang Semantics

@@ -1,0 +1,1 @@
+test/test_syntax.ml: Alcotest Helpers List Safeopt_trace Syntax Trace Wildcard

@@ -1,0 +1,1 @@
+test/test_trace.ml: Action Alcotest Helpers List Location Safeopt_trace Trace

@@ -1,0 +1,1 @@
+test/test_traceset.ml: Action Alcotest Helpers List Location Safeopt_trace Traceset Wildcard

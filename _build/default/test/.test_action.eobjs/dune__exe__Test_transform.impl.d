@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Ast Helpers List Result Rule Safeopt_lang Safeopt_litmus Safeopt_opt Transform Validate

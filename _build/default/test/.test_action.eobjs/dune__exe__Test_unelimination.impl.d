@@ -1,0 +1,1 @@
+test/test_unelimination.ml: Alcotest Array Enumerate Helpers Interleaving List Safeopt_core Safeopt_exec Safeopt_lang Safeopt_trace Traceset Unelimination

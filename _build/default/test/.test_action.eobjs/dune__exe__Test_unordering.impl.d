@@ -1,0 +1,1 @@
+test/test_unordering.ml: Alcotest Array Elimination Enumerate Fun Hashtbl Helpers Interleaving List Safeopt_core Safeopt_exec Safeopt_lang Safeopt_trace Trace Traceset Unordering

@@ -1,0 +1,1 @@
+test/test_validate.ml: Alcotest Fmt Helpers List Safeopt_litmus Safeopt_opt Validate

@@ -1,0 +1,1 @@
+test/test_wildcard.ml: Alcotest Helpers List Safeopt_trace Wildcard

@@ -1,0 +1,101 @@
+The reorderability matrix of section 4:
+
+  $ drfopt matrix
+  distinct locations (x <> y):
+     a \ b     W     R   Acq   Rel   Ext
+         W   yes   yes   yes     x   yes
+         R   yes   yes   yes     x   yes
+       Acq     x     x     x     x     x
+       Rel   yes   yes     x     x     x
+       Ext   yes   yes     x     x     x
+  same location (x = y):
+     a \ b     W     R   Acq   Rel   Ext
+         W     x     x   yes     x   yes
+         R     x   yes   yes     x   yes
+       Acq     x     x     x     x     x
+       Rel   yes   yes     x     x     x
+       Ext   yes   yes     x     x     x
+
+Definition 1 on the paper's worked trace:
+
+  $ drfopt eliminable "S(0); W[x=1]; R[y=*]; R[x=1]; X(1); L[m]; W[x=2]; W[x=1]; U[m]"
+  [S(0); W[x=1]; R[y=*]; R[x=1]; X(1); L[m]; W[x=2]; W[x=1]; U[m]]
+     0 S(0)       -
+     1 W[x=1]     -
+     2 R[y=*]     eliminable: irrelevant read
+     3 R[x=1]     eliminable: redundant read after write 1
+     4 X(1)       -
+     5 L[m]       -
+     6 W[x=2]     eliminable: write overwritten by 7
+     7 W[x=1]     -
+     8 U[m]       eliminable: redundant release  (not composable: last-action clause)
+
+Running a program:
+
+  $ cat > mp.lit <<'PROG'
+  > volatile flag;
+  > thread { data := 1; flag := 1; }
+  > thread { r1 := flag; if (r1 == 1) { r2 := data; print r2; } }
+  > PROG
+
+  $ drfopt run mp.lit | tail -3
+  behaviours (2, showing maximal):
+  print 1
+  data race free: true
+
+  $ drfopt drf mp.lit
+  data race free
+
+Bounded denotation:
+
+  $ cat > relay.lit <<'PROG'
+  > thread { r1 := x; y := r1; }
+  > PROG
+
+  $ drfopt denote relay.lit
+  value universe: [0, 1, 2]
+  traces (length <= 8): 8; maximal:
+    [S(0); R[x=0]; W[y=0]]
+    [S(0); R[x=1]; W[y=1]]
+    [S(0); R[x=2]; W[y=2]]
+
+A rule application:
+
+  $ cat > rar.lit <<'PROG'
+  > thread { r1 := x; r2 := x; print r2; }
+  > PROG
+
+  $ drfopt transform rar.lit --rule E-RAR
+  thread {
+    r1 := x;
+    r2 := r1;
+    print r2;
+  }
+
+A single litmus test:
+
+  $ drfopt litmus sb
+  sb                 ok
+
+Deadlock detection:
+
+  $ cat > dl.lit <<'PROG'
+  > thread { lock m; lock n; unlock n; unlock m; }
+  > thread { lock n; lock m; unlock m; unlock n; }
+  > PROG
+
+  $ drfopt deadlock dl.lit
+  DEADLOCK after:
+  [(0,S(0)); (0,L[m]); (1,S(1)); (1,L[n])]
+  [1]
+
+Fence inference on store buffering:
+
+  $ cat > sb.lit <<'PROG'
+  > thread { x := 1; r1 := y; print r1; }
+  > thread { y := 1; r2 := x; print r2; }
+  > PROG
+
+  $ drfopt robust sb.lit | head -2
+  promoted to volatile: y, x
+  --- robust program ---

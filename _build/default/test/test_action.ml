@@ -1,0 +1,120 @@
+open Safeopt_trace
+open Helpers
+
+let check = Alcotest.(check bool)
+
+let test_shapes () =
+  check "read is read" true (Action.is_read (r "x" 1));
+  check "write is not read" false (Action.is_read (w "x" 1));
+  check "write is access" true (Action.is_access (w "x" 1));
+  check "lock is not access" false (Action.is_access (lk "m"));
+  check "external" true (Action.is_external (ext 3));
+  check "start" true (Action.is_start (st 0));
+  Alcotest.(check (option string)) "location of read" (Some "x")
+    (Action.location (r "x" 0));
+  Alcotest.(check (option string)) "location of lock" None
+    (Action.location (lk "m"));
+  Alcotest.(check (option int)) "value of write" (Some 7)
+    (Action.value (w "z" 7));
+  Alcotest.(check (option int)) "value of external" (Some 7)
+    (Action.value (ext 7));
+  Alcotest.(check (option int)) "value of lock" None (Action.value (lk "m"));
+  Alcotest.(check (option string)) "monitor" (Some "m") (Action.monitor (ul "m"))
+
+let test_equal_compare () =
+  check "equal reads" true (Action.equal (r "x" 1) (r "x" 1));
+  check "unequal value" false (Action.equal (r "x" 1) (r "x" 2));
+  check "read/write differ" false (Action.equal (r "x" 1) (w "x" 1));
+  Alcotest.(check int) "compare reflexive" 0 (Action.compare (ext 1) (ext 1));
+  check "compare antisym" true
+    (Action.compare (r "x" 1) (w "x" 1) = -Action.compare (w "x" 1) (r "x" 1))
+
+let test_volatility () =
+  check "volatile read is acquire" true (Action.is_acquire vol_v (r "v" 0));
+  check "normal read is not acquire" false (Action.is_acquire vol_v (r "x" 0));
+  check "lock is acquire" true (Action.is_acquire none (lk "m"));
+  check "volatile write is release" true (Action.is_release vol_v (w "v" 0));
+  check "unlock is release" true (Action.is_release none (ul "m"));
+  check "normal write is not release" false (Action.is_release vol_v (w "x" 0));
+  check "volatile access" true (Action.is_volatile_access vol_v (r "v" 1));
+  check "normal access" true (Action.is_normal_access vol_v (r "x" 1));
+  check "volatile read not normal" false (Action.is_normal_read vol_v (r "v" 1));
+  check "sync" true (Action.is_sync vol_v (w "v" 0));
+  check "sync-or-external covers external" true
+    (Action.is_sync_or_external none (ext 0));
+  check "plain write not sync" false (Action.is_sync vol_v (w "x" 0))
+
+let test_conflicting () =
+  check "write-write same loc" true (Action.conflicting none (w "x" 1) (w "x" 2));
+  check "write-read same loc" true (Action.conflicting none (w "x" 1) (r "x" 0));
+  check "read-read same loc" false (Action.conflicting none (r "x" 1) (r "x" 0));
+  check "different locations" false
+    (Action.conflicting none (w "x" 1) (w "y" 1));
+  check "volatile accesses never conflict" false
+    (Action.conflicting vol_v (w "v" 1) (r "v" 1));
+  check "lock does not conflict" false
+    (Action.conflicting none (lk "m") (w "x" 1))
+
+let test_release_acquire_pair () =
+  check "unlock-lock same monitor" true
+    (Action.release_acquire_pair none (ul "m") (lk "m"));
+  check "unlock-lock different monitors" false
+    (Action.release_acquire_pair none (ul "m") (lk "n"));
+  check "volatile write-read" true
+    (Action.release_acquire_pair vol_v (w "v" 1) (r "v" 0));
+  check "normal write-read is not a pair" false
+    (Action.release_acquire_pair none (w "x" 1) (r "x" 1));
+  check "wrong order" false (Action.release_acquire_pair none (lk "m") (ul "m"))
+
+(* The asymmetries called out in section 4. *)
+let test_reorderable_asymmetry () =
+  check "write past later acquire (roach motel)" true
+    (Action.reorderable none (w "x" 1) (lk "m"));
+  check "acquire past later write: forbidden" false
+    (Action.reorderable none (lk "m") (w "x" 1));
+  check "release past later write" true
+    (Action.reorderable none (ul "m") (w "x" 1));
+  check "write past later release: forbidden" false
+    (Action.reorderable none (w "x" 1) (ul "m"));
+  check "volatile write (release) past later normal write" true
+    (Action.reorderable vol_v (w "v" 1) (w "x" 1));
+  check "normal write past later volatile read (acquire)" true
+    (Action.reorderable vol_v (w "x" 1) (r "v" 0))
+
+let test_reorderable_conflicts () =
+  check "same-location writes" false
+    (Action.reorderable none (w "x" 1) (w "x" 2));
+  check "same-location write-read" false
+    (Action.reorderable none (w "x" 1) (r "x" 1));
+  check "same-location reads are reorderable" true
+    (Action.reorderable none (r "x" 1) (r "x" 2));
+  check "distinct-location accesses" true
+    (Action.reorderable none (w "x" 1) (w "y" 1));
+  check "external with external: forbidden" false
+    (Action.reorderable none (ext 1) (ext 2));
+  check "external past later read" true (Action.reorderable none (ext 1) (r "x" 0));
+  check "write past later external" true
+    (Action.reorderable none (w "x" 1) (ext 1));
+  check "sync with sync: forbidden" false
+    (Action.reorderable none (ul "m") (lk "m"));
+  check "start is not reorderable with anything" false
+    (Action.reorderable none (st 0) (w "x" 1))
+
+let () =
+  Alcotest.run "action"
+    [
+      ( "classification",
+        [
+          Alcotest.test_case "shapes" `Quick test_shapes;
+          Alcotest.test_case "equal/compare" `Quick test_equal_compare;
+          Alcotest.test_case "volatility" `Quick test_volatility;
+          Alcotest.test_case "conflicting" `Quick test_conflicting;
+          Alcotest.test_case "release-acquire pairs" `Quick
+            test_release_acquire_pair;
+        ] );
+      ( "reorderable",
+        [
+          Alcotest.test_case "asymmetry" `Quick test_reorderable_asymmetry;
+          Alcotest.test_case "conflicts" `Quick test_reorderable_conflicts;
+        ] );
+    ]

@@ -1,0 +1,90 @@
+open Safeopt_trace
+open Safeopt_lang
+open Helpers
+
+let check_b = Alcotest.(check bool)
+
+let relay = parse "thread { r1 := x; y := r1; }"
+
+let test_universe () =
+  let p = parse "thread { r1 := 5; if (r1 == 7) skip; }" in
+  let u = Denote.universe p in
+  check_b "contains 0" true (List.mem 0 u);
+  check_b "contains literals" true (List.mem 5 u && List.mem 7 u);
+  check_b "two fresh values" true (List.mem 8 u && List.mem 9 u);
+  let u2 = Denote.joint_universe [ p; parse "thread { r9 := 11; }" ] in
+  check_b "joint covers both" true (List.mem 7 u2 && List.mem 11 u2)
+
+let test_issues_program () =
+  check_b "empty" true (Denote.issues_program relay []);
+  check_b "start only" true (Denote.issues_program relay [ st 0 ]);
+  check_b "relay trace" true
+    (Denote.issues_program relay [ st 0; r "x" 2; w "y" 2 ]);
+  check_b "mismatched relay" false
+    (Denote.issues_program relay [ st 0; r "x" 2; w "y" 3 ]);
+  check_b "unknown thread" false (Denote.issues_program relay [ st 4 ]);
+  check_b "not starting with start" false
+    (Denote.issues_program relay [ r "x" 2 ])
+
+let test_traceset () =
+  let universe = [ 0; 1 ] in
+  let ts = Denote.traceset ~universe ~max_len:4 relay in
+  check_b "wf" true (Traceset.well_formed ts);
+  check_b "contains both relays" true
+    (Traceset.mem [ st 0; r "x" 0; w "y" 0 ] ts
+    && Traceset.mem [ st 0; r "x" 1; w "y" 1 ] ts);
+  check_b "no mismatches" false (Traceset.mem [ st 0; r "x" 0; w "y" 1 ] ts);
+  (* agreement with the membership oracle on everything enumerated *)
+  check_b "oracle agrees" true
+    (List.for_all (Denote.issues_program relay) (Traceset.to_list ts))
+
+let test_traceset_bound () =
+  let universe = [ 0; 1 ] in
+  let ts = Denote.traceset ~universe ~max_len:2 relay in
+  check_b "bounded" true
+    (List.for_all (fun t -> Trace.length t <= 2) (Traceset.to_list ts));
+  check_b "still prefix closed" true (Traceset.prefix_closed ts)
+
+let test_belongs_to () =
+  let universe = [ 0; 1 ] in
+  check_b "wildcard relay start belongs" true
+    (Denote.belongs_to ~universe relay [ c (st 0); wild "x" ]);
+  check_b "value-forgetting continuation does not" false
+    (Denote.belongs_to ~universe relay [ c (st 0); wild "x"; c (w "y" 1) ]);
+  (* branching on the read value: all instances must issue *)
+  let branchy =
+    parse "thread { r1 := x; if (r1 == 1) { y := 1; } else { y := 1; } }"
+  in
+  check_b "both branches write 1, so wildcard belongs" true
+    (Denote.belongs_to ~universe branchy
+       [ c (st 0); wild "x"; c (w "y" 1) ]);
+  let asym =
+    parse "thread { r1 := x; if (r1 == 1) { y := 1; } else { y := 2; } }"
+  in
+  check_b "asymmetric branches: wildcard does not belong" false
+    (Denote.belongs_to ~universe asym [ c (st 0); wild "x"; c (w "y" 1) ])
+
+(* The section-2.1 observation: control-dependent but value-identical
+   branches have the same traceset. *)
+let test_same_traceset () =
+  let p1 = parse "thread { r1 := x; if (r1 == 0) y := 1; else y := 1; }" in
+  let p2 = parse "thread { r1 := x; y := 1; }" in
+  let universe = Denote.joint_universe [ p1; p2 ] in
+  let t1 = Denote.traceset ~universe ~max_len:6 p1 in
+  let t2 = Denote.traceset ~universe ~max_len:6 p2 in
+  Alcotest.check traceset "identical tracesets" t1 t2
+
+let () =
+  Alcotest.run "denote"
+    [
+      ( "denote",
+        [
+          Alcotest.test_case "universe" `Quick test_universe;
+          Alcotest.test_case "issues_program" `Quick test_issues_program;
+          Alcotest.test_case "traceset extraction" `Quick test_traceset;
+          Alcotest.test_case "length bound" `Quick test_traceset_bound;
+          Alcotest.test_case "belongs-to" `Quick test_belongs_to;
+          Alcotest.test_case "same traceset (sec 2.1)" `Quick
+            test_same_traceset;
+        ] );
+    ]

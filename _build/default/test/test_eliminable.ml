@@ -1,0 +1,166 @@
+open Safeopt_trace
+open Safeopt_core
+open Helpers
+
+let check_b = Alcotest.(check bool)
+let wc = Wildcard.of_trace
+
+(* The paper's section-4 worked example:
+   [S(0); W[x=1]; R[y=*]; R[x=1]; X(1); L[m]; W[x=2]; W[x=1]; U[m]]. *)
+let sec4 =
+  [
+    c (st 0);
+    c (w "x" 1);
+    wild "y";
+    c (r "x" 1);
+    c (ext 1);
+    c (lk "m");
+    c (w "x" 2);
+    c (w "x" 1);
+    c (ul "m");
+  ]
+
+let test_sec4_example () =
+  (* The paper says "the indices 2, 3, and 6 are eliminable"; by the
+     letter of Definition 1 the final release U[m] at index 8 is also a
+     redundant release (no later synchronisation or external action),
+     which the paper's enumeration omits — its example elimination
+     keeps it, which "could be" allows. *)
+  Alcotest.(check (list int)) "eliminable indices" [ 2; 3; 6; 8 ]
+    (Eliminable.eliminable_indices none sec4);
+  (match Eliminable.classify none sec4 2 with
+  | Some Eliminable.Irrelevant_read -> ()
+  | k -> Alcotest.failf "index 2: %a" Fmt.(option Eliminable.pp_kind) k);
+  (match Eliminable.classify none sec4 3 with
+  | Some (Eliminable.Redundant_read_after_write 1) -> ()
+  | k -> Alcotest.failf "index 3: %a" Fmt.(option Eliminable.pp_kind) k);
+  match Eliminable.classify none sec4 6 with
+  | Some (Eliminable.Overwritten_write 7) -> ()
+  | k -> Alcotest.failf "index 6: %a" Fmt.(option Eliminable.pp_kind) k
+
+let test_rar () =
+  let t = wc [ st 0; r "x" 1; w "y" 0; r "x" 1 ] in
+  check_b "read after read" true (Eliminable.eliminable none t 3);
+  (* mismatched value *)
+  check_b "different value" false
+    (Eliminable.eliminable none (wc [ st 0; r "x" 1; r "x" 2 ]) 2);
+  (* intervening write to the same location *)
+  check_b "intervening write" false
+    (Eliminable.eliminable none (wc [ st 0; r "x" 1; w "x" 2; r "x" 1 ]) 3);
+  (* a release-acquire pair in between *)
+  check_b "release-acquire pair blocks" false
+    (Eliminable.eliminable none
+       (wc [ st 0; r "x" 1; ul "m"; lk "m"; r "x" 1 ])
+       4);
+  (* an acquire alone does NOT block (the [12] / Fig. 3 case) *)
+  check_b "acquire alone does not block" true
+    (Eliminable.eliminable none (wc [ st 0; r "x" 1; lk "m"; r "x" 1 ]) 3);
+  (* a release alone does not block either *)
+  check_b "release alone does not block" true
+    (Eliminable.eliminable none
+       (wc [ st 0; lk "m"; r "x" 1; ul "m"; r "x" 1 ])
+       4);
+  (* volatile reads are never redundant *)
+  check_b "volatile read" false
+    (Eliminable.eliminable vol_v (wc [ st 0; r "v" 1; r "v" 1 ]) 2)
+
+let test_raw () =
+  let t = wc [ st 0; w "x" 5; r "y" 0; r "x" 5 ] in
+  check_b "read after write" true (Eliminable.eliminable none t 3);
+  check_b "wrong value" false
+    (Eliminable.eliminable none (wc [ st 0; w "x" 5; r "x" 6 ]) 2)
+
+let test_war () =
+  let t = wc [ st 0; r "x" 5; ext 0; w "x" 5 ] in
+  check_b "write after read" true (Eliminable.eliminable none t 3);
+  (* a second read of the same value re-licenses the write *)
+  check_b "adjacent second read licenses" true
+    (Eliminable.properly_eliminable none
+       (wc [ st 0; r "x" 5; r "x" 5; w "x" 5 ])
+       3);
+  (* an intervening write blocks clause 4 (and clause 6 is excluded by
+     proper mode) *)
+  check_b "intervening write blocks" false
+    (Eliminable.properly_eliminable none
+       (wc [ st 0; r "x" 5; w "x" 7; w "x" 5 ])
+       3)
+
+let test_wbw () =
+  check_b "overwritten write" true
+    (Eliminable.eliminable none (wc [ st 0; w "x" 1; w "x" 2 ]) 1);
+  check_b "intervening read blocks" false
+    (Eliminable.properly_eliminable none
+       (wc [ st 0; w "x" 1; r "x" 1; w "x" 2 ])
+       1);
+  check_b "release-acquire blocks" false
+    (Eliminable.properly_eliminable none
+       (wc [ st 0; w "x" 1; ul "m"; lk "m"; w "x" 2 ])
+       1)
+
+let test_last_actions () =
+  (* redundant last write *)
+  check_b "last write" true
+    (Eliminable.eliminable none (wc [ st 0; w "x" 1; r "y" 0 ]) 1);
+  check_b "last write blocked by later release" false
+    (Eliminable.eliminable none (wc [ st 0; w "x" 1; ul "m" ]) 1);
+  check_b "last write blocked by later same-location read" false
+    (Eliminable.eliminable none (wc [ st 0; w "x" 1; r "x" 1 ]) 1);
+  (* redundant release *)
+  check_b "redundant release" true
+    (Eliminable.eliminable none (wc [ st 0; lk "m"; ul "m"; r "x" 0 ]) 2);
+  check_b "release blocked by later sync" false
+    (Eliminable.eliminable none (wc [ st 0; lk "m"; ul "m"; lk "m" ]) 2);
+  check_b "release blocked by later external" false
+    (Eliminable.eliminable none (wc [ st 0; lk "m"; ul "m"; ext 0 ]) 2);
+  (* redundant external *)
+  check_b "redundant external" true
+    (Eliminable.eliminable none (wc [ st 0; ext 1; r "x" 0 ]) 1);
+  check_b "external blocked by later external" false
+    (Eliminable.eliminable none (wc [ st 0; ext 1; ext 2 ]) 1);
+  (* volatile write as redundant release *)
+  check_b "volatile write release" true
+    (Eliminable.eliminable vol_v (wc [ st 0; w "v" 1; r "x" 0 ]) 1)
+
+let test_proper_subset () =
+  (* properly eliminable excludes the last-action clauses *)
+  check_b "last write not proper" false
+    (Eliminable.properly_eliminable none (wc [ st 0; w "x" 1 ]) 1);
+  check_b "release not proper" false
+    (Eliminable.properly_eliminable none (wc [ st 0; lk "m"; ul "m" ]) 2);
+  check_b "external not proper" false
+    (Eliminable.properly_eliminable none (wc [ st 0; ext 1 ]) 1);
+  check_b "RaR is proper" true
+    (Eliminable.properly_eliminable none (wc [ st 0; r "x" 1; r "x" 1 ]) 2);
+  (* proper mode excludes the final release at index 8 *)
+  Alcotest.(check (list int)) "proper subset of eliminable" [ 2; 3; 6 ]
+    (Eliminable.properly_eliminable_indices none sec4);
+  check_b "proper implies eliminable" true
+    (List.for_all
+       (fun i -> Eliminable.eliminable none sec4 i)
+       (Eliminable.properly_eliminable_indices none sec4))
+
+let test_wildcards () =
+  check_b "irrelevant read" true
+    (Eliminable.eliminable none [ c (st 0); wild "x" ] 1);
+  check_b "volatile wildcard not irrelevant" false
+    (Eliminable.eliminable vol_v [ c (st 0); wild "v" ] 1);
+  (* start actions are never eliminable *)
+  check_b "start never eliminable" false
+    (Eliminable.eliminable none (wc [ st 0; w "x" 1; w "x" 2 ]) 0)
+
+let () =
+  Alcotest.run "eliminable"
+    [
+      ( "definition 1",
+        [
+          Alcotest.test_case "section-4 worked example" `Quick
+            test_sec4_example;
+          Alcotest.test_case "redundant read after read" `Quick test_rar;
+          Alcotest.test_case "redundant read after write" `Quick test_raw;
+          Alcotest.test_case "redundant write after read" `Quick test_war;
+          Alcotest.test_case "overwritten write" `Quick test_wbw;
+          Alcotest.test_case "last-action clauses" `Quick test_last_actions;
+          Alcotest.test_case "properly eliminable" `Quick test_proper_subset;
+          Alcotest.test_case "wildcards and starts" `Quick test_wildcards;
+        ] );
+    ]

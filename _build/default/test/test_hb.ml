@@ -1,0 +1,89 @@
+open Safeopt_exec
+open Helpers
+
+let check_b = Alcotest.(check bool)
+
+(* Message passing through a lock:
+   0: S(0) 2: L[m] 3: W[x=1] 4: U[m]
+   1: S(1)                          5: L[m] 6: R[x=1] 7: U[m] *)
+let i =
+  il
+    [
+      (0, st 0);
+      (1, st 1);
+      (0, lk "m");
+      (0, w "x" 1);
+      (0, ul "m");
+      (1, lk "m");
+      (1, r "x" 1);
+      (1, ul "m");
+    ]
+
+let hb = Happens_before.make none i
+
+let test_po () =
+  check_b "same thread ordered" true (Happens_before.program_order hb 0 3);
+  check_b "po reflexive" true (Happens_before.program_order hb 3 3);
+  check_b "cross thread not po" false (Happens_before.program_order hb 0 1);
+  check_b "po respects index order" false (Happens_before.program_order hb 3 0)
+
+let test_sw () =
+  check_b "unlock-lock sw" true (Happens_before.synchronises_with hb 4 5);
+  check_b "not backwards" false (Happens_before.synchronises_with hb 5 4);
+  check_b "lock-lock not sw" false (Happens_before.synchronises_with hb 2 5);
+  check_b "write-read not sw (non-volatile)" false
+    (Happens_before.synchronises_with hb 3 6)
+
+let test_hb () =
+  check_b "po in hb" true (Happens_before.hb hb 0 4);
+  check_b "sw in hb" true (Happens_before.hb hb 4 5);
+  check_b "transitive: write hb read" true (Happens_before.hb hb 3 6);
+  check_b "start-0 hb everything of thread 0" true (Happens_before.hb hb 0 4);
+  check_b "no hb between starts" false (Happens_before.hb hb 0 1);
+  check_b "reflexive" true (Happens_before.hb hb 6 6);
+  check_b "strict excludes equal" false (Happens_before.hb_strict hb 6 6);
+  check_b "ordered" true (Happens_before.ordered hb 3 6);
+  Alcotest.(check int) "size" 8 (Happens_before.size hb)
+
+(* Volatile write/read synchronise; plain ones do not. *)
+let test_volatile_sw () =
+  let j =
+    il [ (0, st 0); (1, st 1); (0, w "x" 1); (0, w "v" 1); (1, r "v" 1); (1, r "x" 1) ]
+  in
+  let hbv = Happens_before.make vol_v j in
+  check_b "volatile sw" true (Happens_before.synchronises_with hbv 3 4);
+  check_b "data write hb data read via volatile" true
+    (Happens_before.hb hbv 2 5);
+  let hbn = Happens_before.make none j in
+  check_b "without volatility, unordered" false (Happens_before.ordered hbn 2 5)
+
+(* hb is contained in the index order, hence a partial order. *)
+let test_partial_order () =
+  let n = Happens_before.size hb in
+  let ok = ref true in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if Happens_before.hb_strict hb a b && Happens_before.hb_strict hb b a
+      then ok := false;
+      for cc = 0 to n - 1 do
+        if
+          Happens_before.hb hb a b && Happens_before.hb hb b cc
+          && not (Happens_before.hb hb a cc)
+        then ok := false
+      done
+    done
+  done;
+  check_b "antisymmetric and transitive" true !ok
+
+let () =
+  Alcotest.run "happens-before"
+    [
+      ( "happens-before",
+        [
+          Alcotest.test_case "program order" `Quick test_po;
+          Alcotest.test_case "synchronises-with" `Quick test_sw;
+          Alcotest.test_case "happens-before" `Quick test_hb;
+          Alcotest.test_case "volatile sw" `Quick test_volatile_sw;
+          Alcotest.test_case "partial order laws" `Quick test_partial_order;
+        ] );
+    ]

@@ -1,0 +1,100 @@
+open Safeopt_exec
+open Safeopt_lang
+open Helpers
+
+let check_b = Alcotest.(check bool)
+
+let test_single_thread () =
+  let p = parse "thread { x := 3; r1 := x; print r1; }" in
+  Alcotest.check behaviour_set "deterministic"
+    (behaviours_of_list [ []; [ 3 ] ])
+    (Interp.behaviours p);
+  check_b "drf" true (Interp.is_drf p)
+
+let test_two_threads () =
+  let p = parse "thread { x := 1; } thread { r1 := x; print r1; }" in
+  Alcotest.check behaviour_set "both orders"
+    (behaviours_of_list [ []; [ 0 ]; [ 1 ] ])
+    (Interp.behaviours p);
+  check_b "racy" false (Interp.is_drf p);
+  check_b "can output 1" true (Interp.can_output p 1);
+  check_b "cannot output 2" false (Interp.can_output p 2)
+
+let test_race_witness () =
+  let p = parse "thread { x := 1; } thread { r1 := x; }" in
+  match Interp.find_race p with
+  | Some i ->
+      let n = Interleaving.length i in
+      check_b "ends in conflict" true
+        (Safeopt_exec.Race.adjacent_race none i = Some (n - 2, n - 1))
+  | None -> Alcotest.fail "expected racy"
+
+let test_loop_fuel () =
+  (* spin on a flag that the other thread sets: terminates under SC
+     enumeration thanks to fuel; behaviours bounded but sound *)
+  let p =
+    parse
+      "volatile flag;\n\
+       thread { data := 1; flag := 1; }\n\
+       thread { r1 := flag; while (r1 != 1) r1 := flag; r2 := data; print r2; }"
+  in
+  let bs = Interp.behaviours ~fuel:12 p in
+  check_b "prints 1 when loop exits" true (Behaviour.Set.mem [ 1 ] bs);
+  check_b "never prints 0" false (Behaviour.Set.mem [ 0 ] bs);
+  check_b "drf (volatile spin)" true (Interp.is_drf ~fuel:8 p)
+
+let test_locks_interleaving () =
+  let p =
+    parse
+      "thread { lock m; x := 1; x := 2; unlock m; }\n\
+       thread { lock m; r1 := x; r2 := x; unlock m; if (r1 == r2) print r1; }"
+  in
+  (* reader sees 0,0 or 2,2 — never a torn 1 *)
+  Alcotest.check behaviour_set "atomic sections"
+    (behaviours_of_list [ []; [ 0 ]; [ 2 ] ])
+    (Interp.behaviours p);
+  check_b "drf" true (Interp.is_drf p)
+
+let test_max_executions () =
+  let p = parse "thread { x := 1; } thread { y := 1; }" in
+  let execs = Interp.maximal_executions p in
+  (* 2 starts then 2 writes interleaved: 4!/(2!2!) = 6 *)
+  Alcotest.(check int) "interleaving count" 6 (List.length execs);
+  check_b "positive state count" true (Interp.count_states p > 0)
+
+let test_deadlock_and_sampling () =
+  let dl =
+    parse
+      "thread { lock m; lock n; unlock n; unlock m; }\n\
+       thread { lock n; lock m; unlock m; unlock n; }"
+  in
+  check_b "deadlock found" true (Interp.find_deadlock dl <> None);
+  let ok = parse "thread { lock m; unlock m; }\nthread { lock m; unlock m; }" in
+  check_b "no deadlock" true (Interp.find_deadlock ok = None);
+  let p = parse "thread { x := 1; r1 := y; print r1; }\nthread { y := 1; r2 := x; print r2; }" in
+  check_b "samples within exhaustive" true
+    (Behaviour.Set.subset
+       (Interp.sample_behaviours ~seed:1 ~runs:100 p)
+       (Interp.behaviours p))
+
+let test_volatile_not_race () =
+  let p = parse "volatile x;\nthread { x := 1; }\nthread { r1 := x; }" in
+  check_b "volatile accesses do not race" true (Interp.is_drf p)
+
+let () =
+  Alcotest.run "interp"
+    [
+      ( "interp",
+        [
+          Alcotest.test_case "single thread" `Quick test_single_thread;
+          Alcotest.test_case "two threads" `Quick test_two_threads;
+          Alcotest.test_case "race witness" `Quick test_race_witness;
+          Alcotest.test_case "loops under fuel" `Quick test_loop_fuel;
+          Alcotest.test_case "critical sections" `Quick
+            test_locks_interleaving;
+          Alcotest.test_case "executions" `Quick test_max_executions;
+          Alcotest.test_case "volatile accesses" `Quick test_volatile_not_race;
+          Alcotest.test_case "deadlock and sampling" `Quick
+            test_deadlock_and_sampling;
+        ] );
+    ]

@@ -1,0 +1,165 @@
+open Safeopt_lang
+open Helpers
+
+let check_b = Alcotest.(check bool)
+
+let test_tokens () =
+  let toks = Lexer.tokenize "r1 := x; // comment\nlock m;" |> List.map fst in
+  Alcotest.(check int) "token count" 8 (List.length toks);
+  check_b "shape" true
+    (toks
+    = [
+        Lexer.IDENT "r1";
+        Lexer.ASSIGN;
+        Lexer.IDENT "x";
+        Lexer.SEMI;
+        Lexer.LOCK;
+        Lexer.IDENT "m";
+        Lexer.SEMI;
+        Lexer.EOF;
+      ]);
+  let toks2 = Lexer.tokenize "a == b != 12 {}()" |> List.map fst in
+  check_b "operators" true
+    (toks2
+    = [
+        Lexer.IDENT "a";
+        Lexer.EQ;
+        Lexer.IDENT "b";
+        Lexer.NE;
+        Lexer.NAT 12;
+        Lexer.LBRACE;
+        Lexer.RBRACE;
+        Lexer.LPAREN;
+        Lexer.RPAREN;
+        Lexer.EOF;
+      ]);
+  ignore (Lexer.tokenize "/* block \n comment */ x");
+  Alcotest.check_raises "bad char"
+    (Lexer.Error ({ Lexer.line = 1; col = 1 }, "unexpected character '@'"))
+    (fun () -> ignore (Lexer.tokenize "@"))
+
+let test_positions () =
+  match Lexer.tokenize "x := 1;\n  y := 2;" with
+  | _ :: _ :: _ :: _ :: (Lexer.IDENT "y", pos) :: _ ->
+      Alcotest.(check int) "line" 2 pos.Lexer.line;
+      Alcotest.(check int) "col" 3 pos.Lexer.col
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let test_core_forms () =
+  let t = Parser.parse_thread "x := r1; r2 := x; r3 := r2; r4 := 7;" in
+  check_b "core statements" true
+    (t
+    = [
+        Ast.Store ("x", "r1");
+        Ast.Load ("r2", "x");
+        Ast.Move ("r3", Ast.Reg "r2");
+        Ast.Move ("r4", Ast.Nat 7);
+      ]);
+  let t2 = Parser.parse_thread "lock m; skip; print r1; unlock m;" in
+  check_b "sync and print" true
+    (t2 = [ Ast.Lock "m"; Ast.Skip; Ast.Print "r1"; Ast.Unlock "m" ])
+
+let test_control () =
+  let t = Parser.parse_thread "if (r1 == 1) x := r1; else skip;" in
+  check_b "if-else" true
+    (t = [ Ast.If (Ast.Eq (Ast.Reg "r1", Ast.Nat 1), Ast.Store ("x", "r1"), Ast.Skip) ]);
+  let t2 = Parser.parse_thread "if (r1 != r2) { skip; }" in
+  check_b "missing else becomes skip" true
+    (t2
+    = [ Ast.If (Ast.Ne (Ast.Reg "r1", Ast.Reg "r2"), Ast.Block [ Ast.Skip ], Ast.Skip) ]);
+  let t3 = Parser.parse_thread "while (r1 == 0) r1 := x;" in
+  check_b "while" true
+    (t3 = [ Ast.While (Ast.Eq (Ast.Reg "r1", Ast.Nat 0), Ast.Load ("r1", "x")) ])
+
+let test_desugaring () =
+  check_b "store constant" true
+    (Parser.parse_thread "x := 5;"
+    = [ Ast.Move ("rt0", Ast.Nat 5); Ast.Store ("x", "rt0") ]);
+  check_b "store location" true
+    (Parser.parse_thread "x := y;"
+    = [ Ast.Load ("rt0", "y"); Ast.Store ("x", "rt0") ]);
+  check_b "print location" true
+    (Parser.parse_thread "print x;"
+    = [ Ast.Load ("rt0", "x"); Ast.Print "rt0" ]);
+  check_b "print constant" true
+    (Parser.parse_thread "print 3;"
+    = [ Ast.Move ("rt0", Ast.Nat 3); Ast.Print "rt0" ]);
+  check_b "condition hoists load" true
+    (Parser.parse_thread "if (x == 1) skip;"
+    = [
+        Ast.Load ("rt0", "x");
+        Ast.If (Ast.Eq (Ast.Reg "rt0", Ast.Nat 1), Ast.Skip, Ast.Skip);
+      ]);
+  (* fresh temporaries avoid user registers named rtN *)
+  check_b "fresh avoids clashes" true
+    (Parser.parse_thread "rt0 := 1; x := 5;"
+    = [
+        Ast.Move ("rt0", Ast.Nat 1);
+        Ast.Move ("rt1", Ast.Nat 5);
+        Ast.Store ("x", "rt1");
+      ])
+
+let test_program_volatiles () =
+  let p = parse "volatile v, w;\nthread { x := r1; }\nthread { r1 := x; }" in
+  Alcotest.(check int) "two threads" 2 (List.length p.Ast.threads);
+  check_b "v volatile" true
+    (Safeopt_trace.Location.Volatile.mem p.Ast.volatile "v");
+  check_b "w volatile" true
+    (Safeopt_trace.Location.Volatile.mem p.Ast.volatile "w");
+  check_b "x not volatile" false
+    (Safeopt_trace.Location.Volatile.mem p.Ast.volatile "x")
+
+let test_errors () =
+  let expect_error src =
+    match Parser.parse_program src with
+    | exception Parser.Error _ -> ()
+    | exception Lexer.Error _ -> ()
+    | _ -> Alcotest.failf "expected a parse error for %S" src
+  in
+  expect_error "thread { x := ; }";
+  expect_error "thread { x = 1; }";
+  expect_error "thread { if r1 == 1 skip; }";
+  expect_error "thread { lock 5; }";
+  expect_error "nonsense";
+  expect_error "thread { x := 1 }";
+  (* while with a location in the condition is rejected, not silently
+     hoisted *)
+  expect_error "thread { while (x == 1) skip; }";
+  (* self-assignment of a location has no core form *)
+  expect_error "thread { x := x; }"
+
+let test_roundtrip () =
+  (* parse . pp = identity on core programs *)
+  let srcs =
+    [
+      "thread {\n  x := r1;\n  r2 := x;\n  lock m;\n  print r2;\n  unlock m;\n}";
+      "volatile v;\nthread {\n  r1 := v;\n  if (r1 == 1)\n    x := r1;\n  \
+       else\n    skip;\n}";
+      "thread {\n  while (r1 != 1)\n    r1 := x;\n  print r1;\n}";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let p = parse src in
+      let p2 = parse (Pp.program_to_string p) in
+      Alcotest.check program "roundtrip" p p2)
+    srcs
+
+let () =
+  Alcotest.run "lexer-parser"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_tokens;
+          Alcotest.test_case "positions" `Quick test_positions;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "core forms" `Quick test_core_forms;
+          Alcotest.test_case "control" `Quick test_control;
+          Alcotest.test_case "desugaring" `Quick test_desugaring;
+          Alcotest.test_case "volatiles" `Quick test_program_volatiles;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,51 @@
+open Safeopt_litmus
+
+let test_corpus () =
+  List.iter
+    (fun t ->
+      let o = Litmus.check t in
+      if not (Litmus.passed o) then
+        Alcotest.failf "%a" Litmus.pp_outcome o)
+    Corpus.all
+
+let test_by_name () =
+  Alcotest.(check bool) "sb found" true (Corpus.by_name "sb" <> None);
+  Alcotest.(check bool) "unknown" true (Corpus.by_name "nope" = None);
+  Alcotest.(check int) "corpus size" 26 (List.length Corpus.all)
+
+let test_expect_machinery () =
+  (* a deliberately wrong expectation is reported, not crashed *)
+  let bogus =
+    Litmus.make ~name:"bogus" ~descr:"wrong expectations" ~drf:false
+      ~can:[ [ 9 ] ] ~cannot:[ [ 1 ] ]
+      "thread { r1 := 1; print r1; }"
+  in
+  let o = Litmus.check bogus in
+  Alcotest.(check bool) "failed" false (Litmus.passed o);
+  Alcotest.(check int) "three failures" 3 (List.length o.Litmus.failures)
+
+let test_sources_parse_and_print () =
+  (* every corpus source pretty-prints and re-parses to the same AST *)
+  List.iter
+    (fun t ->
+      let p = Litmus.program t in
+      let p2 =
+        Safeopt_lang.Parser.parse_program
+          (Safeopt_lang.Pp.program_to_string p)
+      in
+      if not (Safeopt_lang.Ast.equal_program p p2) then
+        Alcotest.failf "%s does not round-trip" t.Litmus.name)
+    Corpus.all
+
+let () =
+  Alcotest.run "litmus"
+    [
+      ( "litmus",
+        [
+          Alcotest.test_case "corpus expectations" `Slow test_corpus;
+          Alcotest.test_case "lookup" `Quick test_by_name;
+          Alcotest.test_case "failure reporting" `Quick test_expect_machinery;
+          Alcotest.test_case "sources round-trip" `Quick
+            test_sources_parse_and_print;
+        ] );
+    ]

@@ -1,0 +1,84 @@
+open Safeopt_lang
+open Safeopt_opt
+
+let check_b = Alcotest.(check bool)
+
+let regs l = Reg.Set.of_list l
+let set = Alcotest.testable (fun ppf s ->
+    Fmt.(list ~sep:comma string) ppf (Reg.Set.elements s))
+    Reg.Set.equal
+
+let test_stmt () =
+  (* store uses its register *)
+  Alcotest.check set "store uses" (regs [ "r1" ])
+    (Liveness.stmt (Ast.Store ("x", "r1")) Reg.Set.empty);
+  (* load kills its target *)
+  Alcotest.check set "load kills" Reg.Set.empty
+    (Liveness.stmt (Ast.Load ("r1", "x")) (regs [ "r1" ]));
+  (* move kills target, uses source *)
+  Alcotest.check set "move" (regs [ "r2" ])
+    (Liveness.stmt (Ast.Move ("r1", Ast.Reg "r2")) (regs [ "r1" ]));
+  (* print uses *)
+  Alcotest.check set "print" (regs [ "r1"; "r9" ])
+    (Liveness.stmt (Ast.Print "r1") (regs [ "r9" ]));
+  (* locks are neutral *)
+  Alcotest.check set "lock" (regs [ "r1" ])
+    (Liveness.stmt (Ast.Lock "m") (regs [ "r1" ]))
+
+let test_control () =
+  (* both branches and the test contribute *)
+  let s =
+    Ast.If
+      ( Ast.Eq (Ast.Reg "rc", Ast.Nat 0),
+        Ast.Store ("x", "r1"),
+        Ast.Print "r2" )
+  in
+  Alcotest.check set "if" (regs [ "rc"; "r1"; "r2" ])
+    (Liveness.stmt s Reg.Set.empty);
+  (* loop: body uses survive the fixpoint *)
+  let w = Ast.While (Ast.Ne (Ast.Reg "rc", Ast.Nat 1), Ast.Store ("x", "r1")) in
+  Alcotest.check set "while" (regs [ "rc"; "r1" ])
+    (Liveness.stmt w Reg.Set.empty);
+  (* loop-carried: body loads what it later stores *)
+  let w2 =
+    Ast.While
+      ( Ast.Ne (Ast.Reg "rc", Ast.Nat 1),
+        Ast.Block [ Ast.Store ("x", "racc"); Ast.Load ("racc", "y") ] )
+  in
+  check_b "loop-carried use live" true
+    (Reg.Set.mem "racc" (Liveness.stmt w2 Reg.Set.empty))
+
+let test_thread_annotate () =
+  let l =
+    Parser.parse_thread "r1 := x; r2 := r1; y := r2; print r1;"
+  in
+  let annotated = Liveness.annotate l in
+  Alcotest.(check int) "four entries" 4 (List.length annotated);
+  (* after the first load, r1 is live (used by move and print) *)
+  let _, live1 = List.nth annotated 0 in
+  check_b "r1 live after load" true (Reg.Set.mem "r1" live1);
+  (* after the print, nothing is live *)
+  let _, live3 = List.nth annotated 3 in
+  Alcotest.check set "nothing live at the end" Reg.Set.empty live3
+
+let test_dead_predicates () =
+  check_b "dead move" true
+    (Liveness.dead_move (Ast.Move ("r1", Ast.Nat 5)) Reg.Set.empty);
+  check_b "live move" false
+    (Liveness.dead_move (Ast.Move ("r1", Ast.Nat 5)) (regs [ "r1" ]));
+  check_b "dead load" true
+    (Liveness.dead_load (Ast.Load ("r1", "x")) Reg.Set.empty);
+  check_b "store never dead" false
+    (Liveness.dead_move (Ast.Store ("x", "r1")) Reg.Set.empty)
+
+let () =
+  Alcotest.run "liveness"
+    [
+      ( "liveness",
+        [
+          Alcotest.test_case "statements" `Quick test_stmt;
+          Alcotest.test_case "control flow" `Quick test_control;
+          Alcotest.test_case "annotate" `Quick test_thread_annotate;
+          Alcotest.test_case "dead predicates" `Quick test_dead_predicates;
+        ] );
+    ]

@@ -1,0 +1,63 @@
+open Safeopt_exec
+open Safeopt_lang
+open Safeopt_litmus
+open Helpers
+
+let check_b = Alcotest.(check bool)
+
+(* A program with plenty of thread-local work around the shared
+   accesses: POR should prune, behaviours must not change. *)
+let heavy =
+  parse
+    "thread { a1 := 1; a1 := 2; a2 := 1; shared := r1; a3 := 1; }\n\
+     thread { b1 := 1; b2 := 1; r2 := shared; b3 := 1; print r2; }"
+
+let test_equivalence () =
+  Alcotest.check behaviour_set "same behaviours with and without POR"
+    (Interp.behaviours heavy)
+    (Interp.behaviours ~por:true heavy);
+  List.iter
+    (fun t ->
+      let p = Litmus.program t in
+      if not
+           (Behaviour.Set.equal (Interp.behaviours p)
+              (Interp.behaviours ~por:true p))
+      then Alcotest.failf "%s: POR changed behaviours" t.Litmus.name)
+    Corpus.all
+
+let test_reduction () =
+  let full = Interp.count_states heavy in
+  let reduced = Interp.count_states ~por:true heavy in
+  check_b
+    (Printf.sprintf "POR explores fewer states (%d < %d)" reduced full)
+    true (reduced < full)
+
+let test_local_predicate () =
+  let local = Thread_system.local_actions heavy in
+  check_b "private location is local" true (local (w "a1" 1));
+  check_b "shared location is not" false (local (w "shared" 1));
+  check_b "shared read is not" false (local (r "shared" 0));
+  check_b "external is not local" false (local (ext 1));
+  check_b "lock is not local" false (local (lk "m"))
+
+let test_all_shared () =
+  (* when every location is shared, only the start actions (which
+     always commute) are reduced; behaviours are untouched *)
+  let sb = Litmus.program Corpus.sb in
+  check_b "still some reduction from starts" true
+    (Interp.count_states ~por:true sb <= Interp.count_states sb);
+  Alcotest.check behaviour_set "behaviours identical"
+    (Interp.behaviours sb)
+    (Interp.behaviours ~por:true sb)
+
+let () =
+  Alcotest.run "por"
+    [
+      ( "partial-order reduction",
+        [
+          Alcotest.test_case "behaviour equivalence" `Slow test_equivalence;
+          Alcotest.test_case "state reduction" `Quick test_reduction;
+          Alcotest.test_case "local predicate" `Quick test_local_predicate;
+          Alcotest.test_case "all-shared case" `Quick test_all_shared;
+        ] );
+    ]

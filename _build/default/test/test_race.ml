@@ -1,0 +1,77 @@
+open Safeopt_exec
+open Helpers
+
+let check_b = Alcotest.(check bool)
+
+let racy_i = il [ (0, st 0); (1, st 1); (0, w "x" 1); (1, r "x" 1) ]
+
+let locked_i =
+  il
+    [
+      (0, st 0);
+      (1, st 1);
+      (0, lk "m");
+      (0, w "x" 1);
+      (0, ul "m");
+      (1, lk "m");
+      (1, r "x" 1);
+      (1, ul "m");
+    ]
+
+let test_adjacent () =
+  Alcotest.(check (option (pair int int))) "adjacent pair" (Some (2, 3))
+    (Race.adjacent_race none racy_i);
+  check_b "locked has none" false (Race.has_adjacent_race none locked_i);
+  (* same thread conflicting accesses are not a race *)
+  let same = il [ (0, st 0); (0, w "x" 1); (0, r "x" 1) ] in
+  check_b "same thread" false (Race.has_adjacent_race none same);
+  (* volatile conflicting accesses are not races *)
+  let voli = il [ (0, st 0); (1, st 1); (0, w "v" 1); (1, r "v" 1) ] in
+  check_b "volatile access" false (Race.has_adjacent_race vol_v voli);
+  check_b "same without volatility" true (Race.has_adjacent_race none voli)
+
+let test_hb_race () =
+  check_b "racy by hb too" true (Race.has_hb_race none racy_i);
+  check_b "locked has no hb race" false (Race.has_hb_race none locked_i);
+  (* Non-adjacent but unordered conflict: hb-race without adjacency in
+     THIS interleaving (adjacency appears in a different schedule). *)
+  let spread =
+    il [ (0, st 0); (1, st 1); (0, w "x" 1); (0, ext 0); (1, r "x" 1) ]
+  in
+  check_b "spread conflict is an hb race" true (Race.has_hb_race none spread);
+  check_b "spread conflict not adjacent here" false
+    (Race.has_adjacent_race none spread)
+
+let test_traceset_drf () =
+  let racy_ts =
+    Safeopt_trace.Traceset.of_list
+      [ [ st 0; w "x" 1 ]; [ st 1; r "x" 0 ]; [ st 1; r "x" 1 ] ]
+  in
+  check_b "racy traceset" false (Race.traceset_drf none racy_ts ~max_states:10_000);
+  (match Race.find_racy_execution none racy_ts ~max_states:10_000 with
+  | Some i ->
+      let n = Interleaving.length i in
+      check_b "witness ends in adjacent conflict" true
+        (Race.adjacent_race none i = Some (n - 2, n - 1))
+  | None -> Alcotest.fail "expected a racy witness");
+  let locked_ts =
+    Safeopt_trace.Traceset.of_list
+      [
+        [ st 0; lk "m"; w "x" 1; ul "m" ];
+        [ st 1; lk "m"; r "x" 0; ul "m" ];
+        [ st 1; lk "m"; r "x" 1; ul "m" ];
+      ]
+  in
+  check_b "locked traceset DRF" true
+    (Race.traceset_drf none locked_ts ~max_states:10_000)
+
+let () =
+  Alcotest.run "race"
+    [
+      ( "race",
+        [
+          Alcotest.test_case "adjacent definition" `Quick test_adjacent;
+          Alcotest.test_case "happens-before definition" `Quick test_hb_race;
+          Alcotest.test_case "traceset DRF" `Quick test_traceset_drf;
+        ] );
+    ]

@@ -1,0 +1,192 @@
+open Safeopt_trace
+open Safeopt_lang
+open Safeopt_opt
+open Helpers
+
+let check_b = Alcotest.(check bool)
+
+let apply_at rule vol thread = rule.Rule.rewrites_at vol ~ctx:Reg.Set.empty thread
+
+let thread_testable =
+  Alcotest.testable
+    (fun ppf t -> Fmt.string ppf (Pp.thread_compact t))
+    Ast.equal_thread
+
+let test_e_rar () =
+  let t = Parser.parse_thread "r1 := x; z := r3; r2 := x;" in
+  (match apply_at Rule.e_rar none t with
+  | [ t' ] ->
+      Alcotest.check thread_testable "RAR result"
+        (Parser.parse_thread "r1 := x; z := r3; r2 := r1;")
+        t'
+  | other -> Alcotest.failf "expected 1 rewrite, got %d" (List.length other));
+  (* volatile x blocks *)
+  check_b "volatile blocked" true
+    (apply_at Rule.e_rar (Location.Volatile.of_list [ "x" ])
+       (Parser.parse_thread "r1 := x; r2 := x;")
+    = []);
+  (* the middle must not write x *)
+  check_b "interfering middle blocked" true
+    (apply_at Rule.e_rar none (Parser.parse_thread "r1 := x; x := r3; r2 := x;")
+    = []);
+  (* the middle must not touch r1 *)
+  check_b "register clash blocked" true
+    (apply_at Rule.e_rar none (Parser.parse_thread "r1 := x; r1 := 5; r2 := x;")
+    = []);
+  (* the middle must be sync free *)
+  check_b "lock in middle blocked" true
+    (apply_at Rule.e_rar none
+       (Parser.parse_thread "r1 := x; lock m; unlock m; r2 := x;")
+    = [])
+
+let test_e_raw () =
+  match apply_at Rule.e_raw none (Parser.parse_thread "x := r1; skip; r2 := x;") with
+  | [ t' ] ->
+      Alcotest.check thread_testable "RAW result"
+        (Parser.parse_thread "x := r1; skip; r2 := r1;")
+        t'
+  | other -> Alcotest.failf "expected 1 rewrite, got %d" (List.length other)
+
+let test_e_war () =
+  (match apply_at Rule.e_war none (Parser.parse_thread "r1 := x; skip; x := r1;") with
+  | [ t' ] ->
+      Alcotest.check thread_testable "WAR result"
+        (Parser.parse_thread "r1 := x; skip;")
+        t'
+  | other -> Alcotest.failf "expected 1 rewrite, got %d" (List.length other));
+  check_b "different register blocked" true
+    (apply_at Rule.e_war none (Parser.parse_thread "r1 := x; x := r2;") = [])
+
+let test_e_wbw () =
+  match apply_at Rule.e_wbw none (Parser.parse_thread "x := r1; skip; x := r2;") with
+  | [ t' ] ->
+      Alcotest.check thread_testable "WBW result"
+        (Parser.parse_thread "skip; x := r2;")
+        t'
+  | other -> Alcotest.failf "expected 1 rewrite, got %d" (List.length other)
+
+let test_e_ir () =
+  (match apply_at Rule.e_ir none (Parser.parse_thread "r1 := x; r1 := 5;") with
+  | [ t' ] ->
+      Alcotest.check thread_testable "IR result" (Parser.parse_thread "r1 := 5;") t'
+  | other -> Alcotest.failf "expected 1 rewrite, got %d" (List.length other));
+  check_b "only adjacent" true
+    (apply_at Rule.e_ir none (Parser.parse_thread "r1 := x; skip; r1 := 5;") = [])
+
+let swap_case name rule src expected blocked_srcs =
+  Alcotest.test_case name `Quick (fun () ->
+      (match apply_at rule none (Parser.parse_thread src) with
+      | [ t' ] ->
+          Alcotest.check thread_testable name (Parser.parse_thread expected) t'
+      | other ->
+          Alcotest.failf "%s: expected 1 rewrite, got %d" name
+            (List.length other));
+      List.iter
+        (fun s ->
+          check_b (name ^ " blocked") true
+            (apply_at rule none (Parser.parse_thread s) = []))
+        blocked_srcs)
+
+let test_swap_volatility () =
+  let volx = Location.Volatile.of_list [ "x" ] in
+  let voly = Location.Volatile.of_list [ "y" ] in
+  (* R-WR allows one of the two locations volatile, but not both *)
+  check_b "R-WR volatile x ok" true
+    (apply_at Rule.r_wr volx (Parser.parse_thread "x := r1; r2 := y;") <> []);
+  check_b "R-WR volatile y ok" true
+    (apply_at Rule.r_wr voly (Parser.parse_thread "x := r1; r2 := y;") <> []);
+  check_b "R-WR both volatile blocked" true
+    (apply_at Rule.r_wr
+       (Location.Volatile.of_list [ "x"; "y" ])
+       (Parser.parse_thread "x := r1; r2 := y;")
+    = []);
+  (* R-RW needs both non-volatile *)
+  check_b "R-RW volatile x blocked" true
+    (apply_at Rule.r_rw volx (Parser.parse_thread "r1 := x; y := r2;") = []);
+  (* R-WW needs the second store non-volatile *)
+  check_b "R-WW volatile y blocked" true
+    (apply_at Rule.r_ww voly (Parser.parse_thread "x := r1; y := r2;") = []);
+  check_b "R-WW volatile x ok (release roach motel)" true
+    (apply_at Rule.r_ww volx (Parser.parse_thread "x := r1; y := r2;") <> []);
+  (* roach motel rules require non-volatile access *)
+  check_b "R-WL volatile blocked" true
+    (apply_at Rule.r_wl volx (Parser.parse_thread "x := r1; lock m;") = [])
+
+let test_i_ir () =
+  let t = Parser.parse_thread "lock m; r1 := x; print r1; unlock m;" in
+  let results = apply_at Rule.i_ir none t in
+  check_b "introduces a read" true
+    (List.exists
+       (fun t' ->
+         match t' with
+         | Ast.Load (r, "x") :: rest ->
+             Ast.equal_thread rest t && not (Reg.Set.mem r (Ast.regs_thread t))
+         | _ -> false)
+       results);
+  (* nothing to read: no introduction *)
+  check_b "no reads no introduction" true
+    (apply_at Rule.i_ir none (Parser.parse_thread "x := r1;") = [])
+
+let test_moves () =
+  (match apply_at Rule.m_fwd none (Parser.parse_thread "r1 := 5; x := r2;") with
+  | [ t' ] ->
+      Alcotest.check thread_testable "move forward"
+        (Parser.parse_thread "x := r2; r1 := 5;")
+        t'
+  | other -> Alcotest.failf "expected 1 rewrite, got %d" (List.length other));
+  (* dependency blocks *)
+  check_b "dependent store blocks" true
+    (apply_at Rule.m_fwd none (Parser.parse_thread "r1 := 5; x := r1;") = []);
+  check_b "source overwrite blocks" true
+    (apply_at Rule.m_fwd none (Parser.parse_thread "r1 := r2; r2 := 7;") = [])
+
+let test_by_name () =
+  check_b "found" true (Rule.by_name "e-rar" <> None);
+  check_b "case insensitive" true (Rule.by_name "R-WL" <> None);
+  check_b "i-ir findable" true (Rule.by_name "I-IR" <> None);
+  check_b "unknown" true (Rule.by_name "X-YZ" = None);
+  Alcotest.(check int) "5 eliminations" 5 (List.length Rule.eliminations);
+  Alcotest.(check int) "10 reorderings" 10 (List.length Rule.reorderings);
+  Alcotest.(check int) "15 safe rules" 15 (List.length Rule.all)
+
+let () =
+  Alcotest.run "rules"
+    [
+      ( "eliminations",
+        [
+          Alcotest.test_case "E-RAR" `Quick test_e_rar;
+          Alcotest.test_case "E-RAW" `Quick test_e_raw;
+          Alcotest.test_case "E-WAR" `Quick test_e_war;
+          Alcotest.test_case "E-WBW" `Quick test_e_wbw;
+          Alcotest.test_case "E-IR" `Quick test_e_ir;
+        ] );
+      ( "reorderings",
+        [
+          swap_case "R-RR" Rule.r_rr "r1 := x; r2 := y;" "r2 := y; r1 := x;"
+            [ "r1 := x; r1 := y;" ];
+          swap_case "R-WW" Rule.r_ww "x := r1; y := r2;" "y := r2; x := r1;"
+            [ "x := r1; x := r2;" ];
+          swap_case "R-WR" Rule.r_wr "x := r1; r2 := y;" "r2 := y; x := r1;"
+            [ "x := r1; r1 := y;"; "x := r1; r2 := x;" ];
+          swap_case "R-RW" Rule.r_rw "r1 := x; y := r2;" "y := r2; r1 := x;"
+            [ "r1 := x; y := r1;"; "r1 := x; x := r2;" ];
+          swap_case "R-WL" Rule.r_wl "x := r1; lock m;" "lock m; x := r1;" [];
+          swap_case "R-RL" Rule.r_rl "r1 := x; lock m;" "lock m; r1 := x;" [];
+          swap_case "R-UW" Rule.r_uw "unlock m; x := r1;" "x := r1; unlock m;"
+            [];
+          swap_case "R-UR" Rule.r_ur "unlock m; r1 := x;" "r1 := x; unlock m;"
+            [];
+          swap_case "R-XR" Rule.r_xr "print r1; r2 := x;" "r2 := x; print r1;"
+            [ "print r1; r1 := x;" ];
+          swap_case "R-XW" Rule.r_xw "print r1; x := r2;" "x := r2; print r1;"
+            [];
+          Alcotest.test_case "volatility side conditions" `Quick
+            test_swap_volatility;
+        ] );
+      ( "extensions",
+        [
+          Alcotest.test_case "I-IR" `Quick test_i_ir;
+          Alcotest.test_case "move commutation" `Quick test_moves;
+          Alcotest.test_case "by_name" `Quick test_by_name;
+        ] );
+    ]

@@ -1,0 +1,130 @@
+open Safeopt_trace
+open Safeopt_core
+open Helpers
+
+let check_b = Alcotest.(check bool)
+
+(* Fig. 1's single-thread DRF shrink: eliminating in a DRF traceset
+   must preserve behaviours (Theorem 1). *)
+let test_theorem1_drf () =
+  let orig =
+    Traceset.of_list
+      [ [ st 0; w "x" 1; r "x" 1; r "x" 1; ext 1 ] ]
+  in
+  let trans = Traceset.of_list [ [ st 0; w "x" 1; r "x" 1; ext 1 ] ] in
+  let v =
+    Safety.check_elimination none ~original:orig ~transformed:trans
+      ~universe:[ 0; 1 ]
+  in
+  check_b "original DRF" true v.Safety.original_drf;
+  check_b "transformed DRF" true v.Safety.transformed_drf;
+  check_b "behaviours included" true v.Safety.behaviours_included;
+  check_b "relation holds" true v.Safety.relation_holds;
+  check_b "guarantee" true (Safety.drf_guarantee_ok v)
+
+(* Fig. 1 proper: racy original, elimination adds behaviour [1;0] —
+   the guarantee is vacuous but the verdict reports the new
+   behaviour. *)
+let test_fig1_racy () =
+  let p_orig = Safeopt_litmus.Litmus.program Safeopt_litmus.Corpus.fig1_original in
+  let p_trans =
+    Safeopt_litmus.Litmus.program Safeopt_litmus.Corpus.fig1_transformed
+  in
+  let universe = Safeopt_lang.Denote.joint_universe [ p_orig; p_trans ] in
+  let orig = Safeopt_lang.Denote.traceset ~universe ~max_len:10 p_orig in
+  let trans = Safeopt_lang.Denote.traceset ~universe ~max_len:10 p_trans in
+  let v = Safety.check_elimination none ~original:orig ~transformed:trans ~universe in
+  check_b "original racy" false v.Safety.original_drf;
+  check_b "relation holds" true v.Safety.relation_holds;
+  check_b "new behaviour appears" false v.Safety.behaviours_included;
+  Alcotest.(check (option behaviour)) "the new behaviour is 1,0"
+    (Some [ 1; 0 ])
+    (match v.Safety.counterexample with
+    | Some b when Safeopt_exec.Behaviour.equal b [ 1; 0 ] -> Some [ 1; 0 ]
+    | other -> other);
+  check_b "guarantee vacuously holds" true (Safety.drf_guarantee_ok v)
+
+let test_theorem2_fig2 () =
+  (* Fig. 2: transformed is a reordering of T-bar but not of T; both
+     racy. *)
+  let t_bar = Traceset.add [ st 1; w "x" 1 ] fig2_original_traceset in
+  let v =
+    Safety.check_reordering none ~original:t_bar
+      ~transformed:fig2_transformed_traceset
+  in
+  check_b "relation holds" true v.Safety.relation_holds;
+  check_b "racy so vacuous" true (Safety.drf_guarantee_ok v);
+  let v2 =
+    Safety.check_reordering none ~original:fig2_original_traceset
+      ~transformed:fig2_transformed_traceset
+  in
+  check_b "not a reordering of T" false v2.Safety.relation_holds
+
+(* A DRF reordering.  The original traceset must already contain the
+   de-permuted prefixes (here [S(0); W[y=1]], obtainable by eliminating
+   the last write) — a traceset-level T-bar, as in the paper's
+   section-4 example. *)
+let test_theorem2_drf () =
+  let orig =
+    Traceset.of_list
+      [
+        [ st 0; w "x" 1; w "y" 1; ext 1 ];
+        [ st 0; w "y" 1 ];
+        [ st 1; ext 9 ];
+      ]
+  in
+  let trans =
+    Traceset.of_list
+      [ [ st 0; w "y" 1; w "x" 1; ext 1 ]; [ st 1; ext 9 ] ]
+  in
+  (* x and y belong to thread 0 alone: DRF *)
+  let v = Safety.check_reordering none ~original:orig ~transformed:trans in
+  check_b "original drf" true v.Safety.original_drf;
+  check_b "relation" true v.Safety.relation_holds;
+  check_b "behaviours included" true v.Safety.behaviours_included;
+  check_b "transformed drf" true v.Safety.transformed_drf;
+  check_b "guarantee holds" true (Safety.drf_guarantee_ok v)
+
+let test_behaviour_subset () =
+  let b1 = behaviours_of_list [ []; [ 1 ] ] in
+  let b2 = behaviours_of_list [ []; [ 1 ]; [ 2 ] ] in
+  Alcotest.(check (option behaviour)) "subset" None (Safety.behaviour_subset b1 b2);
+  Alcotest.(check (option behaviour)) "witness" (Some [ 2 ])
+    (Safety.behaviour_subset b2 b1)
+
+let test_guarantee_logic () =
+  let base =
+    {
+      Safety.original_drf = true;
+      transformed_drf = true;
+      behaviours_included = true;
+      relation_holds = true;
+      counterexample = None;
+    }
+  in
+  check_b "all good" true (Safety.drf_guarantee_ok base);
+  check_b "racy original vacuous" true
+    (Safety.drf_guarantee_ok { base with Safety.original_drf = false; behaviours_included = false });
+  check_b "violation detected" false
+    (Safety.drf_guarantee_ok { base with Safety.behaviours_included = false });
+  check_b "drf loss detected" false
+    (Safety.drf_guarantee_ok { base with Safety.transformed_drf = false });
+  check_b "no relation no claim" true
+    (Safety.drf_guarantee_ok
+       { base with Safety.relation_holds = false; behaviours_included = false })
+
+let () =
+  Alcotest.run "safety"
+    [
+      ( "safety",
+        [
+          Alcotest.test_case "theorem 1 on DRF traceset" `Quick
+            test_theorem1_drf;
+          Alcotest.test_case "fig 1 racy elimination" `Quick test_fig1_racy;
+          Alcotest.test_case "theorem 2 on fig 2" `Quick test_theorem2_fig2;
+          Alcotest.test_case "theorem 2 on DRF traceset" `Quick
+            test_theorem2_drf;
+          Alcotest.test_case "behaviour subset" `Quick test_behaviour_subset;
+          Alcotest.test_case "guarantee logic" `Quick test_guarantee_logic;
+        ] );
+    ]

@@ -1,0 +1,77 @@
+open Safeopt_trace
+open Helpers
+
+let check_b = Alcotest.(check bool)
+
+let test_actions () =
+  Alcotest.check action "read" (r "x" 1) (Syntax.parse_action "R[x=1]");
+  Alcotest.check action "write" (w "y" 0) (Syntax.parse_action "W[y=0]");
+  Alcotest.check action "lock" (lk "m") (Syntax.parse_action "L[m]");
+  Alcotest.check action "unlock" (ul "m1") (Syntax.parse_action "U[m1]");
+  Alcotest.check action "external" (ext 7) (Syntax.parse_action "X(7)");
+  Alcotest.check action "start" (st 2) (Syntax.parse_action "S(2)")
+
+let test_traces () =
+  Alcotest.check trace "semicolons"
+    [ st 0; r "x" 1; w "y" 1; ext 1 ]
+    (Syntax.parse_trace "S(0); R[x=1]; W[y=1]; X(1)");
+  Alcotest.check trace "brackets and commas"
+    [ st 0; lk "m"; ul "m" ]
+    (Syntax.parse_trace "[S(0), L[m], U[m]]");
+  Alcotest.check trace "empty" [] (Syntax.parse_trace "");
+  Alcotest.check trace "empty brackets" [] (Syntax.parse_trace "[]");
+  Alcotest.check trace "whitespace tolerant"
+    [ st 0; w "x" 12 ]
+    (Syntax.parse_trace "  S( 0 ) ;  W[ x = 12 ]  ")
+
+let test_wildcards () =
+  Alcotest.check wildcard "wildcard read"
+    [ c (st 0); wild "x"; c (w "y" 1) ]
+    (Syntax.parse_wildcard "S(0); R[x=*]; W[y=1]");
+  check_b "trace parser rejects wildcards" true
+    (match Syntax.parse_trace "R[x=*]" with
+    | exception Syntax.Error _ -> true
+    | _ -> false)
+
+let test_errors () =
+  let fails s =
+    match Syntax.parse_wildcard s with
+    | exception Syntax.Error _ -> true
+    | _ -> false
+  in
+  check_b "unknown action" true (fails "Q[x=1]");
+  check_b "missing value" true (fails "R[x=]");
+  check_b "missing bracket" true (fails "R[x=1");
+  check_b "trailing garbage" true (fails "S(0) @");
+  check_b "bad separator fine (commas ok)" false (fails "S(0), X(1)")
+
+let test_roundtrip () =
+  let samples =
+    [
+      [ c (st 0); c (r "x" 1); wild "y"; c (w "zz_1" 42) ];
+      [ c (lk "m"); c (ul "m"); c (ext 0) ];
+      [];
+    ]
+  in
+  List.iter
+    (fun w ->
+      Alcotest.check wildcard "roundtrip" w
+        (Syntax.parse_wildcard (Wildcard.to_string w)))
+    samples;
+  (* and against Trace.pp *)
+  let t = [ st 1; w "x" 3; r "x" 3; ext 3 ] in
+  Alcotest.check trace "trace roundtrip" t
+    (Syntax.parse_trace (Trace.to_string t))
+
+let () =
+  Alcotest.run "syntax"
+    [
+      ( "trace notation",
+        [
+          Alcotest.test_case "actions" `Quick test_actions;
+          Alcotest.test_case "traces" `Quick test_traces;
+          Alcotest.test_case "wildcards" `Quick test_wildcards;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,100 @@
+open Safeopt_trace
+open Helpers
+
+let check_b = Alcotest.(check bool)
+let check_t = Alcotest.check trace
+
+let t1 = [ st 0; w "x" 1; r "y" 0; lk "m"; w "x" 2; ul "m"; ext 2 ]
+
+let test_basics () =
+  Alcotest.(check int) "length" 7 (Trace.length t1);
+  Alcotest.check action "nth" (lk "m") (Trace.nth t1 3);
+  Alcotest.(check (list int)) "dom" [ 0; 1; 2; 3; 4; 5; 6 ] (Trace.dom t1);
+  Alcotest.check_raises "nth out of range"
+    (Invalid_argument "Trace.nth: index 9 out of range") (fun () ->
+      ignore (Trace.nth t1 9))
+
+let test_prefix () =
+  check_b "empty is prefix" true (Trace.is_prefix [] t1);
+  check_b "self prefix" true (Trace.is_prefix t1 t1);
+  check_b "proper prefix" true (Trace.is_prefix [ st 0; w "x" 1 ] t1);
+  check_b "not strict of self" false (Trace.is_strict_prefix t1 t1);
+  check_b "strict" true (Trace.is_strict_prefix [ st 0 ] t1);
+  check_b "non-prefix" false (Trace.is_prefix [ w "x" 1 ] t1);
+  Alcotest.(check int) "prefix count" 8 (List.length (Trace.prefixes t1));
+  check_b "all prefixes are prefixes" true
+    (List.for_all (fun p -> Trace.is_prefix p t1) (Trace.prefixes t1))
+
+let test_restrict () =
+  check_t "restrict keeps order" [ st 0; r "y" 0 ] (Trace.restrict t1 [ 2; 0 ]);
+  check_t "restrict out-of-range ignored" [ ext 2 ]
+    (Trace.restrict t1 [ 6; 99 ]);
+  check_t "restrict duplicates" [ w "x" 1 ] (Trace.restrict t1 [ 1; 1 ]);
+  Alcotest.(check (list int)) "complement" [ 1; 3; 4; 5; 6 ]
+    (Trace.complement t1 [ 0; 2 ]);
+  Alcotest.(check (list int)) "indices_where writes" [ 1; 4 ]
+    (Trace.indices_where (fun _ a -> Action.is_write a) t1)
+
+let test_well_locked () =
+  check_b "balanced" true (Trace.well_locked t1);
+  check_b "unlock first" false (Trace.well_locked [ st 0; ul "m" ]);
+  check_b "pending lock ok" true (Trace.well_locked [ st 0; lk "m" ]);
+  check_b "nested" true
+    (Trace.well_locked [ st 0; lk "m"; lk "m"; ul "m"; ul "m" ]);
+  check_b "over-unlock inside" false
+    (Trace.well_locked [ st 0; lk "m"; ul "m"; ul "m"; lk "m" ]);
+  check_b "distinct monitors independent" false
+    (Trace.well_locked [ st 0; lk "m"; ul "n" ]);
+  Alcotest.(check int) "lock_depth" 1
+    (Trace.lock_depth [ st 0; lk "m"; lk "m"; ul "m" ] "m")
+
+let test_properly_started () =
+  check_b "empty ok" true (Trace.properly_started []);
+  check_b "start first" true (Trace.properly_started [ st 1; w "x" 1 ]);
+  check_b "no start" false (Trace.properly_started [ w "x" 1 ])
+
+let test_ra_pair_between () =
+  (* release at 2, acquire at 3 within (0,5) *)
+  let t = [ st 0; w "x" 1; ul "m"; lk "m"; w "y" 1; r "x" 1 ] in
+  check_b "pair present" true (Trace.has_release_acquire_pair_between none t 0 5);
+  check_b "pair needs release strictly before acquire" false
+    (Trace.has_release_acquire_pair_between none t 2 5);
+  (* only an acquire between: no pair *)
+  let t2 = [ st 0; w "x" 1; lk "m"; r "x" 1 ] in
+  check_b "acquire alone is no pair" false
+    (Trace.has_release_acquire_pair_between none t2 0 3);
+  (* acquire then release: no pair *)
+  let t3 = [ st 0; r "y" 0; lk "m"; ul "m"; r "y" 0 ] in
+  check_b "acquire-release order is no pair" false
+    (Trace.has_release_acquire_pair_between none t3 1 4);
+  (* volatile write (release) then volatile read (acquire) *)
+  let t4 = [ st 0; r "x" 0; w "v" 1; r "v" 1; r "x" 0 ] in
+  check_b "volatile pair" true
+    (Trace.has_release_acquire_pair_between vol_v t4 1 4);
+  check_b "without volatility no pair" false
+    (Trace.has_release_acquire_pair_between none t4 1 4)
+
+let test_locations_finals () =
+  Alcotest.(check (list string)) "locations" [ "x"; "y" ]
+    (Location.Set.elements (Trace.locations t1));
+  let fv = Trace.final_values t1 in
+  Alcotest.(check (option int)) "final x" (Some 2)
+    (Location.Map.find_opt "x" fv);
+  Alcotest.(check (option int)) "final y" None (Location.Map.find_opt "y" fv)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "prefixes" `Quick test_prefix;
+          Alcotest.test_case "restrict/complement" `Quick test_restrict;
+          Alcotest.test_case "well-locked" `Quick test_well_locked;
+          Alcotest.test_case "properly started" `Quick test_properly_started;
+          Alcotest.test_case "release-acquire between" `Quick
+            test_ra_pair_between;
+          Alcotest.test_case "locations and finals" `Quick
+            test_locations_finals;
+        ] );
+    ]

@@ -1,0 +1,75 @@
+open Safeopt_trace
+open Helpers
+
+let check_b = Alcotest.(check bool)
+
+let ts = Traceset.of_list [ [ st 0; w "x" 1; r "y" 0 ]; [ st 1; ext 1 ] ]
+
+let test_prefix_closure () =
+  check_b "contains empty" true (Traceset.mem [] ts);
+  check_b "contains proper prefix" true (Traceset.mem [ st 0; w "x" 1 ] ts);
+  check_b "contains full" true (Traceset.mem [ st 0; w "x" 1; r "y" 0 ] ts);
+  check_b "does not contain others" false (Traceset.mem [ st 0; r "y" 0 ] ts);
+  check_b "prefix closed" true (Traceset.prefix_closed ts);
+  Alcotest.(check int) "cardinal counts prefixes" 6 (Traceset.cardinal ts)
+
+let test_wf () =
+  check_b "well formed" true (Traceset.well_formed ts);
+  let bad = Traceset.of_list [ [ st 0; ul "m" ] ] in
+  check_b "unlock-first is not well locked" false (Traceset.well_locked bad);
+  let unstarted = Traceset.of_list [ [ w "x" 1 ] ] in
+  check_b "not properly started" false (Traceset.properly_started unstarted)
+
+let test_maximal_threads () =
+  Alcotest.(check int) "two maximal traces" 2 (List.length (Traceset.maximal ts));
+  Alcotest.(check (list int)) "thread ids" [ 0; 1 ] (Traceset.thread_ids ts);
+  Alcotest.(check int) "thread 0 traces (non-empty ones)" 3
+    (List.length (Traceset.elements_of_thread 0 ts))
+
+let test_belongs_to () =
+  let uni = [ 0; 1 ] in
+  (* All instances of the relay wildcard trace belong to fig2's
+     traceset. *)
+  check_b "wildcard relay belongs" true
+    (Traceset.belongs_to fig2_original_traceset
+       [ c (st 0); wild "x" ] ~universe:uni);
+  (* [S(0); R[x=*]; W[y=1]] does not: the write value must match the
+     read. *)
+  check_b "value-dependent continuation does not belong" false
+    (Traceset.belongs_to fig2_original_traceset
+       [ c (st 0); wild "x"; c (w "y" 1) ]
+       ~universe:uni);
+  check_b "concrete member" true
+    (Traceset.belongs_to fig2_original_traceset
+       (Wildcard.of_trace [ st 0; r "x" 1; w "y" 1 ])
+       ~universe:uni);
+  check_b "concrete non-member" false
+    (Traceset.belongs_to fig2_original_traceset
+       (Wildcard.of_trace [ st 0; r "x" 1; w "y" 0 ])
+       ~universe:uni)
+
+let test_ops () =
+  let ts2 = Traceset.add [ st 2; lk "m" ] ts in
+  check_b "added" true (Traceset.mem [ st 2; lk "m" ] ts2);
+  check_b "add preserves closure" true (Traceset.prefix_closed ts2);
+  check_b "subset" true (Traceset.subset ts ts2);
+  check_b "union" true
+    (Traceset.equal ts2 (Traceset.union ts ts2));
+  Alcotest.(check (list int)) "values" [ 0; 1 ] (Traceset.values ts);
+  Alcotest.(check (list string)) "locations" [ "x"; "y" ]
+    (Location.Set.elements (Traceset.locations ts));
+  let mapped = Traceset.map_traces (fun t -> List.filter Action.is_start t) ts in
+  check_b "map re-closes" true (Traceset.prefix_closed mapped)
+
+let () =
+  Alcotest.run "traceset"
+    [
+      ( "traceset",
+        [
+          Alcotest.test_case "prefix closure" `Quick test_prefix_closure;
+          Alcotest.test_case "well-formedness" `Quick test_wf;
+          Alcotest.test_case "maximal and threads" `Quick test_maximal_threads;
+          Alcotest.test_case "belongs-to" `Quick test_belongs_to;
+          Alcotest.test_case "operations" `Quick test_ops;
+        ] );
+    ]

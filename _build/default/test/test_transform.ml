@@ -1,0 +1,104 @@
+open Safeopt_lang
+open Safeopt_opt
+open Helpers
+
+let check_b = Alcotest.(check bool)
+
+let test_program_rewrites () =
+  let p = parse "thread { r1 := x; r2 := x; }\nthread { r3 := x; r4 := x; }" in
+  let steps = Transform.program_rewrites [ Rule.e_rar ] p in
+  Alcotest.(check int) "one site per thread" 2 (List.length steps);
+  List.iter
+    (fun s ->
+      check_b "before is p" true (Ast.equal_program s.Transform.before p);
+      check_b "after differs" false (Ast.equal_program s.Transform.after p))
+    steps
+
+let test_nested_sites () =
+  (* the rule applies inside blocks, branches and loop bodies *)
+  let p = parse "thread { if (r9 == 0) { r1 := x; r2 := x; } }" in
+  check_b "inside if-block" true
+    (Transform.program_rewrites [ Rule.e_rar ] p <> []);
+  let p2 = parse "thread { while (r9 == 0) { r1 := x; r2 := x; } }" in
+  check_b "inside while" true
+    (Transform.program_rewrites [ Rule.e_rar ] p2 <> []);
+  let p3 = parse "thread { if (r9 == 0) skip; else { r1 := x; r2 := x; } }" in
+  check_b "inside else" true
+    (Transform.program_rewrites [ Rule.e_rar ] p3 <> [])
+
+let test_reachable () =
+  let p = parse "thread { r1 := x; r2 := y; r3 := z; }" in
+  (* R-RR can permute the three independent reads: 6 arrangements *)
+  let reach = Transform.reachable [ Rule.r_rr ] p in
+  Alcotest.(check int) "all permutations" 6 (List.length reach);
+  check_b "includes source" true
+    (List.exists (fun q -> Ast.equal_program q p) reach);
+  (* budget respected *)
+  let small = Transform.reachable ~max_programs:2 [ Rule.r_rr ] p in
+  check_b "bounded" true (List.length small <= 3)
+
+let test_find_chain () =
+  let source = parse "thread { r1 := x; r2 := y; }" in
+  let target = parse "thread { r2 := y; r1 := x; }" in
+  (match Transform.find_chain [ Rule.r_rr ] ~source ~target with
+  | Some [ s ] -> Alcotest.(check string) "one R-RR step" "R-RR" s.Transform.rule
+  | Some c -> Alcotest.failf "expected 1 step, got %d" (List.length c)
+  | None -> Alcotest.fail "expected a chain");
+  (* unreachable target *)
+  let bad = parse "thread { r1 := z; r2 := y; }" in
+  check_b "unreachable" true
+    (Transform.find_chain [ Rule.r_rr ] ~source ~target:bad = None);
+  (* empty chain when source = target *)
+  match Transform.find_chain [ Rule.r_rr ] ~source ~target:source with
+  | Some [] -> ()
+  | _ -> Alcotest.fail "expected the empty chain"
+
+let test_apply_named () =
+  let p = parse "thread { r1 := x; r2 := x; }" in
+  (match Transform.apply_named "E-RAR" p with
+  | Ok p' ->
+      check_b "applied" true
+        (Ast.equal_program p' (parse "thread { r1 := x; r2 := r1; }"))
+  | Error e -> Alcotest.fail e);
+  check_b "unknown rule" true (Result.is_error (Transform.apply_named "nope" p));
+  check_b "inapplicable rule" true
+    (Result.is_error (Transform.apply_named "R-WL" p))
+
+(* Theorems 3 and 4, empirically: applying any safe rule to a DRF
+   corpus program preserves DRF and adds no behaviours. *)
+let test_theorems_3_4_on_corpus () =
+  let drf_tests =
+    List.filter (fun t -> t.Safeopt_litmus.Litmus.drf) Safeopt_litmus.Corpus.all
+  in
+  List.iter
+    (fun t ->
+      let p = Safeopt_litmus.Litmus.program t in
+      let steps = Transform.program_rewrites Rule.all p in
+      List.iter
+        (fun s ->
+          let report =
+            Validate.validate ~original:p ~transformed:s.Transform.after ()
+          in
+          if not (Validate.behaviours_ok report) then
+            Alcotest.failf "%s: rule %s broke the DRF guarantee"
+              t.Safeopt_litmus.Litmus.name s.Transform.rule)
+        steps)
+    drf_tests
+
+let () =
+  Alcotest.run "transform"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "program rewrites" `Quick test_program_rewrites;
+          Alcotest.test_case "nested sites" `Quick test_nested_sites;
+          Alcotest.test_case "reachable" `Quick test_reachable;
+          Alcotest.test_case "find_chain" `Quick test_find_chain;
+          Alcotest.test_case "apply_named" `Quick test_apply_named;
+        ] );
+      ( "theorems",
+        [
+          Alcotest.test_case "rules are safe on the DRF corpus" `Slow
+            test_theorems_3_4_on_corpus;
+        ] );
+    ]

@@ -1,0 +1,96 @@
+open Safeopt_exec
+open Safeopt_lang
+open Safeopt_litmus
+open Safeopt_tso
+open Helpers
+
+let check_b = Alcotest.(check bool)
+
+let test_sb_weak () =
+  let sb = Litmus.program Corpus.sb in
+  let weak = Machine.weak_behaviours sb in
+  Alcotest.check behaviour_set "exactly the 0,0 outcome"
+    (behaviours_of_list [ [ 0; 0 ] ])
+    weak;
+  (* TSO includes all SC behaviours *)
+  check_b "SC subset of TSO" true
+    (Behaviour.Set.subset (Interp.behaviours sb)
+       (Machine.program_behaviours sb))
+
+let test_tso_preserves_sc_per_thread_order () =
+  (* MP and LB are not weakened by TSO (FIFO buffers) *)
+  check_b "mp not weak" true
+    (Behaviour.Set.is_empty (Machine.weak_behaviours (Litmus.program Corpus.mp)));
+  check_b "lb not weak" true
+    (Behaviour.Set.is_empty (Machine.weak_behaviours (Litmus.program Corpus.lb)));
+  check_b "corr not weak" true
+    (Behaviour.Set.is_empty
+       (Machine.weak_behaviours (Litmus.program Corpus.corr)))
+
+let test_store_forwarding () =
+  (* a thread reads its own buffered write *)
+  let p = parse "thread { x := 1; r1 := x; print r1; }" in
+  let tso = Machine.program_behaviours p in
+  check_b "sees own write" true (Behaviour.Set.mem [ 1 ] tso);
+  check_b "never sees stale own write" false (Behaviour.Set.mem [ 0 ] tso)
+
+let test_fences () =
+  (* volatile writes drain the buffer: volatile SB is SC *)
+  let p =
+    parse
+      "volatile x, y;\n\
+       thread { x := 1; r1 := y; print r1; }\n\
+       thread { y := 1; r2 := x; print r2; }"
+  in
+  check_b "volatile sb not weak" true
+    (Behaviour.Set.is_empty (Machine.weak_behaviours p));
+  (* locks drain too *)
+  let q =
+    parse
+      "thread { lock m; x := 1; r1 := y; print r1; unlock m; }\n\
+       thread { lock m; y := 1; r2 := x; print r2; unlock m; }"
+  in
+  check_b "locked sb not weak" true
+    (Behaviour.Set.is_empty (Machine.weak_behaviours q))
+
+(* The central section-8 theorem check: DRF programs have no observable
+   TSO weakness. *)
+let test_drf_no_weakness () =
+  List.iter
+    (fun t ->
+      if t.Litmus.drf then
+        let p = Litmus.program t in
+        let weak = Machine.weak_behaviours p in
+        if not (Behaviour.Set.is_empty weak) then
+          Alcotest.failf "%s: DRF program has TSO-weak behaviours %a"
+            t.Litmus.name Behaviour.Set.pp weak)
+    Corpus.all
+
+(* And the explanation claim: TSO behaviours are covered by R-WR +
+   E-RAW transformed programs under SC. *)
+let test_explained () =
+  List.iter
+    (fun t ->
+      let p = Litmus.program t in
+      let _, _, ok = Machine.explained_by_transformations p in
+      if not ok then
+        Alcotest.failf "%s: TSO behaviours not explained by transformations"
+          t.Litmus.name)
+    [ Corpus.sb; Corpus.mp; Corpus.lb; Corpus.corr; Corpus.fig2_original ]
+
+let () =
+  Alcotest.run "tso"
+    [
+      ( "tso",
+        [
+          Alcotest.test_case "SB weakness" `Quick test_sb_weak;
+          Alcotest.test_case "FIFO order preserved" `Quick
+            test_tso_preserves_sc_per_thread_order;
+          Alcotest.test_case "store forwarding" `Quick test_store_forwarding;
+          Alcotest.test_case "fences" `Quick test_fences;
+          Alcotest.test_case "DRF implies no weakness" `Slow
+            test_drf_no_weakness;
+          Alcotest.test_case "explained by transformations" `Slow
+            test_explained;
+        ] );
+    ]

@@ -1,0 +1,147 @@
+open Safeopt_trace
+open Safeopt_exec
+open Safeopt_core
+open Helpers
+
+let check_b = Alcotest.(check bool)
+
+(* The section-5 / Fig. 5 example.  Original program (v volatile):
+     thread 0: v := 1; y := 1        thread 1: r1 := x; r2 := v; print r2
+   Eliminated program:
+     thread 0: y := 1                thread 1: r2 := v; print r2
+   I' = [(0,S(0)); (1,S(1)); (0,W[y=1]); (1,R[v=0]); (1,X(0))]. *)
+
+let original_ts =
+  Traceset.of_list
+    (List.concat_map
+       (fun vv ->
+         [
+           [ st 0; w "v" 1; w "y" 1 ];
+           [ st 1; r "x" vv; r "v" 0; ext 0 ];
+           [ st 1; r "x" vv; r "v" 1; ext 1 ];
+         ])
+       [ 0; 1 ])
+
+let i' =
+  il [ (0, st 0); (1, st 1); (0, w "y" 1); (1, r "v" 0); (1, ext 0) ]
+
+let universe = [ 0; 1 ]
+
+let construct () =
+  Unelimination.construct_from_traceset vol_v ~original:original_ts ~universe
+    i'
+
+let test_fig5_construction () =
+  match construct () with
+  | None -> Alcotest.fail "expected an unelimination"
+  | Some { Unelimination.wild; matching } ->
+      (* the paper: f maps index 2 (W[y=1]) to the last position *)
+      Alcotest.(check int) "|I| = 7" 7 (Interleaving.Wild.length wild);
+      Alcotest.(check int) "f(2) = 6 (the paper's example)" 6 matching.(2);
+      Alcotest.(check int) "f(0) = 0" 0 matching.(0);
+      (* conditions (i)-(iv) *)
+      check_b "valid unelimination function" true
+        (Unelimination.is_unelimination_function vol_v ~transformed:i' ~wild
+           ~f:matching);
+      (* the wildcard interleaving belongs to the original traceset *)
+      check_b "thread traces belong to T" true
+        (List.for_all
+           (fun tid ->
+             Traceset.belongs_to original_ts
+               (Interleaving.Wild.trace_of tid wild)
+               ~universe)
+           [ 0; 1 ]);
+      (* the unique instance is an execution of T with behaviour X(0) *)
+      let inst = Interleaving.Wild.instance wild in
+      check_b "instance is an execution of T" true
+        (Interleaving.is_execution_of original_ts inst);
+      Alcotest.check behaviour "same behaviour" [ 0 ]
+        (Interleaving.behaviour inst)
+
+let test_checker_rejects () =
+  match construct () with
+  | None -> Alcotest.fail "expected an unelimination"
+  | Some { Unelimination.wild; matching } ->
+      (* break per-thread order *)
+      let bad = Array.copy matching in
+      let tmp = bad.(0) in
+      bad.(0) <- bad.(2);
+      bad.(2) <- tmp;
+      check_b "swapped matching rejected" false
+        (Unelimination.is_unelimination_function vol_v ~transformed:i' ~wild
+           ~f:bad);
+      (* non-injective *)
+      let dup = Array.copy matching in
+      dup.(1) <- dup.(0);
+      check_b "non-injective rejected" false
+        (Unelimination.is_unelimination_function vol_v ~transformed:i' ~wild
+           ~f:dup)
+
+(* Theorem-1-style check on Fig. 1: every execution of the transformed
+   traceset uneliminates to an execution of the original with the same
+   behaviour, provided the original is DRF.  Fig. 1 is racy, so instead
+   we use a DRF single-thread example. *)
+let test_drf_unelimination () =
+  let orig =
+    parse
+      "thread { x := 1; r1 := x; r2 := x; print r2; lock m; x := 2; x := 1; \
+       unlock m; }"
+  in
+  let trans = parse "thread { x := 1; r1 := x; print 1; lock m; x := 1; unlock m; }" in
+  let universe = Safeopt_lang.Denote.joint_universe [ orig; trans ] in
+  let ts_o = Safeopt_lang.Denote.traceset ~universe ~max_len:12 orig in
+  let sys = Safeopt_lang.Thread_system.make trans in
+  let execs = Enumerate.maximal_executions sys in
+  check_b "at least one execution" true (execs <> []);
+  List.iter
+    (fun e ->
+      match
+        Unelimination.construct_from_traceset none ~original:ts_o ~universe e
+      with
+      | None -> Alcotest.failf "no unelimination for %a" Interleaving.pp e
+      | Some { Unelimination.wild; matching } ->
+          check_b "valid" true
+            (Unelimination.is_unelimination_function none ~transformed:e ~wild
+               ~f:matching);
+          let inst = Interleaving.Wild.instance wild in
+          check_b "instance is an execution" true
+            (Interleaving.is_execution_of ts_o inst);
+          Alcotest.check behaviour "behaviour preserved"
+            (Interleaving.behaviour e)
+            (Interleaving.behaviour inst))
+    execs
+
+let test_empty_and_trivial () =
+  (* empty interleaving *)
+  (match
+     Unelimination.construct_from_traceset none
+       ~original:(Traceset.of_list [ [ st 0 ] ])
+       ~universe:[ 0 ] []
+   with
+  | Some { Unelimination.wild; _ } ->
+      Alcotest.(check int) "empty stays empty" 0
+        (Interleaving.Wild.length wild)
+  | None -> Alcotest.fail "empty should uneliminate");
+  (* identity: nothing was eliminated *)
+  let ts = Traceset.of_list [ [ st 0; w "x" 1; ext 1 ] ] in
+  let e = il [ (0, st 0); (0, w "x" 1); (0, ext 1) ] in
+  match Unelimination.construct_from_traceset none ~original:ts ~universe:[ 0; 1 ] e with
+  | Some { Unelimination.wild; matching } ->
+      Alcotest.(check int) "same length" 3 (Interleaving.Wild.length wild);
+      check_b "identity matching" true (matching = [| 0; 1; 2 |])
+  | None -> Alcotest.fail "identity unelimination"
+
+let () =
+  Alcotest.run "unelimination"
+    [
+      ( "unelimination",
+        [
+          Alcotest.test_case "Fig. 5 construction" `Quick
+            test_fig5_construction;
+          Alcotest.test_case "checker rejects bad matchings" `Quick
+            test_checker_rejects;
+          Alcotest.test_case "DRF executions uneliminate" `Quick
+            test_drf_unelimination;
+          Alcotest.test_case "degenerate cases" `Quick test_empty_and_trivial;
+        ] );
+    ]

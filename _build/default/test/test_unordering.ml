@@ -1,0 +1,127 @@
+open Safeopt_trace
+open Safeopt_exec
+open Safeopt_core
+open Helpers
+
+let check_b = Alcotest.(check bool)
+
+(* Fig. 2's transformed traceset executes; unorder into T-bar
+   (original + the elimination-closure trace). *)
+let t_bar = Traceset.add [ st 1; w "x" 1 ] fig2_original_traceset
+let mem t = Traceset.mem t t_bar
+
+(* An execution of the transformed program where the weak behaviour
+   shows up: thread 1 writes x, thread 0 relays to y, thread 1 reads
+   y=1 and prints 1. *)
+let i' =
+  il
+    [
+      (1, st 1);
+      (1, w "x" 1);
+      (0, st 0);
+      (0, r "x" 1);
+      (0, w "y" 1);
+      (1, r "y" 1);
+      (1, ext 1);
+    ]
+
+let test_construct () =
+  check_b "i' is an execution of T'" true
+    (Interleaving.is_execution_of fig2_transformed_traceset i');
+  match Unordering.construct_from_oracle none ~mem i' with
+  | None -> Alcotest.fail "expected an unordering"
+  | Some { Unordering.interleaving; f } ->
+      check_b "valid unordering" true
+        (Unordering.is_unordering none ~mem ~transformed:i' ~f);
+      (* result is a permutation of i' *)
+      Alcotest.(check int) "same length" (Interleaving.length i')
+        (Interleaving.length interleaving);
+      (* behaviour is preserved (sync/external order kept) *)
+      Alcotest.check behaviour "behaviour" (Interleaving.behaviour i')
+        (Interleaving.behaviour interleaving);
+      (* per-thread traces land in T-bar *)
+      check_b "thread traces in T-bar" true
+        (List.for_all
+           (fun tid -> mem (Interleaving.trace_of tid interleaving))
+           (Interleaving.threads interleaving))
+
+let test_checker () =
+  let n = Interleaving.length i' in
+  check_b "identity is an unordering only if traces are in T" false
+    (Unordering.is_unordering none ~mem:(fun t ->
+         Traceset.mem t fig2_original_traceset)
+       ~transformed:i' ~f:(Array.init n Fun.id));
+  (* identity IS an unordering into the transformed traceset itself *)
+  check_b "identity into T'" true
+    (Unordering.is_unordering none
+       ~mem:(fun t -> Traceset.mem t fig2_transformed_traceset)
+       ~transformed:i'
+       ~f:(Array.init n Fun.id))
+
+(* Theorem 2 shape on a DRF example: reorder two independent writes in
+   one thread; every execution of the transformed program unorders to
+   an execution of the original with the same behaviour. *)
+let test_drf_unordering () =
+  let orig = parse "thread { rx := 1; x := rx; y := rx; print rx; }" in
+  let trans = parse "thread { rx := 1; y := rx; x := rx; print rx; }" in
+  let universe = Safeopt_lang.Denote.joint_universe [ orig; trans ] in
+  let ts_o = Safeopt_lang.Denote.traceset ~universe ~max_len:8 orig in
+  (* per Lemma 5, unorder into the ELIMINATION CLOSURE of the original:
+     the de-permuted prefixes (e.g. [S(0); W[y=1]]) arise by
+     eliminating the last write W[x=1] *)
+  let memo = Hashtbl.create 97 in
+  let mem t =
+    let key = Trace.to_string t in
+    match Hashtbl.find_opt memo key with
+    | Some b -> b
+    | None ->
+        let b = Elimination.is_member none ~original:ts_o ~universe t in
+        Hashtbl.add memo key b;
+        b
+  in
+  let execs =
+    Enumerate.maximal_executions (Safeopt_lang.Thread_system.make trans)
+  in
+  check_b "has executions" true (execs <> []);
+  List.iter
+    (fun e ->
+      match Unordering.construct_from_oracle none ~mem e with
+      | None -> Alcotest.failf "no unordering for %a" Interleaving.pp e
+      | Some { Unordering.interleaving; f } ->
+          check_b "valid" true
+            (Unordering.is_unordering none ~mem ~transformed:e ~f);
+          check_b "instance is an execution of the original" true
+            (Interleaving.is_execution_of ts_o interleaving);
+          Alcotest.check behaviour "behaviour preserved"
+            (Interleaving.behaviour e)
+            (Interleaving.behaviour interleaving))
+    execs
+
+let test_sync_order_preserved () =
+  (* unordering must keep the mutual order of sync/external actions *)
+  let ts =
+    Traceset.of_list
+      [ [ st 0; ext 1; w "x" 1; ext 2 ]; [ st 1; ext 3 ] ]
+  in
+  let e =
+    il [ (0, st 0); (0, ext 1); (0, w "x" 1); (1, st 1); (1, ext 3); (0, ext 2) ]
+  in
+  match Unordering.construct_from_oracle none ~mem:(fun t -> Traceset.mem t ts) e with
+  | None -> Alcotest.fail "identity unordering should exist"
+  | Some { Unordering.interleaving; _ } ->
+      Alcotest.check behaviour "external order kept" [ 1; 3; 2 ]
+        (Interleaving.behaviour interleaving)
+
+let () =
+  Alcotest.run "unordering"
+    [
+      ( "unordering",
+        [
+          Alcotest.test_case "Fig. 2 construction" `Quick test_construct;
+          Alcotest.test_case "checker" `Quick test_checker;
+          Alcotest.test_case "DRF executions unorder" `Quick
+            test_drf_unordering;
+          Alcotest.test_case "sync/external order" `Quick
+            test_sync_order_preserved;
+        ] );
+    ]

@@ -1,0 +1,130 @@
+open Safeopt_opt
+open Helpers
+
+let check_b = Alcotest.(check bool)
+
+let test_identity () =
+  let p = parse "thread { x := 1; print x; }" in
+  let r = Validate.validate ~original:p ~transformed:p () in
+  check_b "identity ok" true (Validate.ok r);
+  check_b "drf recorded" true r.Validate.original_drf;
+  check_b "no new behaviour" true (r.Validate.new_behaviour = None)
+
+let test_fig2_report () =
+  let orig = Safeopt_litmus.Litmus.program Safeopt_litmus.Corpus.fig2_original in
+  let trans =
+    Safeopt_litmus.Litmus.program Safeopt_litmus.Corpus.fig2_transformed
+  in
+  let r = Validate.validate ~original:orig ~transformed:trans () in
+  check_b "racy original" false r.Validate.original_drf;
+  check_b "new behaviour detected" true (r.Validate.new_behaviour <> None);
+  (* the guarantee is vacuous for racy programs *)
+  check_b "vacuously ok" true (Validate.ok r)
+
+let test_drf_violation_detected () =
+  (* Break a DRF program by sinking a write out of its lock. *)
+  let orig =
+    parse
+      "thread { lock m; x := 1; unlock m; }\n\
+       thread { lock m; r1 := x; print r1; unlock m; }"
+  in
+  let bad =
+    parse
+      "thread { x := 1; lock m; skip; unlock m; }\n\
+       thread { lock m; r1 := x; print r1; unlock m; }"
+  in
+  let r = Validate.validate ~original:orig ~transformed:bad () in
+  check_b "original drf" true r.Validate.original_drf;
+  check_b "transformed racy" false r.Validate.transformed_drf;
+  check_b "race witness produced" true (r.Validate.race_witness <> None);
+  check_b "guarantee violated" false (Validate.ok r)
+
+let test_new_behaviour_detected () =
+  let orig = parse "thread { r1 := 1; print r1; }" in
+  let bad = parse "thread { r1 := 2; print r1; }" in
+  let r = Validate.validate ~original:orig ~transformed:bad () in
+  Alcotest.(check (option behaviour)) "behaviour [2] is new" (Some [ 2 ])
+    r.Validate.new_behaviour;
+  check_b "violated" false (Validate.ok r)
+
+let test_semantic_relations () =
+  (* elimination relation validated end to end *)
+  let orig = parse "thread { x := r1; r2 := x; y := r2; }" in
+  let trans = parse "thread { x := r1; r2 := r1; y := r2; }" in
+  let r =
+    Validate.validate_semantic ~max_len:8 ~relation:Validate.Elimination
+      ~original:orig ~transformed:trans ()
+  in
+  Alcotest.(check (option bool)) "elimination holds" (Some true)
+    r.Validate.relation_holds;
+  check_b "overall ok" true (Validate.ok r);
+  (* a wrong claim is refuted *)
+  let r2 =
+    Validate.validate_semantic ~max_len:8 ~relation:Validate.Elimination
+      ~original:trans ~transformed:orig ()
+  in
+  Alcotest.(check (option bool)) "reverse direction refuted" (Some false)
+    r2.Validate.relation_holds;
+  check_b "refutation carries an unwitnessed trace" true
+    (r2.Validate.relation_counterexample <> None);
+  check_b "refutation fails ok" false (Validate.ok r2);
+  check_b "positive checks carry no counterexample" true
+    (r.Validate.relation_counterexample = None);
+  (* reordering via elimination closure (Lemma 5): swap two loads *)
+  let orig3 = parse "thread { r1 := x; r2 := y; print r1; print r2; }" in
+  let trans3 = parse "thread { r2 := y; r1 := x; print r1; print r2; }" in
+  let r3 =
+    Validate.validate_semantic ~max_len:8
+      ~relation:Validate.Elimination_then_reordering ~original:orig3
+      ~transformed:trans3 ()
+  in
+  Alcotest.(check (option bool)) "elim-then-reorder holds" (Some true)
+    r3.Validate.relation_holds
+
+let test_chain () =
+  (* the paper's main result shape: a finite chain of safe steps from a
+     DRF program adds no behaviours end to end *)
+  let p0 = parse "thread { r1 := x; skip; r2 := x; y := r2; y := r1; }" in
+  let p1 =
+    match Safeopt_opt.Transform.apply_named "E-RAR" p0 with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let p2, _ = Safeopt_opt.Passes.eliminate_redundancy p1 in
+  let report = Validate.validate_chain [ p0; p1; p2 ] in
+  Alcotest.(check int) "two pairwise reports" 2
+    (List.length report.Validate.pairwise);
+  check_b "chain holds" true (Validate.chain_ok report);
+  (* a broken chain is detected end to end *)
+  let bad = parse "thread { r1 := 1; print r1; }" in
+  let broken = Validate.validate_chain [ p0; p1; bad ] in
+  check_b "broken chain detected" false (Validate.chain_ok broken);
+  (* singleton chain is the identity *)
+  let single = Validate.validate_chain [ p0 ] in
+  check_b "singleton ok" true (Validate.chain_ok single);
+  Alcotest.check_raises "empty chain rejected"
+    (Invalid_argument "Validate.validate_chain: empty chain") (fun () ->
+      ignore (Validate.validate_chain []))
+
+let test_pp () =
+  let p = parse "thread { x := 1; }" in
+  let r = Validate.validate ~original:p ~transformed:p () in
+  let s = Fmt.str "%a" Validate.pp_report r in
+  check_b "mentions DRF" true (contains_substring s "DRF")
+
+let () =
+  Alcotest.run "validate"
+    [
+      ( "validate",
+        [
+          Alcotest.test_case "identity" `Quick test_identity;
+          Alcotest.test_case "fig2 report" `Quick test_fig2_report;
+          Alcotest.test_case "DRF violation detected" `Quick
+            test_drf_violation_detected;
+          Alcotest.test_case "new behaviour detected" `Quick
+            test_new_behaviour_detected;
+          Alcotest.test_case "semantic relations" `Slow test_semantic_relations;
+          Alcotest.test_case "transformation chains" `Quick test_chain;
+          Alcotest.test_case "report printing" `Quick test_pp;
+        ] );
+    ]

@@ -1,0 +1,95 @@
+open Safeopt_trace
+open Helpers
+
+let check_b = Alcotest.(check bool)
+
+let wt = [ c (st 0); wild "x"; c (w "y" 1); wild "z" ]
+
+let test_basics () =
+  Alcotest.(check int) "length" 4 (Wildcard.length wt);
+  Alcotest.(check int) "wildcard count" 2 (Wildcard.wildcard_count wt);
+  Alcotest.(check (list int)) "wildcard indices" [ 1; 3 ]
+    (Wildcard.wildcard_indices wt);
+  check_b "not concrete" false (Wildcard.is_concrete wt);
+  check_b "of_trace concrete" true
+    (Wildcard.is_concrete (Wildcard.of_trace [ st 0; r "x" 1 ]));
+  Alcotest.(check (option trace)) "to_trace on concrete"
+    (Some [ st 0; r "x" 1 ])
+    (Wildcard.to_trace (Wildcard.of_trace [ st 0; r "x" 1 ]));
+  Alcotest.(check (option trace)) "to_trace with wildcards" None
+    (Wildcard.to_trace wt)
+
+let test_instances () =
+  Alcotest.(check (option trace)) "instantiate"
+    (Some [ st 0; r "x" 5; w "y" 1; r "z" 7 ])
+    (Wildcard.instantiate wt [ 5; 7 ]);
+  Alcotest.(check (option trace)) "wrong arity" None
+    (Wildcard.instantiate wt [ 5 ]);
+  let insts = List.of_seq (Wildcard.instances ~universe:[ 0; 1 ] wt) in
+  Alcotest.(check int) "2^2 instances" 4 (List.length insts);
+  check_b "all are instances" true
+    (List.for_all (fun t -> Wildcard.is_instance wt t) insts);
+  check_b "wrong shape is not an instance" false
+    (Wildcard.is_instance wt [ st 0; w "x" 5; w "y" 1; r "z" 7 ]);
+  check_b "wrong concrete value is not an instance" false
+    (Wildcard.is_instance wt [ st 0; r "x" 5; w "y" 2; r "z" 7 ]);
+  (* No wildcards: exactly one instance. *)
+  let concrete = Wildcard.of_trace [ st 0; w "x" 1 ] in
+  Alcotest.(check int) "concrete has one instance" 1
+    (List.length (List.of_seq (Wildcard.instances ~universe:[ 0; 1; 2 ] concrete)))
+
+let test_matching () =
+  check_b "concrete matches equal" true
+    (Wildcard.matches_action (c (w "x" 1)) (w "x" 1));
+  check_b "concrete rejects unequal" false
+    (Wildcard.matches_action (c (w "x" 1)) (w "x" 2));
+  check_b "wildcard matches any read of its location" true
+    (Wildcard.matches_action (wild "x") (r "x" 42));
+  check_b "wildcard rejects other location" false
+    (Wildcard.matches_action (wild "x") (r "y" 0));
+  check_b "wildcard rejects writes" false
+    (Wildcard.matches_action (wild "x") (w "x" 0));
+  Alcotest.check action "action_of_elt default" (r "x" 0)
+    (Wildcard.action_of_elt ~default:0 (wild "x"))
+
+let test_classification () =
+  check_b "wildcard is read" true (Wildcard.is_read (wild "x"));
+  check_b "wildcard is access" true (Wildcard.is_access (wild "x"));
+  check_b "wildcard not write" false (Wildcard.is_write (wild "x"));
+  check_b "volatile wildcard is acquire" true
+    (Wildcard.is_acquire vol_v (wild "v"));
+  check_b "normal wildcard not acquire" false
+    (Wildcard.is_acquire vol_v (wild "x"));
+  check_b "wildcard never release" false (Wildcard.is_release vol_v (wild "v"));
+  check_b "normal access" true (Wildcard.is_normal_access vol_v (wild "x"));
+  check_b "conflict wildcard vs write" true
+    (Wildcard.conflicting none (wild "x") (c (w "x" 1)));
+  check_b "no conflict between wildcard reads" false
+    (Wildcard.conflicting none (wild "x") (wild "x"))
+
+let test_restrict () =
+  Alcotest.check wildcard "restrict" [ c (st 0); wild "z" ]
+    (Wildcard.restrict wt [ 0; 3 ])
+
+let test_ra_pair () =
+  let t = [ c (st 0); c (ul "m"); c (lk "m"); wild "x" ] in
+  check_b "pair across wildcard window" true
+    (Wildcard.has_release_acquire_pair_between none t 0 3);
+  check_b "wildcard read is not a release" false
+    (Wildcard.has_release_acquire_pair_between vol_v
+       [ c (st 0); wild "v"; c (lk "m"); c (r "x" 0) ]
+       0 3)
+
+let () =
+  Alcotest.run "wildcard"
+    [
+      ( "wildcard",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "instances" `Quick test_instances;
+          Alcotest.test_case "matching" `Quick test_matching;
+          Alcotest.test_case "classification" `Quick test_classification;
+          Alcotest.test_case "restrict" `Quick test_restrict;
+          Alcotest.test_case "release-acquire" `Quick test_ra_pair;
+        ] );
+    ]
