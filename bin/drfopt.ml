@@ -2,6 +2,7 @@
 
    Subcommands:
      run         interpret a program: behaviours + DRF verdict
+     analyze     static lockset analysis: DRF certificate or race report
      drf         data-race check with a witness execution
      transform   apply a named Fig. 10/11 rule
      opt         run the optimisation pipeline and validate it
@@ -80,6 +81,33 @@ let drf_cmd =
   Cmd.v
     (Cmd.info "drf" ~doc:"Check data race freedom, with witness")
     Term.(const run $ file_arg $ fuel_arg)
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let run file =
+    let p = or_die (load file) in
+    let open Safeopt_analysis in
+    Fmt.pr "may-access summary:@.";
+    List.iter (fun s -> Fmt.pr "  %a@." Lockset.pp_summary s) (Lockset.summarise p);
+    let report = Static_race.analyse p in
+    Fmt.pr "per-access locksets:@.";
+    List.iter (fun a -> Fmt.pr "  %a@." Lockset.pp_access a) report.accesses;
+    match report.races with
+    | [] -> Fmt.pr "verdict: DRF (certified statically, no enumeration)@."
+    | races ->
+        Fmt.pr "potential races (%d):@." (List.length races);
+        List.iter
+          (fun pr -> Fmt.pr "%a@." (Static_race.pp_race_with_windows p) pr)
+          races;
+        Fmt.pr "verdict: POTENTIAL RACES (needs exhaustive enumeration)@.";
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Static DRF certification: per-access locksets and the race \
+             pairs the lockset analysis cannot rule out")
+    Term.(const run $ file_arg)
 
 (* --- transform --- *)
 
@@ -418,6 +446,7 @@ let main =
     [
       run_cmd;
       drf_cmd;
+      analyze_cmd;
       transform_cmd;
       opt_cmd;
       validate_cmd;

@@ -1,0 +1,142 @@
+open Safeopt_trace
+open Safeopt_lang
+
+type path = int list
+
+let pp_path ppf p = Fmt.(list ~sep:(any ".") int) ppf p
+let compare_path = Stdlib.compare
+
+type instr =
+  | Store of Location.t * Reg.t
+  | Load of Reg.t * Location.t
+  | Move of Reg.t * Ast.operand
+  | Lock of Monitor.t
+  | Unlock of Monitor.t
+  | Print of Reg.t
+  | Assume of Ast.test * bool
+  | Nop
+
+let pp_operand ppf = function
+  | Ast.Reg r -> Reg.pp ppf r
+  | Ast.Nat i -> Fmt.int ppf i
+
+let pp_test ppf = function
+  | Ast.Eq (a, b) -> Fmt.pf ppf "%a == %a" pp_operand a pp_operand b
+  | Ast.Ne (a, b) -> Fmt.pf ppf "%a != %a" pp_operand a pp_operand b
+
+let pp_instr ppf = function
+  | Store (l, r) -> Fmt.pf ppf "%a := %a" Location.pp l Reg.pp r
+  | Load (r, l) -> Fmt.pf ppf "%a := %a" Reg.pp r Location.pp l
+  | Move (r, o) -> Fmt.pf ppf "%a := %a" Reg.pp r pp_operand o
+  | Lock m -> Fmt.pf ppf "lock %a" Monitor.pp m
+  | Unlock m -> Fmt.pf ppf "unlock %a" Monitor.pp m
+  | Print r -> Fmt.pf ppf "print %a" Reg.pp r
+  | Assume (t, b) ->
+      Fmt.pf ppf "assume%s (%a)" (if b then "" else " not") pp_test t
+  | Nop -> Fmt.string ppf "nop"
+
+type node = int
+type edge = { src : node; dst : node; instr : instr; path : path }
+
+type t = {
+  entry : node;
+  exit_node : node;
+  num_nodes : int;
+  edges : edge list;
+}
+
+(* Construction: one fresh node per program point, edges labelled with
+   the primitive instruction executed between them.  [If] forks on two
+   [Assume] edges and rejoins; [While] is a header node with an
+   [Assume]-true edge into the body (which loops back) and an
+   [Assume]-false edge out. *)
+
+type builder = { mutable next : int; mutable acc : edge list }
+
+let fresh b =
+  let n = b.next in
+  b.next <- n + 1;
+  n
+
+let add b e = b.acc <- e :: b.acc
+
+let rec build_stmt b path src = function
+  | Ast.Store (l, r) ->
+      let d = fresh b in
+      add b { src; dst = d; instr = Store (l, r); path };
+      d
+  | Ast.Load (r, l) ->
+      let d = fresh b in
+      add b { src; dst = d; instr = Load (r, l); path };
+      d
+  | Ast.Move (r, o) ->
+      let d = fresh b in
+      add b { src; dst = d; instr = Move (r, o); path };
+      d
+  | Ast.Lock m ->
+      let d = fresh b in
+      add b { src; dst = d; instr = Lock m; path };
+      d
+  | Ast.Unlock m ->
+      let d = fresh b in
+      add b { src; dst = d; instr = Unlock m; path };
+      d
+  | Ast.Print r ->
+      let d = fresh b in
+      add b { src; dst = d; instr = Print r; path };
+      d
+  | Ast.Skip ->
+      let d = fresh b in
+      add b { src; dst = d; instr = Nop; path };
+      d
+  | Ast.Block l -> build_seq b path src l
+  | Ast.If (t, s1, s2) ->
+      let then_in = fresh b in
+      let else_in = fresh b in
+      add b { src; dst = then_in; instr = Assume (t, true); path };
+      add b { src; dst = else_in; instr = Assume (t, false); path };
+      let then_out = build_stmt b (path @ [ 0 ]) then_in s1 in
+      let else_out = build_stmt b (path @ [ 1 ]) else_in s2 in
+      let join = fresh b in
+      add b { src = then_out; dst = join; instr = Nop; path };
+      add b { src = else_out; dst = join; instr = Nop; path };
+      join
+  | Ast.While (t, s) ->
+      let header = fresh b in
+      add b { src; dst = header; instr = Nop; path };
+      let body_in = fresh b in
+      add b { src = header; dst = body_in; instr = Assume (t, true); path };
+      let body_out = build_stmt b (path @ [ 0 ]) body_in s in
+      add b { src = body_out; dst = header; instr = Nop; path };
+      let exit_ = fresh b in
+      add b { src = header; dst = exit_; instr = Assume (t, false); path };
+      exit_
+
+and build_seq b path src stmts =
+  List.fold_left
+    (fun (i, src) s -> (i + 1, build_stmt b (path @ [ i ]) src s))
+    (0, src) stmts
+  |> snd
+
+let of_thread (thread : Ast.thread) =
+  let b = { next = 1; acc = [] } in
+  let exit_node = build_seq b [] 0 thread in
+  { entry = 0; exit_node; num_nodes = b.next; edges = List.rev b.acc }
+
+let succs g =
+  let a = Array.make g.num_nodes [] in
+  List.iter (fun e -> a.(e.src) <- e :: a.(e.src)) g.edges;
+  Array.map List.rev a
+
+let preds g =
+  let a = Array.make g.num_nodes [] in
+  List.iter (fun e -> a.(e.dst) <- e :: a.(e.dst)) g.edges;
+  Array.map List.rev a
+
+let pp ppf g =
+  Fmt.pf ppf "@[<v>entry %d, exit %d, %d nodes@ %a@]" g.entry g.exit_node
+    g.num_nodes
+    Fmt.(
+      list ~sep:cut (fun ppf e ->
+          pf ppf "%d -> %d: %a" e.src e.dst pp_instr e.instr))
+    g.edges

@@ -1,0 +1,60 @@
+(** Control-flow graphs over the Fig. 6 AST.
+
+    One graph per thread: nodes are program points, edges are labelled
+    with the primitive instruction executed between them.  Structured
+    control flow is compiled the standard way — [If] forks on a pair of
+    [Assume] edges and rejoins at a fresh node; [While] gets a header
+    node with an [Assume]-true edge into the body (looping back to the
+    header) and an [Assume]-false edge out.  The graph over-approximates
+    the thread's executions: every run of the small-step semantics
+    follows some graph path, so forward dataflow facts computed here are
+    sound for every interleaving.
+
+    Every edge carries the {!path} of the statement it was generated
+    from — the list of child indices navigating the AST (statement
+    index within a thread or [Block]; [0]/[1] for the [If] branches;
+    [0] for a [While] body) — so analyses can report results against
+    the source program. *)
+
+open Safeopt_trace
+open Safeopt_lang
+
+type path = int list
+(** Position of a statement in a thread: child indices from the root. *)
+
+val pp_path : path Fmt.t
+val compare_path : path -> path -> int
+
+type instr =
+  | Store of Location.t * Reg.t
+  | Load of Reg.t * Location.t
+  | Move of Reg.t * Ast.operand
+  | Lock of Monitor.t
+  | Unlock of Monitor.t
+  | Print of Reg.t
+  | Assume of Ast.test * bool  (** branch edge: test assumed true/false *)
+  | Nop  (** skip, joins, loop-header links *)
+
+val pp_instr : instr Fmt.t
+val pp_test : Ast.test Fmt.t
+
+type node = int
+type edge = { src : node; dst : node; instr : instr; path : path }
+
+type t = {
+  entry : node;
+  exit_node : node;
+  num_nodes : int;
+  edges : edge list;
+}
+
+val of_thread : Ast.thread -> t
+(** Entry is node 0; nodes are numbered [0 .. num_nodes - 1]. *)
+
+val succs : t -> edge list array
+(** Outgoing edges, indexed by source node. *)
+
+val preds : t -> edge list array
+(** Incoming edges, indexed by destination node. *)
+
+val pp : t Fmt.t

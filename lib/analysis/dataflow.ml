@@ -1,0 +1,67 @@
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val pp : t Fmt.t
+end
+
+module Make (L : LATTICE) = struct
+  type fact = L.t option
+
+  let solve ~num_nodes ~start ~init ~out_edges ~target ~transfer =
+    let value = Array.make num_nodes None in
+    value.(start) <- Some init;
+    let in_queue = Array.make num_nodes false in
+    let queue = Queue.create () in
+    Queue.add start queue;
+    in_queue.(start) <- true;
+    let enqueue n =
+      if not in_queue.(n) then begin
+        in_queue.(n) <- true;
+        Queue.add n queue
+      end
+    in
+    while not (Queue.is_empty queue) do
+      let n = Queue.pop queue in
+      in_queue.(n) <- false;
+      match value.(n) with
+      | None -> ()
+      | Some v ->
+          List.iter
+            (fun e ->
+              let d = target e in
+              let nv = transfer e v in
+              let merged, changed =
+                match value.(d) with
+                | None -> (nv, true)
+                | Some old ->
+                    let j = L.join old nv in
+                    (j, not (L.equal j old))
+              in
+              if changed then begin
+                value.(d) <- Some merged;
+                enqueue d
+              end)
+            (out_edges n)
+    done;
+    value
+
+  let forward (g : Cfg.t) ~init ~transfer =
+    let succs = Cfg.succs g in
+    solve ~num_nodes:g.Cfg.num_nodes ~start:g.Cfg.entry ~init
+      ~out_edges:(fun n -> succs.(n))
+      ~target:(fun e -> e.Cfg.dst)
+      ~transfer
+
+  let backward (g : Cfg.t) ~init ~transfer =
+    let preds = Cfg.preds g in
+    solve ~num_nodes:g.Cfg.num_nodes ~start:g.Cfg.exit_node ~init
+      ~out_edges:(fun n -> preds.(n))
+      ~target:(fun e -> e.Cfg.src)
+      ~transfer
+
+  let pp_fact ppf = function
+    | None -> Fmt.string ppf "unreachable"
+    | Some v -> L.pp ppf v
+end

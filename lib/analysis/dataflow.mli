@@ -1,0 +1,50 @@
+(** A generic monotone dataflow framework with a worklist fixpoint
+    solver, functorized over the lattice so every analysis pass reuses
+    the same engine.
+
+    The solver computes, for every CFG node, the join over all paths of
+    the composed edge transfer functions — the MOP solution when the
+    transfers distribute over [join], a sound over-approximation
+    otherwise.  Facts are ['a option]: [None] marks nodes not reachable
+    from the start node, and acts as the identity of the join, so
+    lattices need no artificial bottom element.
+
+    Direction is a parameter in the usual way: {!Make.forward}
+    propagates from [entry] along edges, {!Make.backward} from
+    [exit_node] against them.
+
+    Termination requires the usual monotone-framework conditions: every
+    [transfer] monotone and the lattice of finite height.  All lattices
+    in this repository (subsets of a program's finite monitor/location
+    alphabet) satisfy both. *)
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+
+  val join : t -> t -> t
+  (** The merge applied where control-flow paths meet.  A must-analysis
+      (e.g. locksets definitely held) supplies intersection here; a
+      may-analysis supplies union. *)
+
+  val pp : t Fmt.t
+end
+
+module Make (L : LATTICE) : sig
+  type fact = L.t option
+  (** [None] = node unreachable from the start node. *)
+
+  val forward :
+    Cfg.t -> init:L.t -> transfer:(Cfg.edge -> L.t -> L.t) -> fact array
+  (** Least fixpoint of the forward equations: the returned array maps
+      each node to the join of [transfer]-images over all incoming
+      edges, with [init] at [entry]. *)
+
+  val backward :
+    Cfg.t -> init:L.t -> transfer:(Cfg.edge -> L.t -> L.t) -> fact array
+  (** Same engine against the edges, seeded with [init] at
+      [exit_node]. *)
+
+  val pp_fact : fact Fmt.t
+end

@@ -1,0 +1,159 @@
+open Safeopt_trace
+open Safeopt_lang
+
+module Must = Dataflow.Make (struct
+  type t = Monitor.Set.t
+
+  let equal = Monitor.Set.equal
+  let join = Monitor.Set.inter
+
+  let pp ppf s =
+    Fmt.(braces (list ~sep:comma Monitor.pp)) ppf (Monitor.Set.elements s)
+end)
+
+let transfer (e : Cfg.edge) held =
+  match e.Cfg.instr with
+  | Cfg.Lock m -> Monitor.Set.add m held
+  | Cfg.Unlock m -> Monitor.Set.remove m held
+  | Cfg.Store _ | Cfg.Load _ | Cfg.Move _ | Cfg.Print _ | Cfg.Assume _
+  | Cfg.Nop ->
+      held
+
+let held_at g = Must.forward g ~init:Monitor.Set.empty ~transfer
+
+type kind = Read | Write
+
+let pp_kind ppf = function
+  | Read -> Fmt.string ppf "read"
+  | Write -> Fmt.string ppf "write"
+
+type access = {
+  tid : Thread_id.t;
+  site : int;
+  path : Cfg.path;
+  kind : kind;
+  loc : Location.t;
+  locked : Monitor.Set.t;
+  volatile : bool;
+}
+
+let pp_access ppf a =
+  Fmt.pf ppf "thread %a site %d: %a %a%s held %a" Thread_id.pp a.tid a.site
+    pp_kind a.kind Location.pp a.loc
+    (if a.volatile then " (volatile)" else "")
+    Must.pp_fact (Some a.locked)
+
+(* Accesses on edges whose source node is unreachable are dropped: the
+   semantics can never execute them, so they cannot participate in a
+   race.  For reachable edges the must-held set under-approximates the
+   monitors held whenever the access executes, which is the sound
+   direction for race checking. *)
+let thread_accesses vol tid (thread : Ast.thread) =
+  let g = Cfg.of_thread thread in
+  let held = held_at g in
+  let site = ref 0 in
+  List.filter_map
+    (fun (e : Cfg.edge) ->
+      let mk kind loc =
+        match held.(e.Cfg.src) with
+        | None -> None
+        | Some locked ->
+            let a =
+              {
+                tid;
+                site = !site;
+                path = e.Cfg.path;
+                kind;
+                loc;
+                locked;
+                volatile = Location.Volatile.mem vol loc;
+              }
+            in
+            incr site;
+            Some a
+      in
+      match e.Cfg.instr with
+      | Cfg.Store (l, _) -> mk Write l
+      | Cfg.Load (_, l) -> mk Read l
+      | Cfg.Move _ | Cfg.Lock _ | Cfg.Unlock _ | Cfg.Print _ | Cfg.Assume _
+      | Cfg.Nop ->
+          None)
+    g.Cfg.edges
+
+let program_accesses (p : Ast.program) =
+  List.concat (List.mapi (fun tid t -> thread_accesses p.volatile tid t) p.threads)
+
+(* May-access summary: which locations each thread can read or write at
+   all (reachability included), for quick disjointness arguments. *)
+type summary = {
+  s_tid : Thread_id.t;
+  reads : Location.Set.t;
+  writes : Location.Set.t;
+}
+
+let summarise (p : Ast.program) =
+  List.mapi
+    (fun tid thread ->
+      let accs = thread_accesses p.volatile tid thread in
+      List.fold_left
+        (fun s a ->
+          match a.kind with
+          | Read -> { s with reads = Location.Set.add a.loc s.reads }
+          | Write -> { s with writes = Location.Set.add a.loc s.writes })
+        { s_tid = tid; reads = Location.Set.empty; writes = Location.Set.empty }
+        accs)
+    p.threads
+
+let pp_summary ppf s =
+  Fmt.pf ppf "thread %a reads %a writes %a" Thread_id.pp s.s_tid
+    Fmt.(braces (list ~sep:comma Location.pp))
+    (Location.Set.elements s.reads)
+    Fmt.(braces (list ~sep:comma Location.pp))
+    (Location.Set.elements s.writes)
+
+(* --- source windows --------------------------------------------------- *)
+
+(* Flatten a thread into (path, text) lines mirroring the paths the CFG
+   assigns, so an access can be pinpointed in its surrounding source. *)
+let rec stmt_lines path indent s =
+  let pad = String.make (2 * indent) ' ' in
+  let prim txt = [ (Some path, pad ^ txt) ] in
+  match s with
+  | Ast.Store _ | Ast.Load _ | Ast.Move _ | Ast.Lock _ | Ast.Unlock _
+  | Ast.Skip | Ast.Print _ ->
+      prim (Pp.stmt_compact s)
+  | Ast.Block l ->
+      [ (None, pad ^ "{") ]
+      @ List.concat (List.mapi (fun i s -> stmt_lines (path @ [ i ]) (indent + 1) s) l)
+      @ [ (None, pad ^ "}") ]
+  | Ast.If (t, s1, s2) ->
+      [ (None, pad ^ Fmt.str "if (%a)" Cfg.pp_test t) ]
+      @ stmt_lines (path @ [ 0 ]) (indent + 1) s1
+      @ [ (None, pad ^ "else") ]
+      @ stmt_lines (path @ [ 1 ]) (indent + 1) s2
+  | Ast.While (t, s) ->
+      [ (None, pad ^ Fmt.str "while (%a)" Cfg.pp_test t) ]
+      @ stmt_lines (path @ [ 0 ]) (indent + 1) s
+
+let thread_lines (thread : Ast.thread) =
+  List.concat (List.mapi (fun i s -> stmt_lines [ i ] 1 s) thread)
+
+let source_window ?(context = 2) (thread : Ast.thread) (path : Cfg.path) =
+  let lines = thread_lines thread in
+  let mark =
+    List.mapi
+      (fun i (p, _) ->
+        match p with
+        | Some p when Cfg.compare_path p path = 0 -> Some i
+        | _ -> None)
+      lines
+    |> List.find_map Fun.id
+  in
+  match mark with
+  | None -> []
+  | Some m ->
+      let lo = max 0 (m - context) in
+      let hi = min (List.length lines - 1) (m + context) in
+      List.filteri (fun i _ -> i >= lo && i <= hi) lines
+      |> List.mapi (fun i (_, txt) ->
+             (if lo + i = m then ">" else "|") ^ " " ^ txt)

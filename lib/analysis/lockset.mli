@@ -1,0 +1,76 @@
+(** Lockset analysis: the set of monitors {e definitely} held at every
+    shared-memory access, thread by thread.
+
+    An instance of the monotone framework ({!Dataflow.Make}) on the
+    lattice of monitor sets ordered by reverse inclusion: [join] is set
+    intersection (a must-analysis), [lock m] adds [m], [unlock m]
+    removes it, everything else is the identity.  The fixpoint at a
+    node under-approximates the monitors held on {e every} execution
+    reaching that point; under-approximation is the sound direction for
+    race checking, because protection is only ever claimed when the
+    lock is provably held — reentrancy and even unbalanced locking just
+    lose precision, never soundness.
+
+    Accesses on statically unreachable edges are dropped entirely: the
+    semantics cannot execute them, so they cannot race. *)
+
+open Safeopt_trace
+open Safeopt_lang
+
+module Must : sig
+  type fact = Monitor.Set.t option
+
+  val forward :
+    Cfg.t ->
+    init:Monitor.Set.t ->
+    transfer:(Cfg.edge -> Monitor.Set.t -> Monitor.Set.t) ->
+    fact array
+
+  val backward :
+    Cfg.t ->
+    init:Monitor.Set.t ->
+    transfer:(Cfg.edge -> Monitor.Set.t -> Monitor.Set.t) ->
+    fact array
+
+  val pp_fact : fact Fmt.t
+end
+
+val held_at : Cfg.t -> Must.fact array
+(** Monitors definitely held at each node ([None] = unreachable). *)
+
+type kind = Read | Write
+
+val pp_kind : kind Fmt.t
+
+type access = {
+  tid : Thread_id.t;
+  site : int;  (** unique within the thread, in program order *)
+  path : Cfg.path;  (** position of the generating statement *)
+  kind : kind;
+  loc : Location.t;
+  locked : Monitor.Set.t;  (** monitors definitely held at the access *)
+  volatile : bool;
+}
+
+val pp_access : access Fmt.t
+
+val thread_accesses :
+  Location.Volatile.t -> Thread_id.t -> Ast.thread -> access list
+(** All reachable shared accesses of one thread with their locksets. *)
+
+val program_accesses : Ast.program -> access list
+(** {!thread_accesses} over every thread, threads numbered from 0. *)
+
+type summary = {
+  s_tid : Thread_id.t;
+  reads : Location.Set.t;
+  writes : Location.Set.t;
+}
+(** May-access summary: the locations a thread can touch at all. *)
+
+val summarise : Ast.program -> summary list
+val pp_summary : summary Fmt.t
+
+val source_window : ?context:int -> Ast.thread -> Cfg.path -> string list
+(** The access's source line marked with [>], with [context] (default
+    2) surrounding lines marked [|]; empty if the path is not found. *)

@@ -1,0 +1,39 @@
+(** Static data-race detection over per-thread locksets — the fast path
+    of the DRF guarantee.
+
+    Combines the {!Lockset} summaries of all threads and reports every
+    pair of accesses that could become the paper's adjacent conflicting
+    pair in some interleaving: distinct threads, same non-volatile
+    location, at least one write, and no monitor definitely held around
+    both.  If no such pair exists the program is {e certified} data race
+    free — soundly, for every interleaving and without enumerating any:
+    if two conflicting accesses shared no definitely-held monitor were
+    adjacent in an execution, both threads would hold no common lock at
+    that point, while any reported common monitor would have to be held
+    by both threads simultaneously, contradicting mutual exclusion.
+
+    The converse does not hold: reported pairs are {e potential} races
+    (the analysis is value- and path-insensitive), so a non-empty
+    report means "fall back to enumeration", not "racy". *)
+
+open Safeopt_lang
+
+type pair = { fst_access : Lockset.access; snd_access : Lockset.access }
+
+val pp_pair : pair Fmt.t
+
+type report = { accesses : Lockset.access list; races : pair list }
+
+val analyse : Ast.program -> report
+(** All reachable accesses with locksets, plus every unprotected
+    conflicting cross-thread pair (each unordered pair reported
+    once). *)
+
+val certified_drf : Ast.program -> bool
+(** [true] iff {!analyse} reports no potential race: a sound static
+    certificate that the program is DRF under any schedule. *)
+
+val pp_report : report Fmt.t
+
+val pp_race_with_windows : Ast.program -> pair Fmt.t
+(** One potential race with marked source windows for both sides. *)

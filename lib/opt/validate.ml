@@ -45,13 +45,26 @@ let ok r =
   behaviours_ok r
   && match r.relation_holds with None -> true | Some b -> b
 
+(* The static fast path for the two DRF questions every validation
+   asks.  `Static_race.certified_drf` is a sound certificate (see its
+   documentation), so a positive answer avoids the exponential schedule
+   enumeration entirely; a negative answer only means "unknown" and
+   falls back to the exhaustive check. *)
+let drf_fast ?fuel ?max_states p =
+  Safeopt_analysis.Static_race.certified_drf p
+  || Interp.is_drf ?fuel ?max_states p
+
+let find_race_fast ?fuel ?max_states p =
+  if Safeopt_analysis.Static_race.certified_drf p then None
+  else Interp.find_race ?fuel ?max_states p
+
 let validate_with ?fuel ?max_states ~relation ~relation_check ~original
     ~transformed () =
   let b_orig = Interp.behaviours ?fuel ?max_states original in
   let b_trans = Interp.behaviours ?fuel ?max_states transformed in
   let new_behaviour = Safeopt_core.Safety.behaviour_subset b_trans b_orig in
-  let original_drf = Interp.is_drf ?fuel ?max_states original in
-  let race_witness = Interp.find_race ?fuel ?max_states transformed in
+  let original_drf = drf_fast ?fuel ?max_states original in
+  let race_witness = find_race_fast ?fuel ?max_states transformed in
   let relation_holds, relation_counterexample = relation_check () in
   {
     original_drf;

@@ -58,7 +58,21 @@ val validate :
   transformed:Ast.program ->
   unit ->
   report
-(** Interpreter-level checks only ([relation = Unchecked]). *)
+(** Interpreter-level checks only ([relation = Unchecked]).
+
+    Both DRF questions first try the static lockset certificate
+    ({!Safeopt_analysis.Static_race.certified_drf}); only when the
+    analysis reports potential races does the exhaustive interleaving
+    enumeration run. *)
+
+val drf_fast : ?fuel:int -> ?max_states:int -> Ast.program -> bool
+(** [is_drf] with the static fast path: a lockset certificate first,
+    enumeration only as fallback. *)
+
+val find_race_fast :
+  ?fuel:int -> ?max_states:int -> Ast.program -> Interleaving.t option
+(** [find_race] with the static fast path: returns [None] without
+    enumerating when the program is statically certified DRF. *)
 
 type chain_report = {
   pairwise : report list;  (** adjacent pairs, in order *)

@@ -18,6 +18,7 @@
       {!Reorder}, {!Unelimination}, {!Unordering}, {!Origin}, {!Safety};
     - the syntactic layer: {!Rule}, {!Transform}, {!Passes},
       {!Liveness}, {!Validate};
+    - static analysis: {!Cfg}, {!Dataflow}, {!Lockset}, {!Static_race};
     - hardware models: {!Tso}, {!Pso}, {!Robustness};
     - corpus and generators: {!Litmus}, {!Corpus}, {!Generators}. *)
 
@@ -67,6 +68,12 @@ module Transform = Safeopt_opt.Transform
 module Passes = Safeopt_opt.Passes
 module Liveness = Safeopt_opt.Liveness
 module Validate = Safeopt_opt.Validate
+
+(* static analysis *)
+module Cfg = Safeopt_analysis.Cfg
+module Dataflow = Safeopt_analysis.Dataflow
+module Lockset = Safeopt_analysis.Lockset
+module Static_race = Safeopt_analysis.Static_race
 
 (* hardware models *)
 module Tso = Safeopt_tso.Machine

@@ -6,3 +6,4 @@ let hash (m : t) = Hashtbl.hash m
 let pp = Fmt.string
 
 module Map = Map.Make (String)
+module Set = Set.Make (String)

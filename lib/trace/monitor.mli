@@ -8,3 +8,4 @@ val hash : t -> int
 val pp : t Fmt.t
 
 module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

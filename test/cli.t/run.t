@@ -99,3 +99,63 @@ Fence inference on store buffering:
   $ drfopt robust sb.lit | head -2
   promoted to volatile: y, x
   --- robust program ---
+
+Static DRF certification: the lock-protected counter from examples/ is
+certified without enumerating a single interleaving,
+
+  $ drfopt analyze ../../examples/locked_counter.lit
+  may-access summary:
+    thread 0 reads {c} writes {c}
+    thread 1 reads {c} writes {c}
+  per-access locksets:
+    thread 0 site 0: read c held {m}
+    thread 0 site 1: write c held {m}
+    thread 1 site 0: read c held {m}
+    thread 1 site 1: write c held {m}
+  verdict: DRF (certified statically, no enumeration)
+
+while dropping the lock in one thread yields concrete access pairs with
+source windows:
+
+  $ drfopt analyze ../../examples/racy_counter.lit
+  may-access summary:
+    thread 0 reads {c} writes {c}
+    thread 1 reads {c} writes {c}
+  per-access locksets:
+    thread 0 site 0: read c held {}
+    thread 0 site 1: write c held {}
+    thread 1 site 0: read c held {m}
+    thread 1 site 1: write c held {m}
+  potential races (3):
+  race on c:
+    a) thread 0 site 0 (read, held {}):
+        >   r1 := c;
+        |   c := r1;
+    b) thread 1 site 1 (write, held {m}):
+        |   lock m;
+        |   r2 := c;
+        >   c := r2;
+        |   unlock m;
+  
+  race on c:
+    a) thread 0 site 1 (write, held {}):
+        |   r1 := c;
+        >   c := r1;
+    b) thread 1 site 0 (read, held {m}):
+        |   lock m;
+        >   r2 := c;
+        |   c := r2;
+        |   unlock m;
+  
+  race on c:
+    a) thread 0 site 1 (write, held {}):
+        |   r1 := c;
+        >   c := r1;
+    b) thread 1 site 1 (write, held {m}):
+        |   lock m;
+        |   r2 := c;
+        >   c := r2;
+        |   unlock m;
+  
+  verdict: POTENTIAL RACES (needs exhaustive enumeration)
+  [1]
