@@ -497,6 +497,113 @@ let p2 () =
        [ (2, 2); (2, 4); (3, 2); (3, 3) ])
 
 (* ------------------------------------------------------------------ *)
+(* P3: exploration engine benchmark -> BENCH_explore.json              *)
+(* ------------------------------------------------------------------ *)
+
+(* Pre-refactor reference numbers for the same workload (reps = 20 over
+   the full litmus corpus), measured on the string-keyed engine this PR
+   replaced.  Kept fixed so BENCH_explore.json tracks the trajectory
+   against a stable anchor. *)
+let baseline_pre_refactor =
+  [
+    ("count_states", (0.4204, 21880));
+    ("count_states_por", (0.1899, 15100));
+    ("behaviours", (0.4327, 1760));
+    ("behaviours_por", (0.2321, 1760));
+  ]
+
+let explore_bench () =
+  hr "P3: exploration engine on the litmus corpus -> BENCH_explore.json";
+  let programs = List.map Litmus.program Corpus.all in
+  let reps = 20 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let count_run por () =
+    let acc = ref 0 in
+    for _ = 1 to reps do
+      List.iter (fun p -> acc := !acc + Interp.count_states ~por p) programs
+    done;
+    !acc
+  in
+  let beh_run por () =
+    let acc = ref 0 in
+    for _ = 1 to reps do
+      List.iter
+        (fun p ->
+          acc := !acc + Behaviour.Set.cardinal (Interp.behaviours ~por p))
+        programs
+    done;
+    !acc
+  in
+  let experiments =
+    [
+      ("count_states", time (count_run false));
+      ("count_states_por", time (count_run true));
+      ("behaviours", time (beh_run false));
+      ("behaviours_por", time (beh_run true));
+    ]
+  in
+  (* POR soundness over the whole corpus (the acceptance criterion),
+     with one stats sink accumulating across every exploration. *)
+  let stats = Explorer.create_stats () in
+  let identical =
+    List.for_all
+      (fun p ->
+        Behaviour.Set.equal
+          (Interp.behaviours ~stats p)
+          (Interp.behaviours ~por:true ~stats p))
+      programs
+  in
+  Fmt.pr "  %-18s %-10s %-12s %-14s %s@." "experiment" "total" "wall (s)"
+    "units/s" "speedup";
+  let rows =
+    List.map
+      (fun (name, (total, wall)) ->
+        let base_wall, _ = List.assoc name baseline_pre_refactor in
+        let speedup = base_wall /. wall in
+        let per_sec = float_of_int total /. wall in
+        Fmt.pr "  %-18s %-10d %-12.4f %-14.0f %.2fx@." name total wall per_sec
+          speedup;
+        Printf.sprintf
+          "    {\"name\": %S, \"total\": %d, \"wall_s\": %.4f, \
+           \"units_per_sec\": %.0f, \"baseline_wall_s\": %.4f, \"speedup\": \
+           %.2f}"
+          name total wall per_sec base_wall speedup)
+      experiments
+  in
+  claim "POR-reduced and full behaviour sets identical on the corpus" true
+    identical;
+  claim "count_states at least 2x faster than the pre-refactor baseline" true
+    (let _, wall = List.assoc "count_states" experiments in
+     fst (List.assoc "count_states" baseline_pre_refactor) /. wall >= 2.0);
+  let json =
+    String.concat "\n"
+      ([
+         "{";
+         "  \"schema\": \"bench_explore/v1\",";
+         Printf.sprintf "  \"reps\": %d," reps;
+         Printf.sprintf "  \"programs\": %d," (List.length programs);
+         "  \"experiments\": [";
+       ]
+      @ [ String.concat ",\n" rows ]
+      @ [
+          "  ],";
+          Printf.sprintf "  \"por_behaviour_sets_identical\": %b," identical;
+          Printf.sprintf "  \"explorer_stats\": %s"
+            (Explorer.stats_to_json stats);
+          "}";
+        ])
+  in
+  let oc = open_out "BENCH_explore.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "  wrote BENCH_explore.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -605,21 +712,28 @@ let run_bechamel () =
     (bechamel_tests ())
 
 let () =
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  e10 ();
-  e11 ();
-  e12 ();
-  e13 ();
-  e14 ();
-  p1 ();
-  p2 ();
-  run_bechamel ();
-  Fmt.pr "@.done.@."
+  (* `dune exec bench/main.exe -- explore` runs just the exploration
+     benchmark (and writes BENCH_explore.json); the default runs the
+     full reproduction suite. *)
+  match Sys.argv with
+  | [| _; "explore" |] -> explore_bench ()
+  | _ ->
+      e1 ();
+      e2 ();
+      e3 ();
+      e4 ();
+      e5 ();
+      e6 ();
+      e7 ();
+      e8 ();
+      e9 ();
+      e10 ();
+      e11 ();
+      e12 ();
+      e13 ();
+      e14 ();
+      p1 ();
+      p2 ();
+      explore_bench ();
+      run_bechamel ();
+      Fmt.pr "@.done.@."

@@ -41,6 +41,22 @@ let fuel_arg =
     & info [ "fuel" ] ~docv:"N"
         ~doc:"Per-thread action budget for programs with loops.")
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print exploration statistics (states visited, transitions, \
+              memo hits, POR cuts, peak frontier depth, wall time) after \
+              the analysis.")
+
+(* Thread one stats sink through [f]'s explorations, print it, then
+   exit with [f]'s code — so a failing run still reports what it cost. *)
+let with_stats enabled f =
+  let stats = if enabled then Some (Explorer.create_stats ()) else None in
+  let code = f stats in
+  Option.iter (fun s -> Fmt.pr "%a@." Explorer.pp_stats s) stats;
+  if code <> 0 then exit code
+
 let or_die = function
   | Ok v -> v
   | Error e ->
@@ -56,15 +72,17 @@ let print_behaviours bs =
 (* --- run --- *)
 
 let run_cmd =
-  let run file fuel =
+  let run file fuel stats =
     let p = or_die (load file) in
     Fmt.pr "%a@.@." Pp.program p;
-    print_behaviours (Interp.behaviours ~fuel p);
-    Fmt.pr "data race free: %b@." (Interp.is_drf ~fuel p)
+    with_stats stats (fun stats ->
+        print_behaviours (Interp.behaviours ~fuel ?stats p);
+        Fmt.pr "data race free: %b@." (Interp.is_drf ~fuel ?stats p);
+        0)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Enumerate SC behaviours and check race freedom")
-    Term.(const run $ file_arg $ fuel_arg)
+    Term.(const run $ file_arg $ fuel_arg $ stats_arg)
 
 (* --- drf --- *)
 
@@ -85,7 +103,7 @@ let drf_cmd =
 (* --- analyze --- *)
 
 let analyze_cmd =
-  let run file =
+  let run file fuel stats =
     let p = or_die (load file) in
     let open Safeopt_analysis in
     Fmt.pr "may-access summary:@.";
@@ -100,14 +118,34 @@ let analyze_cmd =
         List.iter
           (fun pr -> Fmt.pr "%a@." (Static_race.pp_race_with_windows p) pr)
           races;
-        Fmt.pr "verdict: POTENTIAL RACES (needs exhaustive enumeration)@.";
-        exit 1
+        if not stats then begin
+          Fmt.pr "verdict: POTENTIAL RACES (needs exhaustive enumeration)@.";
+          exit 1
+        end
+        else
+          (* With --stats, settle the static "unknown" by running the
+             exhaustive enumeration the verdict calls for. *)
+          with_stats stats (fun stats ->
+              match Interp.find_race ~fuel ?stats p with
+              | Some i ->
+                  Fmt.pr
+                    "@[<v>verdict: RACY (exhaustive enumeration); witness:@ \
+                     %a@]@."
+                    Interleaving.pp i;
+                  1
+              | None ->
+                  Fmt.pr
+                    "verdict: DRF (exhaustive enumeration; the static \
+                     analysis was imprecise)@.";
+                  0)
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Static DRF certification: per-access locksets and the race \
-             pairs the lockset analysis cannot rule out")
-    Term.(const run $ file_arg)
+             pairs the lockset analysis cannot rule out.  With $(b,--stats), \
+             unresolved potential races are settled by the exhaustive \
+             enumeration and its exploration statistics are printed")
+    Term.(const run $ file_arg $ fuel_arg $ stats_arg)
 
 (* --- transform --- *)
 
@@ -211,28 +249,30 @@ let validate_cmd =
       value & opt int 10
       & info [ "max-len" ] ~doc:"Trace length bound for the relation check.")
   in
-  let run orig_file trans_file relation max_len fuel =
+  let run orig_file trans_file relation max_len fuel stats =
     let original = or_die (load orig_file) in
     let transformed = or_die (load trans_file) in
-    let report =
-      match relation with
-      | Safeopt_opt.Validate.Unchecked ->
-          Safeopt_opt.Validate.validate ~fuel ~original ~transformed ()
-      | r ->
-          Safeopt_opt.Validate.validate_semantic ~fuel ~max_len ~relation:r
-            ~original ~transformed ()
-    in
-    Fmt.pr "%a@." Safeopt_opt.Validate.pp_report report;
-    Fmt.pr "DRF guarantee: %s@."
-      (if Safeopt_opt.Validate.ok report then "HOLDS" else "VIOLATED");
-    if not (Safeopt_opt.Validate.ok report) then exit 1
+    with_stats stats (fun stats ->
+        let report =
+          match relation with
+          | Safeopt_opt.Validate.Unchecked ->
+              Safeopt_opt.Validate.validate ~fuel ?stats ~original ~transformed
+                ()
+          | r ->
+              Safeopt_opt.Validate.validate_semantic ~fuel ?stats ~max_len
+                ~relation:r ~original ~transformed ()
+        in
+        Fmt.pr "%a@." Safeopt_opt.Validate.pp_report report;
+        Fmt.pr "DRF guarantee: %s@."
+          (if Safeopt_opt.Validate.ok report then "HOLDS" else "VIOLATED");
+        if Safeopt_opt.Validate.ok report then 0 else 1)
   in
   Cmd.v
     (Cmd.info "validate"
        ~doc:"Check a transformation against the DRF guarantee (Theorems 1-4)")
     Term.(
       const run $ file_arg $ transformed_arg $ relation_arg $ max_len_arg
-      $ fuel_arg)
+      $ fuel_arg $ stats_arg)
 
 (* --- denote --- *)
 
@@ -269,7 +309,7 @@ let litmus_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"NAME" ~doc:"Run a single test by name.")
   in
-  let run name =
+  let run name stats =
     let tests =
       match name with
       | None -> Safeopt_litmus.Corpus.all
@@ -280,15 +320,20 @@ let litmus_cmd =
               Fmt.epr "unknown litmus test %S@." n;
               exit 2)
     in
-    let outcomes = List.map Safeopt_litmus.Litmus.check tests in
-    List.iter
-      (fun o -> Fmt.pr "%a@." Safeopt_litmus.Litmus.pp_outcome o)
-      outcomes;
-    if not (List.for_all Safeopt_litmus.Litmus.passed outcomes) then exit 1
+    with_stats stats (fun stats ->
+        let outcomes =
+          List.map (Safeopt_litmus.Litmus.check ?stats) tests
+        in
+        List.iter
+          (fun o -> Fmt.pr "%a@." Safeopt_litmus.Litmus.pp_outcome o)
+          outcomes;
+        if List.for_all Safeopt_litmus.Litmus.passed outcomes then 0 else 1)
   in
   Cmd.v
-    (Cmd.info "litmus" ~doc:"Run the built-in litmus corpus")
-    Term.(const run $ name_arg)
+    (Cmd.info "litmus"
+       ~doc:"Run the built-in litmus corpus.  With $(b,--stats), print the \
+             exploration statistics accumulated across the whole corpus")
+    Term.(const run $ name_arg $ stats_arg)
 
 (* --- eliminable --- *)
 

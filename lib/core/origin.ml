@@ -44,9 +44,11 @@ let interleaving_mentions v i =
 let check_lemma3 v ts ~max_steps =
   if traceset_has_origin v ts then Ok ()
   else
+    (* Stream the executions: a counterexample stops the search without
+       materialising the remaining (exponentially many) interleavings. *)
     let execs =
-      Enumerate.maximal_executions ~max_steps (Traceset_system.make ts)
+      Enumerate.maximal_executions_seq ~max_steps (Traceset_system.make ts)
     in
-    match List.find_opt (interleaving_mentions v) execs with
+    match Seq.find (interleaving_mentions v) execs with
     | Some cex -> Error cex
     | None -> Ok ()

@@ -1,284 +1,15 @@
-open Safeopt_trace
+(* Compatibility layer over the unified {!Explorer} engine. *)
 
-exception Cyclic
-exception Too_many_states of int
+exception Cyclic = Explorer.Cyclic
+exception Too_many_states = Explorer.Too_many_states
 
-let default_max_states = 2_000_000
-
-type 'ts sched = {
-  threads : 'ts array;
-  mem : Value.t Location.Map.t;
-  locks : (Thread_id.t * int) Monitor.Map.t;
-      (** monitor -> (owner, nesting depth > 0) *)
-}
-
-let initial sys = {
-  threads = Array.of_list sys.System.initial;
-  mem = Location.Map.empty;
-  locks = Monitor.Map.empty;
-}
-
-let sched_key sys st =
-  let b = Buffer.create 64 in
-  Array.iter
-    (fun ts ->
-      Buffer.add_string b (sys.System.key ts);
-      Buffer.add_char b '\x00')
-    st.threads;
-  Buffer.add_char b '\x01';
-  Location.Map.iter
-    (fun l v ->
-      Buffer.add_string b l;
-      Buffer.add_char b '=';
-      Buffer.add_string b (string_of_int v);
-      Buffer.add_char b ';')
-    st.mem;
-  Buffer.add_char b '\x01';
-  Monitor.Map.iter
-    (fun m (o, d) -> Buffer.add_string b (Printf.sprintf "%s=%d,%d;" m o d))
-    st.locks;
-  Buffer.contents b
-
-let read_value st l =
-  Option.value ~default:Value.default (Location.Map.find_opt l st.mem)
-
-(* All enabled transitions from a scheduler state:
-   (thread id, action, successor state). *)
-let enabled sys st =
-  let out = ref [] in
-  Array.iteri
-    (fun tid ts ->
-      List.iter
-        (fun step ->
-          match step with
-          | System.Read (l, k) -> (
-              match k (read_value st l) with
-              | Some ts' ->
-                  let threads = Array.copy st.threads in
-                  threads.(tid) <- ts';
-                  out :=
-                    (tid, Action.Read (l, read_value st l), { st with threads })
-                    :: !out
-              | None -> ())
-          | System.Emit (a, ts') -> (
-              let commit st' =
-                let threads = Array.copy st.threads in
-                threads.(tid) <- ts';
-                out := (tid, a, { st' with threads }) :: !out
-              in
-              match a with
-              | Action.Read _ ->
-                  invalid_arg "Enumerate: reads must use System.Read steps"
-              | Action.Write (l, v) ->
-                  commit { st with mem = Location.Map.add l v st.mem }
-              | Action.Lock m -> (
-                  match Monitor.Map.find_opt m st.locks with
-                  | None ->
-                      commit
-                        { st with locks = Monitor.Map.add m (tid, 1) st.locks }
-                  | Some (owner, d) when Thread_id.equal owner tid ->
-                      commit
-                        {
-                          st with
-                          locks = Monitor.Map.add m (tid, d + 1) st.locks;
-                        }
-                  | Some _ -> ())
-              | Action.Unlock m -> (
-                  match Monitor.Map.find_opt m st.locks with
-                  | Some (owner, d) when Thread_id.equal owner tid ->
-                      let locks =
-                        if d = 1 then Monitor.Map.remove m st.locks
-                        else Monitor.Map.add m (tid, d - 1) st.locks
-                      in
-                      commit { st with locks }
-                  | _ -> ())
-              | Action.External _ | Action.Start _ -> commit st))
-        (sys.System.steps ts))
-    st.threads;
-  List.rev !out
-
-(* Partial-order reduction: a singleton persistent set.  A transition
-   whose action is a start action or satisfies [local] is invisible and
-   independent of every other thread, so if it is the unique enabled
-   transition of its thread it may be explored alone. *)
-let por_select local succs =
-  let by_tid tid =
-    List.filter (fun (t, _, _) -> t = tid) succs
-  in
-  let is_local a =
-    match a with Action.Start _ -> true | _ -> local a
-  in
-  match
-    List.find_opt
-      (fun (tid, a, _) -> is_local a && List.length (by_tid tid) = 1)
-      succs
-  with
-  | Some t -> [ t ]
-  | None -> succs
-
-let select = function
-  | None -> fun succs -> succs
-  | Some local -> por_select local
-
-let behaviours ?(max_states = default_max_states) ?local sys =
-  let select = select local in
-  let memo : (string, Behaviour.Set.t) Hashtbl.t = Hashtbl.create 997 in
-  let on_stack : (string, unit) Hashtbl.t = Hashtbl.create 97 in
-  let count = ref 0 in
-  let rec go st =
-    let k = sched_key sys st in
-    match Hashtbl.find_opt memo k with
-    | Some s -> s
-    | None ->
-        if Hashtbl.mem on_stack k then raise Cyclic;
-        Hashtbl.add on_stack k ();
-        incr count;
-        if !count > max_states then raise (Too_many_states !count);
-        let s =
-          List.fold_left
-            (fun acc (_tid, a, st') ->
-              let sub = go st' in
-              let sub =
-                match a with
-                | Action.External v ->
-                    Behaviour.Set.map (fun b -> v :: b) sub
-                | _ -> sub
-              in
-              Behaviour.Set.union acc sub)
-            (Behaviour.Set.singleton [])
-            (select (enabled sys st))
-        in
-        Hashtbl.remove on_stack k;
-        Hashtbl.replace memo k s;
-        s
-  in
-  go (initial sys)
-
-let maximal_executions ?(max_steps = 1_000_000) sys =
-  let steps = ref 0 in
-  let out = ref [] in
-  let rec go st rev_path =
-    match enabled sys st with
-    | [] -> out := List.rev rev_path :: !out
-    | succs ->
-        List.iter
-          (fun (tid, a, st') ->
-            incr steps;
-            if !steps > max_steps then raise (Too_many_states !steps);
-            go st' (Interleaving.pair tid a :: rev_path))
-          succs
-  in
-  go (initial sys) [];
-  List.rev !out
-
-let find_adjacent_race ?(max_states = default_max_states) vol sys =
-  let visited : (string, unit) Hashtbl.t = Hashtbl.create 997 in
-  let count = ref 0 in
-  let exception Found of Interleaving.t in
-  let rec go st rev_path =
-    let k = sched_key sys st in
-    if not (Hashtbl.mem visited k) then begin
-      Hashtbl.add visited k ();
-      incr count;
-      if !count > max_states then raise (Too_many_states !count);
-      let succs = enabled sys st in
-      List.iter
-        (fun (tid, a, st') ->
-          (* Adjacent-race check on the edge: is some conflicting action
-             of another thread enabled right after [a]? *)
-          List.iter
-            (fun (tid', b, _) ->
-              if (not (Thread_id.equal tid tid')) && Action.conflicting vol a b
-              then
-                raise
-                  (Found
-                     (List.rev
-                        (Interleaving.pair tid' b
-                        :: Interleaving.pair tid a
-                        :: rev_path))))
-            (enabled sys st');
-          go st' (Interleaving.pair tid a :: rev_path))
-        succs
-    end
-  in
-  try
-    go (initial sys) [];
-    None
-  with Found i -> Some i
-
-let is_drf ?max_states vol sys =
-  Option.is_none (find_adjacent_race ?max_states vol sys)
-
-let count_states ?(max_states = default_max_states) ?local sys =
-  let select = select local in
-  let visited : (string, unit) Hashtbl.t = Hashtbl.create 997 in
-  let count = ref 0 in
-  let rec go st =
-    let k = sched_key sys st in
-    if not (Hashtbl.mem visited k) then begin
-      Hashtbl.add visited k ();
-      incr count;
-      if !count > max_states then raise (Too_many_states !count);
-      List.iter (fun (_, _, st') -> go st') (select (enabled sys st))
-    end
-  in
-  go (initial sys);
-  !count
-
-let count_executions ?max_steps sys =
-  List.length (maximal_executions ?max_steps sys)
-
-let find_deadlock ?(max_states = default_max_states) sys =
-  let visited : (string, unit) Hashtbl.t = Hashtbl.create 997 in
-  let count = ref 0 in
-  let exception Found of Interleaving.t in
-  let rec go st rev_path =
-    let k = sched_key sys st in
-    if not (Hashtbl.mem visited k) then begin
-      Hashtbl.add visited k ();
-      incr count;
-      if !count > max_states then raise (Too_many_states !count);
-      match enabled sys st with
-      | [] ->
-          let blocked =
-            Array.exists (fun ts -> sys.System.steps ts <> []) st.threads
-          in
-          if blocked then raise (Found (List.rev rev_path))
-      | succs ->
-          List.iter
-            (fun (tid, a, st') -> go st' (Interleaving.pair tid a :: rev_path))
-            succs
-    end
-  in
-  try
-    go (initial sys) [];
-    None
-  with Found i -> Some i
-
-let sample_behaviours ?(max_actions = 10_000) ~seed ~runs sys =
-  let rng = Random.State.make [| seed |] in
-  let out = ref Behaviour.Set.empty in
-  for _ = 1 to runs do
-    let rec go st rev_beh n =
-      if n >= max_actions then ()
-      else
-        match enabled sys st with
-        | [] ->
-            out :=
-              Behaviour.Set.union !out
-                (Behaviour.Set.of_list
-                   (Behaviour.Set.list_prefixes (List.rev rev_beh)))
-        | succs ->
-            let _, a, st' =
-              List.nth succs (Random.State.int rng (List.length succs))
-            in
-            let rev_beh =
-              match a with
-              | Action.External v -> v :: rev_beh
-              | _ -> rev_beh
-            in
-            go st' rev_beh (n + 1)
-    in
-    go (initial sys) [] 0
-  done;
-  !out
+let default_max_states = Explorer.default_max_states
+let behaviours = Explorer.behaviours
+let maximal_executions = Explorer.maximal_executions
+let maximal_executions_seq = Explorer.maximal_executions_seq
+let find_adjacent_race = Explorer.find_adjacent_race
+let is_drf = Explorer.is_drf
+let count_states = Explorer.count_states
+let count_executions = Explorer.count_executions
+let find_deadlock = Explorer.find_deadlock
+let sample_behaviours = Explorer.sample_behaviours

@@ -1,10 +1,10 @@
 (** Exhaustive enumeration of sequentially consistent executions.
 
-    A depth-first scheduler over an abstract thread system
-    ({!System.t}).  The scheduler owns the shared memory and the monitor
-    table: reads are resolved to the most recent write (so only
-    executions, in the paper's sense, are generated), locks respect
-    mutual exclusion with reentrancy, and unlocks require ownership.
+    Compatibility façade over {!Explorer}, which owns the actual
+    engine: hash-consed scheduler states, sleep-set partial-order
+    reduction, streaming executions and exploration statistics.  New
+    code should use {!Explorer} directly; these re-exports keep the
+    historical signatures (and add the optional [stats] sink).
 
     All analyses are exact for systems whose global state graph is
     finite and acyclic (bounded programs; the language front-end
@@ -19,55 +19,77 @@ exception Too_many_states of int
 val default_max_states : int
 
 val behaviours :
-  ?max_states:int -> ?local:(Action.t -> bool) -> 'ts System.t ->
+  ?max_states:int ->
+  ?local:(Action.t -> bool) ->
+  ?stats:Explorer.stats ->
+  'ts System.t ->
   Behaviour.Set.t
 (** The set of behaviours of all executions.  Prefix-closed.
 
-    [local] enables a sound partial-order reduction: it must return
-    [true] only for actions that are {e invisible} (not external) and
-    {e independent of every other thread} — reads and writes of
-    locations accessed by a single thread.  When some thread's unique
-    enabled transition is a start action or a [local] action, only that
-    transition is explored (a singleton persistent set): the action
-    commutes with all other threads' actions, cannot enable or disable
-    them, and contributes nothing observable, so the behaviour set is
-    unchanged while the explored state space can shrink dramatically
-    (see the bench ablation).  Default: no reduction. *)
+    [local] enables a sound partial-order reduction (persistent-set
+    selection plus sleep sets; see {!Explorer.behaviours}): it must
+    return [true] only for actions that are {e invisible} (not
+    external) and {e independent of every other thread} — reads and
+    writes of locations accessed by a single thread.  The behaviour set
+    is identical with and without the reduction.  Default: no
+    reduction. *)
 
-val maximal_executions : ?max_steps:int -> 'ts System.t -> Interleaving.t list
+val maximal_executions :
+  ?max_steps:int -> ?stats:Explorer.stats -> 'ts System.t ->
+  Interleaving.t list
 (** All executions that cannot be extended (every execution is a prefix
-    of one of these).  Exponential in general; intended for small
-    systems in tests and figure reproductions.  [max_steps] bounds the
-    total number of scheduler transitions explored. *)
+    of one of these).  Exponential in general; for early-exit searches
+    use {!maximal_executions_seq}.  [max_steps] bounds the total number
+    of scheduler transitions explored. *)
+
+val maximal_executions_seq :
+  ?max_steps:int -> ?stats:Explorer.stats -> 'ts System.t ->
+  Interleaving.t Seq.t
+(** Lazy stream variant of {!maximal_executions}; consuming a prefix
+    only pays for the transitions actually traversed. *)
 
 val find_adjacent_race :
   ?max_states:int ->
+  ?stats:Explorer.stats ->
   Location.Volatile.t ->
   'ts System.t ->
   Interleaving.t option
 (** A witness execution whose last two actions are adjacent conflicting
     accesses by different threads, if one exists. *)
 
-val is_drf : ?max_states:int -> Location.Volatile.t -> 'ts System.t -> bool
+val is_drf :
+  ?max_states:int -> ?stats:Explorer.stats -> Location.Volatile.t ->
+  'ts System.t -> bool
 (** No execution has an (adjacent) data race. *)
 
 val count_states :
-  ?max_states:int -> ?local:(Action.t -> bool) -> 'ts System.t -> int
+  ?max_states:int ->
+  ?local:(Action.t -> bool) ->
+  ?stats:Explorer.stats ->
+  'ts System.t ->
+  int
 (** Number of distinct scheduler states explored (for benchmarks);
     [local] as in {!behaviours}. *)
 
-val count_executions : ?max_steps:int -> 'ts System.t -> int
+val count_executions :
+  ?max_steps:int -> ?stats:Explorer.stats -> 'ts System.t -> int
 (** Number of maximal executions (no memoisation; benchmarks/tests). *)
 
 val find_deadlock :
-  ?max_states:int -> 'ts System.t -> Interleaving.t option
+  ?max_states:int -> ?stats:Explorer.stats -> 'ts System.t ->
+  Interleaving.t option
 (** A witness execution reaching a state where no transition is enabled
     but some thread still offers steps (it is blocked on a lock) —
     i.e. a deadlock.  [None] if every blocked-free path ends with all
     threads out of steps. *)
 
 val sample_behaviours :
-  ?max_actions:int -> seed:int -> runs:int -> 'ts System.t -> Behaviour.Set.t
+  ?max_actions:int ->
+  seed:int ->
+  runs:int ->
+  ?stats:Explorer.stats ->
+  'ts System.t ->
+  Behaviour.Set.t
 (** A randomised scheduler: [runs] executions with uniformly chosen
     enabled transitions, collecting their behaviours (prefix-closed).
     Sound under-approximation of {!behaviours} for systems too large to

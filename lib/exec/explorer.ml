@@ -1,0 +1,631 @@
+open Safeopt_trace
+
+exception Cyclic
+exception Too_many_states of int
+
+let default_max_states = 2_000_000
+
+(* ------------------------------------------------------------------ *)
+(* Exploration statistics                                              *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  mutable states : int;
+  mutable edges : int;
+  mutable memo_hits : int;
+  mutable por_cuts : int;
+  mutable peak_frontier : int;
+  mutable wall : float;
+}
+
+let create_stats () =
+  {
+    states = 0;
+    edges = 0;
+    memo_hits = 0;
+    por_cuts = 0;
+    peak_frontier = 0;
+    wall = 0.;
+  }
+
+let reset_stats s =
+  s.states <- 0;
+  s.edges <- 0;
+  s.memo_hits <- 0;
+  s.por_cuts <- 0;
+  s.peak_frontier <- 0;
+  s.wall <- 0.
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "@[<v>exploration: %d states, %d transitions@ memo hits: %d, POR cuts: \
+     %d@ peak frontier depth: %d@ wall time: %.6f s@]"
+    s.states s.edges s.memo_hits s.por_cuts s.peak_frontier s.wall
+
+let stats_to_json s =
+  Printf.sprintf
+    "{\"states\": %d, \"edges\": %d, \"memo_hits\": %d, \"por_cuts\": %d, \
+     \"peak_frontier\": %d, \"wall_s\": %.6f}"
+    s.states s.edges s.memo_hits s.por_cuts s.peak_frontier s.wall
+
+(* A dummy sink so the hot loops mutate unconditionally instead of
+   matching on an option at every step. *)
+let sink = function Some s -> s | None -> create_stats ()
+
+let timed stats f =
+  match stats with
+  | None -> f ()
+  | Some s ->
+      let t0 = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () -> s.wall <- s.wall +. (Unix.gettimeofday () -. t0))
+        f
+
+(* ------------------------------------------------------------------ *)
+(* Interning                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Intern = struct
+  type t = (string, int) Hashtbl.t
+
+  let create () : t = Hashtbl.create 256
+
+  let id (t : t) s =
+    match Hashtbl.find_opt t s with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length t in
+        Hashtbl.add t s i;
+        i
+end
+
+(* Int-array keys with a full-width hash: the generic [Hashtbl.hash]
+   only inspects a bounded prefix of the structure, which degenerates
+   for states differing only deep in memory. *)
+module Ikey = struct
+  type t = int array
+
+  let equal (a : int array) (b : int array) =
+    let n = Array.length a in
+    n = Array.length b
+    &&
+    let rec go i =
+      i >= n || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1))
+    in
+    go 0
+
+  let hash (a : int array) =
+    let h = ref 0x811c9dc5 in
+    for i = 0 to Array.length a - 1 do
+      h := (!h lxor Array.unsafe_get a i) * 0x01000193 land max_int
+    done;
+    !h
+end
+
+module Itbl = Hashtbl.Make (Ikey)
+
+let intern_ints (tbl : int Itbl.t) key =
+  match Itbl.find_opt tbl key with
+  | Some i -> i
+  | None ->
+      let i = Itbl.length tbl in
+      Itbl.add tbl key i;
+      i
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consed scheduler states                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A scheduler state carries its own digest pieces: [tkeys.(i)] is the
+   interned key of thread [i]'s state, [mem_id]/[locks_id] the interned
+   canonical serialisations of the shared memory and the monitor table.
+   Successors update only the piece an action touches, so the O(|state|)
+   re-serialisation of the old string keys happens at most once per
+   changed component per transition, not once per component per visit. *)
+type 'ts state = {
+  threads : 'ts array;
+  tkeys : int array;
+  mem : Value.t Location.Map.t;
+  mem_id : int;
+  locks : (Thread_id.t * int) Monitor.Map.t;
+  locks_id : int;
+}
+
+type 'ts ctx = {
+  sys : 'ts System.t;
+  tkey : Intern.t;  (** thread-state keys *)
+  lkey : Intern.t;  (** locations *)
+  mkey : Intern.t;  (** monitors *)
+  mems : int Itbl.t;  (** canonical memories *)
+  lockts : int Itbl.t;  (** canonical monitor tables *)
+  ids : int Itbl.t;  (** full state digests -> state id *)
+}
+
+let make_ctx sys =
+  {
+    sys;
+    tkey = Intern.create ();
+    lkey = Intern.create ();
+    mkey = Intern.create ();
+    mems = Itbl.create 256;
+    lockts = Itbl.create 64;
+    ids = Itbl.create 997;
+  }
+
+let intern_mem ctx mem =
+  let parts =
+    Location.Map.fold
+      (fun l v acc -> Intern.id ctx.lkey l :: v :: acc)
+      mem []
+  in
+  intern_ints ctx.mems (Array.of_list parts)
+
+let intern_locks ctx locks =
+  let parts =
+    Monitor.Map.fold
+      (fun m (o, d) acc -> Intern.id ctx.mkey m :: o :: d :: acc)
+      locks []
+  in
+  intern_ints ctx.lockts (Array.of_list parts)
+
+let initial ctx =
+  let threads = Array.of_list ctx.sys.System.initial in
+  {
+    threads;
+    tkeys =
+      Array.map (fun ts -> Intern.id ctx.tkey (ctx.sys.System.key ts)) threads;
+    mem = Location.Map.empty;
+    mem_id = intern_mem ctx Location.Map.empty;
+    locks = Monitor.Map.empty;
+    locks_id = intern_locks ctx Monitor.Map.empty;
+  }
+
+let state_id ctx st =
+  let n = Array.length st.tkeys in
+  let d = Array.make (n + 2) 0 in
+  Array.blit st.tkeys 0 d 0 n;
+  d.(n) <- st.mem_id;
+  d.(n + 1) <- st.locks_id;
+  match Itbl.find_opt ctx.ids d with
+  | Some i -> (i, false)
+  | None ->
+      let i = Itbl.length ctx.ids in
+      Itbl.add ctx.ids d i;
+      (i, true)
+
+let read_value st l =
+  Option.value ~default:Value.default (Location.Map.find_opt l st.mem)
+
+let set_thread ctx st tid ts' =
+  let threads = Array.copy st.threads in
+  threads.(tid) <- ts';
+  let tkeys = Array.copy st.tkeys in
+  tkeys.(tid) <- Intern.id ctx.tkey (ctx.sys.System.key ts');
+  (threads, tkeys)
+
+(* All enabled transitions from a scheduler state:
+   (thread id, action, successor state), in thread-index then step
+   order — witness searches depend on this order being stable. *)
+let enabled ctx st =
+  let out = ref [] in
+  Array.iteri
+    (fun tid ts ->
+      List.iter
+        (fun step ->
+          match step with
+          | System.Read (l, k) -> (
+              let v = read_value st l in
+              match k v with
+              | Some ts' ->
+                  let threads, tkeys = set_thread ctx st tid ts' in
+                  out :=
+                    (tid, Action.Read (l, v), { st with threads; tkeys })
+                    :: !out
+              | None -> ())
+          | System.Emit (a, ts') -> (
+              let commit st' =
+                let threads, tkeys = set_thread ctx st' tid ts' in
+                out := (tid, a, { st' with threads; tkeys }) :: !out
+              in
+              match a with
+              | Action.Read _ ->
+                  invalid_arg "Explorer: reads must use System.Read steps"
+              | Action.Write (l, v) ->
+                  let mem = Location.Map.add l v st.mem in
+                  commit { st with mem; mem_id = intern_mem ctx mem }
+              | Action.Lock m -> (
+                  match Monitor.Map.find_opt m st.locks with
+                  | None ->
+                      let locks = Monitor.Map.add m (tid, 1) st.locks in
+                      commit
+                        { st with locks; locks_id = intern_locks ctx locks }
+                  | Some (owner, d) when Thread_id.equal owner tid ->
+                      let locks = Monitor.Map.add m (tid, d + 1) st.locks in
+                      commit
+                        { st with locks; locks_id = intern_locks ctx locks }
+                  | Some _ -> ())
+              | Action.Unlock m -> (
+                  match Monitor.Map.find_opt m st.locks with
+                  | Some (owner, d) when Thread_id.equal owner tid ->
+                      let locks =
+                        if d = 1 then Monitor.Map.remove m st.locks
+                        else Monitor.Map.add m (tid, d - 1) st.locks
+                      in
+                      commit
+                        { st with locks; locks_id = intern_locks ctx locks }
+                  | _ -> ())
+              | Action.External _ | Action.Start _ -> commit st))
+        (ctx.sys.System.steps ts))
+    st.threads;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Independence and sleep sets                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Two transitions of different threads commute iff their actions do not
+   conflict as memory accesses (same location with a write involved —
+   volatility is irrelevant for commutation, so the conflict test runs
+   with an empty volatile set), do not touch the same monitor, and are
+   not both external (external actions are the observable behaviour, so
+   their relative order must be preserved). *)
+let independent (t1, a1) (t2, a2) =
+  (not (Thread_id.equal t1 t2))
+  && (not (Action.conflicting Location.Volatile.none a1 a2))
+  && (match (Action.monitor a1, Action.monitor a2) with
+     | Some m1, Some m2 -> not (Monitor.equal m1 m2)
+     | _ -> true)
+  && not (Action.is_external a1 && Action.is_external a2)
+
+type sleeper = Thread_id.t * Action.t
+
+let in_sleep sleep tid a =
+  List.exists
+    (fun (t, b) -> Thread_id.equal t tid && Action.equal b a)
+    sleep
+
+let sleep_subset s1 s2 = List.for_all (fun (t, a) -> in_sleep s2 t a) s1
+let sleep_inter s1 s2 = List.filter (fun (t, a) -> in_sleep s2 t a) s1
+
+(* Persistent-set selection, generalising the old singleton rule: if
+   some thread's enabled transitions are all invisible and statically
+   independent of every other thread ([local], plus start actions), that
+   thread's transitions alone form a persistent set.  The set must offer
+   at least one transition not in [sleep], otherwise exploration would
+   stall on work that is covered elsewhere. *)
+let persistent_select local sleep succs =
+  let is_local a = match a with Action.Start _ -> true | _ -> local a in
+  let rec tids_of acc = function
+    | [] -> List.rev acc
+    | (tid, _, _) :: rest ->
+        tids_of (if List.mem tid acc then acc else tid :: acc) rest
+  in
+  let candidate tid =
+    let mine, awake =
+      List.fold_left
+        (fun (mine, awake) (t, a, _) ->
+          if Thread_id.equal t tid then
+            (mine && is_local a, awake || not (in_sleep sleep t a))
+          else (mine, awake))
+        (true, false) succs
+    in
+    mine && awake
+  in
+  match List.find_opt candidate (tids_of [] succs) with
+  | Some tid -> List.filter (fun (t, _, _) -> Thread_id.equal t tid) succs
+  | None -> succs
+
+(* ------------------------------------------------------------------ *)
+(* Memoised behaviour / state-count exploration with sleep sets        *)
+(* ------------------------------------------------------------------ *)
+
+(* The DFS core shared by [behaviours] and [count_states].  [visit] is
+   called once per explored transition with the subtree's result; its
+   accumulated value is memoised per (state, sleep set).
+
+   Sleep sets with state matching (Godefroid): a memo entry records the
+   sleep set it was computed under and may be reused only by visits
+   whose sleep set subsumes it (those need a subset of the explored
+   transitions).  A revisit with an incomparable sleep set re-explores
+   under the intersection, which only ever shrinks, so the recursion
+   terminates and the stored result only grows. *)
+let explore_core (type r) ~(empty : r) ~(union : r -> r -> r)
+    ~(label : Action.t -> r -> r) ~max_states ~local ~stats sys =
+  let s = sink stats in
+  let ctx = make_ctx sys in
+  let memo : (int, sleeper list * r) Hashtbl.t = Hashtbl.create 997 in
+  let on_stack : (int, unit) Hashtbl.t = Hashtbl.create 97 in
+  let count = ref 0 in
+  let reduce = Option.is_some local in
+  let local_pred = match local with Some f -> f | None -> fun _ -> false in
+  let rec go st sleep depth =
+    let id, fresh = state_id ctx st in
+    if fresh then begin
+      incr count;
+      s.states <- s.states + 1;
+      if !count > max_states then raise (Too_many_states !count)
+    end;
+    match Hashtbl.find_opt memo id with
+    | Some (stored, r) when (not reduce) || sleep_subset stored sleep ->
+        s.memo_hits <- s.memo_hits + 1;
+        r
+    | prior ->
+        if Hashtbl.mem on_stack id then raise Cyclic;
+        Hashtbl.add on_stack id ();
+        if depth > s.peak_frontier then s.peak_frontier <- depth;
+        let sleep =
+          match prior with
+          | Some (stored, _) -> sleep_inter stored sleep
+          | None -> sleep
+        in
+        let succs = enabled ctx st in
+        let selected =
+          if reduce then persistent_select local_pred sleep succs else succs
+        in
+        s.por_cuts <- s.por_cuts + (List.length succs - List.length selected);
+        let result = ref empty in
+        let explored = ref [] in
+        List.iter
+          (fun (tid, a, st') ->
+            if reduce && in_sleep sleep tid a then
+              s.por_cuts <- s.por_cuts + 1
+            else begin
+              s.edges <- s.edges + 1;
+              let child_sleep =
+                if reduce then
+                  List.filter
+                    (fun e -> independent e (tid, a))
+                    (List.rev_append !explored sleep)
+                else []
+              in
+              let sub = go st' child_sleep (depth + 1) in
+              result := union !result (label a sub);
+              if reduce then explored := (tid, a) :: !explored
+            end)
+          selected;
+        Hashtbl.remove on_stack id;
+        Hashtbl.replace memo id (sleep, !result);
+        !result
+  in
+  let r = go (initial ctx) [] 1 in
+  (r, !count)
+
+let behaviours ?(max_states = default_max_states) ?local ?stats sys =
+  timed stats (fun () ->
+      fst
+        (explore_core
+           ~empty:(Behaviour.Set.singleton [])
+           ~union:Behaviour.Set.union
+           ~label:(fun a sub ->
+             match a with
+             | Action.External v -> Behaviour.Set.map (fun b -> v :: b) sub
+             | _ -> sub)
+           ~max_states ~local ~stats sys))
+
+let count_states ?(max_states = default_max_states) ?local ?stats sys =
+  timed stats (fun () ->
+      snd
+        (explore_core ~empty:() ~union:(fun () () -> ())
+           ~label:(fun _ () -> ())
+           ~max_states ~local ~stats sys))
+
+(* ------------------------------------------------------------------ *)
+(* Streaming executions                                                *)
+(* ------------------------------------------------------------------ *)
+
+let maximal_executions_seq ?(max_steps = 1_000_000) ?stats sys =
+  let s = sink stats in
+  let ctx = make_ctx sys in
+  let steps = ref 0 in
+  let rec go st rev_path : Interleaving.t Seq.t =
+   fun () ->
+    match enabled ctx st with
+    | [] -> Seq.Cons (List.rev rev_path, Seq.empty)
+    | succs ->
+        Seq.flat_map
+          (fun (tid, a, st') () ->
+            incr steps;
+            s.edges <- s.edges + 1;
+            if !steps > max_steps then raise (Too_many_states !steps);
+            go st' (Interleaving.pair tid a :: rev_path) ())
+          (List.to_seq succs) ()
+  in
+  go (initial ctx) []
+
+let maximal_executions ?max_steps ?stats sys =
+  timed stats (fun () ->
+      List.of_seq (maximal_executions_seq ?max_steps ?stats:None sys))
+
+let count_executions ?max_steps ?stats sys =
+  timed stats (fun () ->
+      Seq.fold_left
+        (fun n _ -> n + 1)
+        0
+        (maximal_executions_seq ?max_steps ?stats:None sys))
+
+(* ------------------------------------------------------------------ *)
+(* Witness searches                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let find_adjacent_race ?(max_states = default_max_states) ?stats vol sys =
+  timed stats (fun () ->
+      let s = sink stats in
+      let ctx = make_ctx sys in
+      let visited : (int, unit) Hashtbl.t = Hashtbl.create 997 in
+      (* Each state's enabled set is needed both when the state is
+         visited and for the adjacent-race check on every incoming edge:
+         compute it once and cache it by state id. *)
+      let succ_tbl = Hashtbl.create 997 in
+      let succs_of id st =
+        match Hashtbl.find_opt succ_tbl id with
+        | Some l -> l
+        | None ->
+            let l = enabled ctx st in
+            Hashtbl.add succ_tbl id l;
+            l
+      in
+      let count = ref 0 in
+      let exception Found of Interleaving.t in
+      let rec go id succs rev_path depth =
+        Hashtbl.add visited id ();
+        incr count;
+        s.states <- s.states + 1;
+        if !count > max_states then raise (Too_many_states !count);
+        if depth > s.peak_frontier then s.peak_frontier <- depth;
+        List.iter
+          (fun (tid, a, st') ->
+            s.edges <- s.edges + 1;
+            let id', _ = state_id ctx st' in
+            let succs' = succs_of id' st' in
+            List.iter
+              (fun (tid', b, _) ->
+                if
+                  (not (Thread_id.equal tid tid'))
+                  && Action.conflicting vol a b
+                then
+                  raise
+                    (Found
+                       (List.rev
+                          (Interleaving.pair tid' b
+                          :: Interleaving.pair tid a
+                          :: rev_path))))
+              succs';
+            if not (Hashtbl.mem visited id') then
+              go id' succs'
+                (Interleaving.pair tid a :: rev_path)
+                (depth + 1))
+          succs
+      in
+      let st0 = initial ctx in
+      let id0, _ = state_id ctx st0 in
+      try
+        go id0 (succs_of id0 st0) [] 1;
+        None
+      with Found i -> Some i)
+
+let is_drf ?max_states ?stats vol sys =
+  Option.is_none (find_adjacent_race ?max_states ?stats vol sys)
+
+let find_deadlock ?(max_states = default_max_states) ?stats sys =
+  timed stats (fun () ->
+      let s = sink stats in
+      let ctx = make_ctx sys in
+      let visited : (int, unit) Hashtbl.t = Hashtbl.create 997 in
+      let count = ref 0 in
+      let exception Found of Interleaving.t in
+      let rec go st rev_path depth =
+        let id, fresh = state_id ctx st in
+        if fresh then begin
+          Hashtbl.add visited id ();
+          incr count;
+          s.states <- s.states + 1;
+          if !count > max_states then raise (Too_many_states !count);
+          if depth > s.peak_frontier then s.peak_frontier <- depth;
+          match enabled ctx st with
+          | [] ->
+              let blocked =
+                Array.exists
+                  (fun ts -> ctx.sys.System.steps ts <> [])
+                  st.threads
+              in
+              if blocked then raise (Found (List.rev rev_path))
+          | succs ->
+              List.iter
+                (fun (tid, a, st') ->
+                  s.edges <- s.edges + 1;
+                  go st' (Interleaving.pair tid a :: rev_path) (depth + 1))
+                succs
+        end
+      in
+      try
+        go (initial ctx) [] 1;
+        None
+      with Found i -> Some i)
+
+(* ------------------------------------------------------------------ *)
+(* Randomised sampling                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sample_runs ?(max_actions = 10_000) ~seed ~runs sys =
+  let ctx = make_ctx sys in
+  Seq.init runs (fun run ->
+      (* one generator per run, so the stream is re-evaluable and a
+         consumer may stop after any prefix without changing the rest *)
+      let rng = Random.State.make [| seed; run |] in
+      let rec go st rev_beh n =
+        if n >= max_actions then List.rev rev_beh
+        else
+          match enabled ctx st with
+          | [] -> List.rev rev_beh
+          | succs ->
+              let _, a, st' =
+                List.nth succs (Random.State.int rng (List.length succs))
+              in
+              let rev_beh =
+                match a with
+                | Action.External v -> v :: rev_beh
+                | _ -> rev_beh
+              in
+              go st' rev_beh (n + 1)
+      in
+      go (initial ctx) [] 0)
+
+let sample_behaviours ?max_actions ~seed ~runs ?stats sys =
+  timed stats (fun () ->
+      Seq.fold_left
+        (fun acc b ->
+          Behaviour.Set.union acc
+            (Behaviour.Set.of_list (Behaviour.Set.list_prefixes b)))
+        Behaviour.Set.empty
+        (sample_runs ?max_actions ~seed ~runs sys))
+
+(* ------------------------------------------------------------------ *)
+(* Generic graph engine (TSO/PSO machines)                             *)
+(* ------------------------------------------------------------------ *)
+
+type 'st graph = {
+  graph_initial : 'st;
+  graph_transitions : 'st -> (Action.t option * 'st) list;
+  graph_digest : 'st -> int list;
+}
+
+let graph_behaviours ?(max_states = default_max_states) ?stats g =
+  timed stats (fun () ->
+      let s = sink stats in
+      let ids : int Itbl.t = Itbl.create 997 in
+      let memo : (int, Behaviour.Set.t) Hashtbl.t = Hashtbl.create 997 in
+      let on_stack : (int, unit) Hashtbl.t = Hashtbl.create 97 in
+      let count = ref 0 in
+      let rec go st depth =
+        let id = intern_ints ids (Array.of_list (g.graph_digest st)) in
+        match Hashtbl.find_opt memo id with
+        | Some set ->
+            s.memo_hits <- s.memo_hits + 1;
+            set
+        | None ->
+            if Hashtbl.mem on_stack id then raise Cyclic;
+            Hashtbl.add on_stack id ();
+            incr count;
+            s.states <- s.states + 1;
+            if !count > max_states then raise (Too_many_states !count);
+            if depth > s.peak_frontier then s.peak_frontier <- depth;
+            let set =
+              List.fold_left
+                (fun acc (a, st') ->
+                  s.edges <- s.edges + 1;
+                  let sub = go st' (depth + 1) in
+                  let sub =
+                    match a with
+                    | Some (Action.External v) ->
+                        Behaviour.Set.map (fun b -> v :: b) sub
+                    | _ -> sub
+                  in
+                  Behaviour.Set.union acc sub)
+                (Behaviour.Set.singleton [])
+                (g.graph_transitions st)
+            in
+            Hashtbl.remove on_stack id;
+            Hashtbl.replace memo id set;
+            set
+      in
+      go g.graph_initial 1)

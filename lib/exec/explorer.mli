@@ -1,0 +1,162 @@
+(** The unified exploration engine.
+
+    A depth-first scheduler over an abstract thread system
+    ({!System.t}) and a generic memoised search over explicit transition
+    graphs ({!type-graph}).  All exhaustive analyses in the repository —
+    behaviour enumeration, state counting, race and deadlock witness
+    searches, TSO/PSO machine exploration — run on this engine.
+
+    Three properties distinguish it from a naive search:
+
+    - {b Hash-consed states.}  Scheduler states are digested to compact
+      int tuples: thread-state keys are interned once per distinct
+      thread configuration, shared memory and the monitor table are
+      interned once per distinct value, and the memo/visited tables are
+      keyed on the resulting digest.  Successor states update only the
+      digest component their action touches.
+
+    - {b Sleep-set partial-order reduction.}  When a [local] predicate
+      is supplied, exploration combines persistent-set selection with
+      Godefroid-style sleep sets over an independence relation derived
+      from {!Action.conflicting} (plus monitor and external-action
+      dependence).  Reduced and unreduced behaviour sets coincide; see
+      DESIGN.md for the soundness argument.
+
+    - {b Streaming.}  Maximal executions are produced as a lazy
+      {!Seq.t}, so consumers searching for a witness stop at the first
+      hit instead of materialising the full (exponential) list.
+
+    Analyses are exact for systems whose global state graph is finite
+    and acyclic.  A cycle raises {!Cyclic}; exceeding the state budget
+    raises {!Too_many_states}. *)
+
+open Safeopt_trace
+
+exception Cyclic
+exception Too_many_states of int
+
+val default_max_states : int
+
+(** {1 Exploration statistics} *)
+
+type stats = {
+  mutable states : int;  (** distinct states visited *)
+  mutable edges : int;  (** transitions traversed *)
+  mutable memo_hits : int;  (** visits answered from the memo table *)
+  mutable por_cuts : int;  (** transitions pruned by the reduction *)
+  mutable peak_frontier : int;  (** maximum DFS stack depth *)
+  mutable wall : float;  (** accumulated wall-clock seconds *)
+}
+
+val create_stats : unit -> stats
+val reset_stats : stats -> unit
+val pp_stats : Format.formatter -> stats -> unit
+
+val stats_to_json : stats -> string
+(** One-line JSON object (states, edges, memo_hits, por_cuts,
+    peak_frontier, wall_s). *)
+
+(** {1 Independence} *)
+
+val independent : Thread_id.t * Action.t -> Thread_id.t * Action.t -> bool
+(** The static independence relation underlying the reduction: two
+    transitions commute iff they belong to different threads, their
+    actions do not conflict as memory accesses (volatility is irrelevant
+    for commutation), they do not touch the same monitor, and they are
+    not both external (the order of external actions is the observable
+    behaviour). *)
+
+(** {1 Exhaustive analyses over thread systems} *)
+
+val behaviours :
+  ?max_states:int ->
+  ?local:(Action.t -> bool) ->
+  ?stats:stats ->
+  'ts System.t ->
+  Behaviour.Set.t
+(** The set of behaviours of all executions.  Prefix-closed.
+
+    [local] enables the sleep-set reduction; it must return [true] only
+    for actions that are invisible (not external) and independent of
+    every other thread — accesses to locations touched by a single
+    thread.  The behaviour set is identical with and without [local]. *)
+
+val count_states :
+  ?max_states:int ->
+  ?local:(Action.t -> bool) ->
+  ?stats:stats ->
+  'ts System.t ->
+  int
+(** Number of distinct scheduler states explored; [local] as in
+    {!behaviours} (the reduced count can be much smaller). *)
+
+val maximal_executions_seq :
+  ?max_steps:int -> ?stats:stats -> 'ts System.t -> Interleaving.t Seq.t
+(** All executions that cannot be extended, as a lazy stream in
+    scheduler order.  Consuming a prefix only pays for the transitions
+    actually traversed; [max_steps] bounds that number across the whole
+    stream.  The stream is re-evaluable (each traversal restarts the
+    search, re-counting steps). *)
+
+val maximal_executions :
+  ?max_steps:int -> ?stats:stats -> 'ts System.t -> Interleaving.t list
+(** [List.of_seq (maximal_executions_seq ...)]. *)
+
+val count_executions : ?max_steps:int -> ?stats:stats -> 'ts System.t -> int
+
+val find_adjacent_race :
+  ?max_states:int ->
+  ?stats:stats ->
+  Location.Volatile.t ->
+  'ts System.t ->
+  Interleaving.t option
+(** A witness execution whose last two actions are adjacent conflicting
+    accesses by different threads, if one exists.  Each state's enabled
+    set is computed once and shared between the visit and the per-edge
+    race checks. *)
+
+val is_drf :
+  ?max_states:int -> ?stats:stats -> Location.Volatile.t -> 'ts System.t ->
+  bool
+
+val find_deadlock :
+  ?max_states:int -> ?stats:stats -> 'ts System.t -> Interleaving.t option
+(** A witness execution reaching a state with no enabled transition
+    while some thread still offers steps (blocked on a lock). *)
+
+(** {1 Randomised sampling} *)
+
+val sample_runs :
+  ?max_actions:int -> seed:int -> runs:int -> 'ts System.t -> Behaviour.t Seq.t
+(** A lazy stream of [runs] behaviours from a randomised scheduler.
+    Run [i] derives its generator from [(seed, i)], so any prefix of the
+    stream is deterministic and independent of how much is consumed. *)
+
+val sample_behaviours :
+  ?max_actions:int ->
+  seed:int ->
+  runs:int ->
+  ?stats:stats ->
+  'ts System.t ->
+  Behaviour.Set.t
+(** Prefix-closed union of {!sample_runs}.  Sound under-approximation of
+    {!behaviours} for systems too large to enumerate. *)
+
+(** {1 Generic graph exploration}
+
+    For machines whose transition relation is not a {!System.t} — the
+    TSO and PSO store-buffer machines — the engine exposes a memoised
+    behaviour search over an explicit graph. *)
+
+type 'st graph = {
+  graph_initial : 'st;
+  graph_transitions : 'st -> (Action.t option * 'st) list;
+      (** [None] labels an internal transition (e.g. a buffer drain). *)
+  graph_digest : 'st -> int list;
+      (** An injective int encoding of the state; the engine interns it. *)
+}
+
+val graph_behaviours :
+  ?max_states:int -> ?stats:stats -> 'st graph -> Behaviour.Set.t
+(** Prefix-closed behaviour set of the graph, memoised on the interned
+    digest.  Raises {!Cyclic} / {!Too_many_states} as above. *)

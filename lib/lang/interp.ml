@@ -1,32 +1,37 @@
 open Safeopt_trace
 open Safeopt_exec
 
-let behaviours ?fuel ?max_states ?(por = false) p =
+let behaviours ?fuel ?max_states ?(por = false) ?stats p =
   let local =
     if por then Some (Thread_system.local_actions p) else None
   in
-  Enumerate.behaviours ?max_states ?local (Thread_system.make ?fuel p)
+  Enumerate.behaviours ?max_states ?local ?stats (Thread_system.make ?fuel p)
 
-let find_race ?fuel ?max_states p =
-  Enumerate.find_adjacent_race ?max_states p.Ast.volatile
+let find_race ?fuel ?max_states ?stats p =
+  Enumerate.find_adjacent_race ?max_states ?stats p.Ast.volatile
     (Thread_system.make ?fuel p)
 
-let is_drf ?fuel ?max_states p = Option.is_none (find_race ?fuel ?max_states p)
+let is_drf ?fuel ?max_states ?stats p =
+  Option.is_none (find_race ?fuel ?max_states ?stats p)
 
-let maximal_executions ?fuel ?max_steps p =
-  Enumerate.maximal_executions ?max_steps (Thread_system.make ?fuel p)
+let maximal_executions ?fuel ?max_steps ?stats p =
+  Enumerate.maximal_executions ?max_steps ?stats (Thread_system.make ?fuel p)
 
-let count_states ?fuel ?max_states ?(por = false) p =
+let maximal_executions_seq ?fuel ?max_steps ?stats p =
+  Enumerate.maximal_executions_seq ?max_steps ?stats
+    (Thread_system.make ?fuel p)
+
+let count_states ?fuel ?max_states ?(por = false) ?stats p =
   let local =
     if por then Some (Thread_system.local_actions p) else None
   in
-  Enumerate.count_states ?max_states ?local (Thread_system.make ?fuel p)
+  Enumerate.count_states ?max_states ?local ?stats (Thread_system.make ?fuel p)
 
-let find_deadlock ?fuel ?max_states p =
-  Enumerate.find_deadlock ?max_states (Thread_system.make ?fuel p)
+let find_deadlock ?fuel ?max_states ?stats p =
+  Enumerate.find_deadlock ?max_states ?stats (Thread_system.make ?fuel p)
 
-let sample_behaviours ?fuel ?max_actions ~seed ~runs p =
-  Enumerate.sample_behaviours ?max_actions ~seed ~runs
+let sample_behaviours ?fuel ?max_actions ~seed ~runs ?stats p =
+  Enumerate.sample_behaviours ?max_actions ~seed ~runs ?stats
     (Thread_system.make ?fuel p)
 
 let can_output ?fuel ?max_states p v =

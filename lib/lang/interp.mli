@@ -1,40 +1,68 @@
 (** Whole-program sequentially consistent analysis.
 
-    Thin wrappers tying {!Thread_system} to the exhaustive scheduler in
-    [Safeopt_exec.Enumerate]: behaviours, data-race freedom, executions
-    — the paper's section-3 notions computed for concrete programs. *)
+    Thin wrappers tying {!Thread_system} to the unified exploration
+    engine in [Safeopt_exec.Explorer]: behaviours, data-race freedom,
+    executions — the paper's section-3 notions computed for concrete
+    programs.  Every analysis accepts an optional [stats] sink
+    ({!Safeopt_exec.Explorer.stats}) that accumulates states visited,
+    memo hits, POR cuts, peak frontier depth and wall time. *)
 
 open Safeopt_trace
 open Safeopt_exec
 
 val behaviours :
-  ?fuel:int -> ?max_states:int -> ?por:bool -> Ast.program -> Behaviour.Set.t
+  ?fuel:int ->
+  ?max_states:int ->
+  ?por:bool ->
+  ?stats:Explorer.stats ->
+  Ast.program ->
+  Behaviour.Set.t
 (** All observable behaviours of all SC executions (prefix-closed).
-    [por] (default false) enables the thread-local partial-order
-    reduction ({!Thread_system.local_actions}); the result is
-    unchanged, the exploration usually smaller. *)
+    [por] (default false) enables the sleep-set partial-order reduction
+    seeded with {!Thread_system.local_actions}; the result is unchanged,
+    the exploration usually smaller. *)
 
-val is_drf : ?fuel:int -> ?max_states:int -> Ast.program -> bool
+val is_drf :
+  ?fuel:int -> ?max_states:int -> ?stats:Explorer.stats -> Ast.program -> bool
 (** No execution has two adjacent conflicting accesses from different
     threads. *)
 
 val find_race :
-  ?fuel:int -> ?max_states:int -> Ast.program -> Interleaving.t option
+  ?fuel:int -> ?max_states:int -> ?stats:Explorer.stats -> Ast.program ->
+  Interleaving.t option
 (** A witness racy execution, if any. *)
 
 val maximal_executions :
-  ?fuel:int -> ?max_steps:int -> Ast.program -> Interleaving.t list
+  ?fuel:int -> ?max_steps:int -> ?stats:Explorer.stats -> Ast.program ->
+  Interleaving.t list
+
+val maximal_executions_seq :
+  ?fuel:int -> ?max_steps:int -> ?stats:Explorer.stats -> Ast.program ->
+  Interleaving.t Seq.t
+(** Lazy stream of maximal executions; consumers searching for a
+    witness can stop at the first hit without materialising the rest. *)
 
 val count_states :
-  ?fuel:int -> ?max_states:int -> ?por:bool -> Ast.program -> int
+  ?fuel:int ->
+  ?max_states:int ->
+  ?por:bool ->
+  ?stats:Explorer.stats ->
+  Ast.program ->
+  int
 
 val find_deadlock :
-  ?fuel:int -> ?max_states:int -> Ast.program -> Interleaving.t option
+  ?fuel:int -> ?max_states:int -> ?stats:Explorer.stats -> Ast.program ->
+  Interleaving.t option
 (** A witness execution reaching a state where every thread is blocked
     on a lock (and at least one is not finished). *)
 
 val sample_behaviours :
-  ?fuel:int -> ?max_actions:int -> seed:int -> runs:int -> Ast.program ->
+  ?fuel:int ->
+  ?max_actions:int ->
+  seed:int ->
+  runs:int ->
+  ?stats:Explorer.stats ->
+  Ast.program ->
   Behaviour.Set.t
 (** Randomised-scheduler under-approximation of {!behaviours}, for
     programs too large to enumerate exhaustively. *)

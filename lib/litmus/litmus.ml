@@ -23,10 +23,10 @@ let program t = Parser.parse_program t.source
 let make ~name ~descr ?(drf = true) ?(can = []) ?(cannot = []) source =
   { name; descr; source; drf; can; cannot }
 
-let check ?fuel ?max_states t =
+let check ?fuel ?max_states ?stats t =
   let p = program t in
-  let drf_actual = Interp.is_drf ?fuel ?max_states p in
-  let behaviours = Interp.behaviours ?fuel ?max_states p in
+  let drf_actual = Interp.is_drf ?fuel ?max_states ?stats p in
+  let behaviours = Interp.behaviours ?fuel ?max_states ?stats p in
   let failures = ref [] in
   let fail fmt = Fmt.kstr (fun s -> failures := s :: !failures) fmt in
   if drf_actual <> t.drf then

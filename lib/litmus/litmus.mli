@@ -28,7 +28,11 @@ type outcome = {
 val program : t -> Ast.program
 (** Parse the test's source. *)
 
-val check : ?fuel:int -> ?max_states:int -> t -> outcome
+val check :
+  ?fuel:int -> ?max_states:int -> ?stats:Explorer.stats -> t -> outcome
+(** [stats], when given, accumulates exploration statistics
+    ({!Safeopt_exec.Explorer.stats}) across the DRF check and the
+    behaviour enumeration. *)
 
 val passed : outcome -> bool
 

@@ -50,21 +50,21 @@ let ok r =
    documentation), so a positive answer avoids the exponential schedule
    enumeration entirely; a negative answer only means "unknown" and
    falls back to the exhaustive check. *)
-let drf_fast ?fuel ?max_states p =
+let drf_fast ?fuel ?max_states ?stats p =
   Safeopt_analysis.Static_race.certified_drf p
-  || Interp.is_drf ?fuel ?max_states p
+  || Interp.is_drf ?fuel ?max_states ?stats p
 
-let find_race_fast ?fuel ?max_states p =
+let find_race_fast ?fuel ?max_states ?stats p =
   if Safeopt_analysis.Static_race.certified_drf p then None
-  else Interp.find_race ?fuel ?max_states p
+  else Interp.find_race ?fuel ?max_states ?stats p
 
-let validate_with ?fuel ?max_states ~relation ~relation_check ~original
+let validate_with ?fuel ?max_states ?stats ~relation ~relation_check ~original
     ~transformed () =
-  let b_orig = Interp.behaviours ?fuel ?max_states original in
-  let b_trans = Interp.behaviours ?fuel ?max_states transformed in
+  let b_orig = Interp.behaviours ?fuel ?max_states ?stats original in
+  let b_trans = Interp.behaviours ?fuel ?max_states ?stats transformed in
   let new_behaviour = Safeopt_core.Safety.behaviour_subset b_trans b_orig in
-  let original_drf = drf_fast ?fuel ?max_states original in
-  let race_witness = find_race_fast ?fuel ?max_states transformed in
+  let original_drf = drf_fast ?fuel ?max_states ?stats original in
+  let race_witness = find_race_fast ?fuel ?max_states ?stats transformed in
   let relation_holds, relation_counterexample = relation_check () in
   {
     original_drf;
@@ -76,13 +76,13 @@ let validate_with ?fuel ?max_states ~relation ~relation_check ~original
     relation_counterexample;
   }
 
-let validate ?fuel ?max_states ~original ~transformed () =
-  validate_with ?fuel ?max_states ~relation:Unchecked
+let validate ?fuel ?max_states ?stats ~original ~transformed () =
+  validate_with ?fuel ?max_states ?stats ~relation:Unchecked
     ~relation_check:(fun () -> (None, None))
     ~original ~transformed ()
 
-let validate_semantic ?fuel ?max_states ?(max_len = 12) ~relation ~original
-    ~transformed () =
+let validate_semantic ?fuel ?max_states ?stats ?(max_len = 12) ~relation
+    ~original ~transformed () =
   let universe = Denote.joint_universe [ original; transformed ] in
   let vol = original.Ast.volatile in
   let relation_check () =
@@ -121,7 +121,7 @@ let validate_semantic ?fuel ?max_states ?(max_len = 12) ~relation ~original
         in
         (Some (Option.is_none cex), cex)
   in
-  validate_with ?fuel ?max_states ~relation ~relation_check ~original
+  validate_with ?fuel ?max_states ?stats ~relation ~relation_check ~original
     ~transformed ()
 
 type chain_report = { pairwise : report list; end_to_end : report }
@@ -134,19 +134,36 @@ let pp_chain_report ppf c =
 
 let chain_ok c = List.for_all ok c.pairwise && ok c.end_to_end
 
-let validate_chain ?fuel ?max_states programs =
+let validate_chain ?fuel ?max_states ?stats programs =
   match programs with
   | [] -> invalid_arg "Validate.validate_chain: empty chain"
-  | first :: _ ->
+  | _ ->
+      (* Enumerate each program's behaviours and race witness exactly
+         once: a middle program is the transformed side of one pair and
+         the original side of the next, and the end-to-end report reuses
+         the first and last programs' results. *)
+      let data =
+        List.map
+          (fun p ->
+            ( Interp.behaviours ?fuel ?max_states ?stats p,
+              find_race_fast ?fuel ?max_states ?stats p ))
+          programs
+      in
+      let report_of (b_orig, race_orig) (b_trans, race_trans) =
+        {
+          original_drf = Option.is_none race_orig;
+          transformed_drf = Option.is_none race_trans;
+          new_behaviour = Safeopt_core.Safety.behaviour_subset b_trans b_orig;
+          race_witness = race_trans;
+          relation = Unchecked;
+          relation_holds = None;
+          relation_counterexample = None;
+        }
+      in
       let rec pairs = function
-        | a :: (b :: _ as rest) ->
-            validate ?fuel ?max_states ~original:a ~transformed:b ()
-            :: pairs rest
+        | a :: (b :: _ as rest) -> report_of a b :: pairs rest
         | _ -> []
       in
-      let last = List.nth programs (List.length programs - 1) in
-      {
-        pairwise = pairs programs;
-        end_to_end =
-          validate ?fuel ?max_states ~original:first ~transformed:last ();
-      }
+      let first = List.hd data in
+      let last = List.fold_left (fun _ d -> d) first data in
+      { pairwise = pairs data; end_to_end = report_of first last }

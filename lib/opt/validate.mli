@@ -54,6 +54,7 @@ val behaviours_ok : report -> bool
 val validate :
   ?fuel:int ->
   ?max_states:int ->
+  ?stats:Explorer.stats ->
   original:Ast.program ->
   transformed:Ast.program ->
   unit ->
@@ -65,12 +66,14 @@ val validate :
     analysis reports potential races does the exhaustive interleaving
     enumeration run. *)
 
-val drf_fast : ?fuel:int -> ?max_states:int -> Ast.program -> bool
+val drf_fast :
+  ?fuel:int -> ?max_states:int -> ?stats:Explorer.stats -> Ast.program -> bool
 (** [is_drf] with the static fast path: a lockset certificate first,
     enumeration only as fallback. *)
 
 val find_race_fast :
-  ?fuel:int -> ?max_states:int -> Ast.program -> Interleaving.t option
+  ?fuel:int -> ?max_states:int -> ?stats:Explorer.stats -> Ast.program ->
+  Interleaving.t option
 (** [find_race] with the static fast path: returns [None] without
     enumerating when the program is statically certified DRF. *)
 
@@ -87,14 +90,17 @@ val chain_ok : chain_report -> bool
     transformations starting from a DRF program adds no behaviours. *)
 
 val validate_chain :
-  ?fuel:int -> ?max_states:int -> Ast.program list -> chain_report
+  ?fuel:int -> ?max_states:int -> ?stats:Explorer.stats -> Ast.program list ->
+  chain_report
 (** Validate a chain of at least one program ([relation = Unchecked]
-    per pair).
+    per pair).  Each program's behaviours and race witness are computed
+    once and shared between the pairwise and end-to-end reports.
     @raise Invalid_argument on an empty chain. *)
 
 val validate_semantic :
   ?fuel:int ->
   ?max_states:int ->
+  ?stats:Explorer.stats ->
   ?max_len:int ->
   relation:relation ->
   original:Ast.program ->

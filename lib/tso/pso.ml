@@ -10,35 +10,6 @@ type 'ts state = {
   locks : (Thread_id.t * int) Monitor.Map.t;
 }
 
-let state_key sys st =
-  let b = Buffer.create 64 in
-  Array.iter
-    (fun ts ->
-      Buffer.add_string b (sys.System.key ts);
-      Buffer.add_char b '\x00')
-    st.threads;
-  Buffer.add_char b '\x01';
-  Array.iter
-    (fun bufs ->
-      Location.Map.iter
-        (fun l vs ->
-          Buffer.add_string b l;
-          Buffer.add_char b '=';
-          List.iter (fun v -> Buffer.add_string b (string_of_int v ^ ",")) vs;
-          Buffer.add_char b ';')
-        bufs;
-      Buffer.add_char b '\x00')
-    st.buffers;
-  Buffer.add_char b '\x01';
-  Location.Map.iter
-    (fun l v -> Buffer.add_string b (Printf.sprintf "%s=%d;" l v))
-    st.mem;
-  Buffer.add_char b '\x01';
-  Monitor.Map.iter
-    (fun m (o, d) -> Buffer.add_string b (Printf.sprintf "%s=%d,%d;" m o d))
-    st.locks;
-  Buffer.contents b
-
 let buffer_of st tid l =
   Option.value ~default:[] (Location.Map.find_opt l st.buffers.(tid))
 
@@ -132,58 +103,75 @@ let transitions vol sys st =
     st.threads;
   List.rev !out
 
-let behaviours ?(max_states = Enumerate.default_max_states) vol sys =
-  let memo : (string, Behaviour.Set.t) Hashtbl.t = Hashtbl.create 997 in
-  let on_stack : (string, unit) Hashtbl.t = Hashtbl.create 97 in
-  let count = ref 0 in
-  let rec go st =
-    let k = state_key sys st in
-    match Hashtbl.find_opt memo k with
-    | Some s -> s
+(* Length-prefixed injective int encoding; interners shared with the
+   digest's caller (see {!Machine.digest} for the TSO analogue). *)
+let digest ~tkey ~lkey ~mkey sys st =
+  let intern tbl s =
+    match Hashtbl.find_opt tbl s with
+    | Some i -> i
     | None ->
-        if Hashtbl.mem on_stack k then raise Enumerate.Cyclic;
-        Hashtbl.add on_stack k ();
-        incr count;
-        if !count > max_states then raise (Enumerate.Too_many_states !count);
-        let s =
-          List.fold_left
-            (fun acc (a, st') ->
-              let sub = go st' in
-              let sub =
-                match a with
-                | Some (Action.External v) ->
-                    Behaviour.Set.map (fun b -> v :: b) sub
-                | _ -> sub
-              in
-              Behaviour.Set.union acc sub)
-            (Behaviour.Set.singleton [])
-            (transitions vol sys st)
-        in
-        Hashtbl.remove on_stack k;
-        Hashtbl.replace memo k s;
-        s
+        let i = Hashtbl.length tbl in
+        Hashtbl.add tbl s i;
+        i
   in
-  go
+  let acc = ref [] in
+  let push x = acc := x :: !acc in
+  Monitor.Map.iter
+    (fun m (o, d) ->
+      push (intern mkey m);
+      push o;
+      push d)
+    st.locks;
+  push (Monitor.Map.cardinal st.locks);
+  Location.Map.iter
+    (fun l v ->
+      push (intern lkey l);
+      push v)
+    st.mem;
+  push (Location.Map.cardinal st.mem);
+  Array.iter
+    (fun bufs ->
+      Location.Map.iter
+        (fun l vs ->
+          List.iter push vs;
+          push (List.length vs);
+          push (intern lkey l))
+        bufs;
+      push (Location.Map.cardinal bufs))
+    st.buffers;
+  Array.iter (fun ts -> push (intern tkey (sys.System.key ts))) st.threads;
+  !acc
+
+let behaviours ?max_states ?stats vol sys =
+  let tkey = Hashtbl.create 256 in
+  let lkey = Hashtbl.create 16 in
+  let mkey = Hashtbl.create 16 in
+  Explorer.graph_behaviours ?max_states ?stats
     {
-      threads = Array.of_list sys.System.initial;
-      buffers =
-        Array.make (List.length sys.System.initial) Location.Map.empty;
-      mem = Location.Map.empty;
-      locks = Monitor.Map.empty;
+      Explorer.graph_initial =
+        {
+          threads = Array.of_list sys.System.initial;
+          buffers =
+            Array.make (List.length sys.System.initial) Location.Map.empty;
+          mem = Location.Map.empty;
+          locks = Monitor.Map.empty;
+        };
+      graph_transitions = (fun st -> transitions vol sys st);
+      graph_digest = (fun st -> digest ~tkey ~lkey ~mkey sys st);
     }
 
-let program_behaviours ?fuel ?max_states (p : Ast.program) =
-  behaviours ?max_states p.Ast.volatile (Thread_system.make ?fuel p)
+let program_behaviours ?fuel ?max_states ?stats (p : Ast.program) =
+  behaviours ?max_states ?stats p.Ast.volatile (Thread_system.make ?fuel p)
 
-let weak_behaviours ?fuel ?max_states p =
+let weak_behaviours ?fuel ?max_states ?stats p =
   Behaviour.Set.diff
-    (program_behaviours ?fuel ?max_states p)
-    (Interp.behaviours ?fuel ?max_states p)
+    (program_behaviours ?fuel ?max_states ?stats p)
+    (Interp.behaviours ?fuel ?max_states ?stats p)
 
-let weak_beyond_tso ?fuel ?max_states p =
+let weak_beyond_tso ?fuel ?max_states ?stats p =
   Behaviour.Set.diff
-    (program_behaviours ?fuel ?max_states p)
-    (Machine.program_behaviours ?fuel ?max_states p)
+    (program_behaviours ?fuel ?max_states ?stats p)
+    (Machine.program_behaviours ?fuel ?max_states ?stats p)
 
 let explained_by_transformations ?fuel ?max_states ?(max_programs = 2_000) p =
   let pso = program_behaviours ?fuel ?max_states p in

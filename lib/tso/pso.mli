@@ -21,17 +21,21 @@ open Safeopt_exec
 open Safeopt_lang
 
 val behaviours :
-  ?max_states:int -> Location.Volatile.t -> 'ts System.t -> Behaviour.Set.t
+  ?max_states:int -> ?stats:Explorer.stats -> Location.Volatile.t ->
+  'ts System.t -> Behaviour.Set.t
 
 val program_behaviours :
-  ?fuel:int -> ?max_states:int -> Ast.program -> Behaviour.Set.t
+  ?fuel:int -> ?max_states:int -> ?stats:Explorer.stats -> Ast.program ->
+  Behaviour.Set.t
 
 val weak_behaviours :
-  ?fuel:int -> ?max_states:int -> Ast.program -> Behaviour.Set.t
+  ?fuel:int -> ?max_states:int -> ?stats:Explorer.stats -> Ast.program ->
+  Behaviour.Set.t
 (** PSO behaviours that are not SC behaviours. *)
 
 val weak_beyond_tso :
-  ?fuel:int -> ?max_states:int -> Ast.program -> Behaviour.Set.t
+  ?fuel:int -> ?max_states:int -> ?stats:Explorer.stats -> Ast.program ->
+  Behaviour.Set.t
 (** PSO behaviours that are not even TSO behaviours (the observable
     effect of write-write reordering alone). *)
 

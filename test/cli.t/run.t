@@ -159,3 +159,15 @@ source windows:
   
   verdict: POTENTIAL RACES (needs exhaustive enumeration)
   [1]
+
+Exploration statistics (--stats is additive; wall time varies between
+runs, so only the deterministic line is shown):
+
+  $ drfopt run mp.lit --stats | grep 'exploration:'
+  exploration: 30 states, 38 transitions
+
+With --stats, analyze settles statically-unresolved potential races by
+running the exhaustive enumeration:
+
+  $ drfopt analyze ../../examples/racy_counter.lit --stats | grep 'verdict:'
+  verdict: RACY (exhaustive enumeration); witness:

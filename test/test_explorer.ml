@@ -1,0 +1,127 @@
+(* The unified exploration engine: stats consistency, sleep-set POR
+   soundness over the litmus corpus, and streaming early exit. *)
+
+open Safeopt_exec
+open Safeopt_lang
+open Safeopt_litmus
+
+let corpus_programs () = List.map Litmus.program Corpus.all
+
+let check = Alcotest.(check bool)
+
+(* Per-program stats are internally consistent: a connected exploration
+   visits at least one state, traverses at least [states - 1] edges
+   (spanning tree), never answers more memo hits than visits it made,
+   and the DFS stack is never deeper than the number of states. *)
+let test_stats_consistent () =
+  List.iter
+    (fun p ->
+      let s = Explorer.create_stats () in
+      let n = Interp.count_states ~stats:s p in
+      check "count matches stats" true (n = s.Explorer.states);
+      check "at least one state" true (s.Explorer.states >= 1);
+      check "spanning edges" true (s.Explorer.edges >= s.Explorer.states - 1);
+      check "frontier bounded by states" true
+        (s.Explorer.peak_frontier >= 1
+        && s.Explorer.peak_frontier <= s.Explorer.states);
+      check "wall time accumulates" true (s.Explorer.wall >= 0.);
+      let s' = Explorer.create_stats () in
+      let (_ : Behaviour.Set.t) = Interp.behaviours ~stats:s' p in
+      check "behaviours visits = count_states visits" true
+        (s'.Explorer.states = n);
+      check "memo hits bounded by edges" true
+        (s'.Explorer.memo_hits <= s'.Explorer.edges))
+    (corpus_programs ())
+
+(* Counters are monotone: re-running on the same sink only grows them. *)
+let test_stats_monotone () =
+  let p = Litmus.program Corpus.sb in
+  let s = Explorer.create_stats () in
+  let (_ : Behaviour.Set.t) = Interp.behaviours ~stats:s p in
+  let snap =
+    Explorer.
+      (s.states, s.edges, s.memo_hits, s.por_cuts, s.peak_frontier, s.wall)
+  in
+  let (_ : Behaviour.Set.t) = Interp.behaviours ~por:true ~stats:s p in
+  let states0, edges0, hits0, cuts0, peak0, wall0 = snap in
+  check "states grew" true (s.Explorer.states >= states0);
+  check "edges grew" true (s.Explorer.edges >= edges0);
+  check "memo hits grew" true (s.Explorer.memo_hits >= hits0);
+  check "por cuts grew" true (s.Explorer.por_cuts >= cuts0);
+  check "peak kept" true (s.Explorer.peak_frontier >= peak0);
+  check "wall grew" true (s.Explorer.wall >= wall0);
+  Explorer.reset_stats s;
+  check "reset zeroes states" true (s.Explorer.states = 0);
+  check "reset zeroes wall" true (s.Explorer.wall = 0.)
+
+(* The reduction actually cuts something on at least one corpus program
+   (and never explores more states than the full search). *)
+let test_por_cuts () =
+  let cuts = ref 0 in
+  List.iter
+    (fun p ->
+      let s = Explorer.create_stats () in
+      let reduced = Interp.count_states ~por:true ~stats:s p in
+      let full = Interp.count_states p in
+      check "reduced <= full" true (reduced <= full);
+      cuts := !cuts + s.Explorer.por_cuts)
+    (corpus_programs ());
+  check "POR cut transitions somewhere in the corpus" true (!cuts > 0)
+
+(* The acceptance criterion: reduced and unreduced behaviour sets
+   coincide on the entire corpus. *)
+let test_por_sound_on_corpus () =
+  List.iter2
+    (fun t p ->
+      check
+        (Printf.sprintf "POR behaviours equal on %s" t.Litmus.name)
+        true
+        (Behaviour.Set.equal (Interp.behaviours p)
+           (Interp.behaviours ~por:true p)))
+    Corpus.all (corpus_programs ())
+
+(* Streaming: taking the first maximal execution must traverse far
+   fewer transitions than the whole tree, so a step budget that the
+   eager enumeration blows is plenty for an early-exiting consumer. *)
+let test_streaming_early_exit () =
+  let p = Litmus.program Corpus.sb in
+  let budget = 30 in
+  (match Interp.maximal_executions ~max_steps:budget p with
+  | _ -> Alcotest.fail "eager enumeration should exceed the budget"
+  | exception Explorer.Too_many_states _ -> ());
+  match Interp.maximal_executions_seq ~max_steps:budget p () with
+  | Seq.Cons (first, _) ->
+      check "first execution is nonempty" true (first <> [])
+  | Seq.Nil -> Alcotest.fail "expected at least one execution"
+
+(* The TSO machine runs on the same engine: its stats flow through the
+   graph explorer. *)
+let test_graph_stats () =
+  let p = Litmus.program Corpus.sb in
+  let s = Explorer.create_stats () in
+  let (_ : Behaviour.Set.t) = Safeopt_tso.Machine.program_behaviours ~stats:s p in
+  check "TSO explored states" true (s.Explorer.states > 0);
+  check "TSO edges" true (s.Explorer.edges >= s.Explorer.states - 1)
+
+let () =
+  Alcotest.run "explorer"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "consistent over corpus" `Quick
+            test_stats_consistent;
+          Alcotest.test_case "monotone and resettable" `Quick
+            test_stats_monotone;
+          Alcotest.test_case "TSO graph stats" `Quick test_graph_stats;
+        ] );
+      ( "por",
+        [
+          Alcotest.test_case "cuts somewhere on corpus" `Quick test_por_cuts;
+          Alcotest.test_case "sound on corpus" `Quick test_por_sound_on_corpus;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "early exit under budget" `Quick
+            test_streaming_early_exit;
+        ] );
+    ]

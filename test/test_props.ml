@@ -193,7 +193,7 @@ let tso_includes_sc =
         (Safeopt_tso.Machine.program_behaviours p))
 
 let por_equivalence =
-  test ~count:40 "POR preserves behaviours" Generators.program
+  test ~count:100 "POR preserves behaviours" Generators.program
     ~print:print_program (fun p ->
       Behaviour.Set.equal
         (Interp.behaviours ~max_states:200_000 p)
