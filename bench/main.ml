@@ -604,6 +604,88 @@ let explore_bench () =
   Fmt.pr "  wrote BENCH_explore.json@."
 
 (* ------------------------------------------------------------------ *)
+(* P4: pass-manager pipeline benchmark -> BENCH_pipeline.json          *)
+(* ------------------------------------------------------------------ *)
+
+(* Run the default safe pipeline with per-pass differential validation
+   over the litmus corpus, recording per-program pass work (rewrite
+   sites, validation wall time, exploration states).  [quick] trims the
+   corpus to its first few programs — the CI smoke mode. *)
+let pipeline_bench ?(quick = false) () =
+  let open Safeopt_opt in
+  if quick then
+    hr "P4: pass-manager pipeline (quick smoke mode) -> BENCH_pipeline.json"
+  else hr "P4: pass-manager pipeline over the litmus corpus -> \
+           BENCH_pipeline.json";
+  let corpus =
+    if quick then List.filteri (fun i _ -> i < 4) Corpus.all else Corpus.all
+  in
+  let spec =
+    match Pipeline.parse "constprop;copyprop;cse*;dead-moves;dse;normalise"
+    with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let t0 = Unix.gettimeofday () in
+  let rows =
+    List.map
+      (fun (l : Litmus.t) ->
+        let p = Litmus.program l in
+        let o = Pipeline.run ~validate_each:true spec p in
+        let sites =
+          List.fold_left
+            (fun n ps -> n + List.length ps.Pipeline.ps_sites)
+            0 o.Pipeline.steps
+        in
+        let states =
+          List.fold_left
+            (fun n ps -> n + ps.Pipeline.ps_explorer.Explorer.states)
+            0 o.Pipeline.steps
+        in
+        let vwall =
+          List.fold_left
+            (fun w ps -> w +. ps.Pipeline.ps_validation_wall)
+            0. o.Pipeline.steps
+        in
+        let rejected = Option.is_some o.Pipeline.failure in
+        Fmt.pr "  %-24s %2d sites, %5d states, %7.2f ms validation%s@."
+          l.Litmus.name sites states (vwall *. 1000.)
+          (if rejected then "  REJECTED" else "");
+        ( rejected,
+          Printf.sprintf
+            "    {\"name\": %S, \"sites\": %d, \"validation_states\": %d, \
+             \"validation_wall_s\": %.6f, \"rejected\": %b}"
+            l.Litmus.name sites states vwall rejected ))
+      corpus
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let none_rejected = List.for_all (fun (r, _) -> not r) rows in
+  claim "no safe pipeline rejected on the corpus" true none_rejected;
+  let json =
+    String.concat "\n"
+      ([
+         "{";
+         "  \"schema\": \"bench_pipeline/v1\",";
+         Printf.sprintf "  \"quick\": %b," quick;
+         "  \"pipeline\": \"constprop;copyprop;cse*;dead-moves;dse;normalise\",";
+         Printf.sprintf "  \"programs\": %d," (List.length corpus);
+         Printf.sprintf "  \"wall_s\": %.4f," wall;
+         "  \"per_program\": [";
+       ]
+      @ [ String.concat ",\n" (List.map snd rows) ]
+      @ [
+          "  ],";
+          Printf.sprintf "  \"all_validated\": %b" none_rejected;
+          "}";
+        ])
+  in
+  let oc = open_out "BENCH_pipeline.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "  wrote BENCH_pipeline.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -713,10 +795,14 @@ let run_bechamel () =
 
 let () =
   (* `dune exec bench/main.exe -- explore` runs just the exploration
-     benchmark (and writes BENCH_explore.json); the default runs the
-     full reproduction suite. *)
+     benchmark (and writes BENCH_explore.json); `-- pipeline` (or
+     `pipeline-quick`, the CI smoke mode) just the pass-manager one
+     (BENCH_pipeline.json); the default runs the full reproduction
+     suite. *)
   match Sys.argv with
   | [| _; "explore" |] -> explore_bench ()
+  | [| _; "pipeline" |] -> pipeline_bench ()
+  | [| _; "pipeline-quick" |] -> pipeline_bench ~quick:true ()
   | _ ->
       e1 ();
       e2 ();
@@ -735,5 +821,6 @@ let () =
       p1 ();
       p2 ();
       explore_bench ();
+      pipeline_bench ();
       run_bechamel ();
       Fmt.pr "@.done.@."

@@ -218,6 +218,93 @@ let opt_cmd =
              guarantee")
     Term.(const run $ file_arg $ fuel_arg $ passes_arg)
 
+(* --- optimize (pass-manager pipeline) --- *)
+
+let optimize_cmd =
+  let pipeline_arg =
+    Arg.(
+      value
+      & opt string "constprop;copyprop;cse*;dead-moves;dse;normalise"
+      & info [ "pipeline" ] ~docv:"SPEC"
+          ~doc:"Semicolon-separated pass names, each optionally starred to \
+                iterate to a fixpoint, e.g. 'cse;dse;load-hoist*'. Aliases: \
+                cse=redundancy, dse=dead-stores, load-hoist=read-intro, \
+                dce=dead-moves.")
+  in
+  let validate_each_arg =
+    Arg.(
+      value & flag
+      & info [ "validate-each" ]
+          ~doc:"Differentially validate every pass's output against its \
+                input (static DRF certificate first, exhaustive \
+                enumeration as fallback); stop at the first failing pass \
+                with a counterexample witness.")
+  in
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace-passes" ]
+          ~doc:"Print one block per executed pass: rewrite sites \
+                (provenance), validation verdict, exploration states and \
+                validation time.")
+  in
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the registered passes and exit.")
+  in
+  let opt_file_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Program in the concrete syntax (omit with $(b,--list)).")
+  in
+  let run file fuel pipeline validate_each trace list_passes =
+    let open Safeopt_opt in
+    if list_passes then (
+      List.iter (fun p -> Fmt.pr "%a@." Pass.pp p) Pipeline.registry;
+      exit 0);
+    let file =
+      match file with
+      | Some f -> f
+      | None ->
+          Fmt.epr "drfopt: FILE required (or use --list)@.";
+          exit 2
+    in
+    let p = or_die (load file) in
+    let spec = or_die (Pipeline.parse pipeline) in
+    let o = Pipeline.run ~fuel ~validate_each spec p in
+    if trace then Fmt.pr "%a" Pipeline.pp_trace o;
+    Fmt.pr "--- optimised ---@.%a@." Pp.program o.final;
+    let sites =
+      List.fold_left
+        (fun n ps -> n + List.length ps.Pipeline.ps_sites)
+        0 o.Pipeline.steps
+    in
+    Fmt.pr "%d rewrite site%s across %d pass%s@." sites
+      (if sites = 1 then "" else "s")
+      (List.length o.Pipeline.steps)
+      (if List.length o.Pipeline.steps = 1 then "" else "es");
+    match o.Pipeline.failure with
+    | Some (name, w) ->
+        (* the trace rendering already shows the witness *)
+        if not trace then
+          Fmt.pr "@[<v>REJECTED at pass %s:@ %a@]@." name
+            (Safeopt_core.Witness.pp (Fmt.of_to_string Pp.program_to_string))
+            w
+        else Fmt.pr "REJECTED at pass %s@." name;
+        exit 1
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Run a pass-manager pipeline with per-pass provenance and \
+             differential validation")
+    Term.(
+      const run $ opt_file_arg $ fuel_arg $ pipeline_arg $ validate_each_arg
+      $ trace_arg $ list_arg)
+
 (* --- validate --- *)
 
 let validate_cmd =
@@ -494,6 +581,7 @@ let main =
       analyze_cmd;
       transform_cmd;
       opt_cmd;
+      optimize_cmd;
       validate_cmd;
       deadlock_cmd;
       denote_cmd;

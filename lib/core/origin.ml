@@ -47,7 +47,7 @@ let check_lemma3 v ts ~max_steps =
     (* Stream the executions: a counterexample stops the search without
        materialising the remaining (exponentially many) interleavings. *)
     let execs =
-      Enumerate.maximal_executions_seq ~max_steps (Traceset_system.make ts)
+      Explorer.maximal_executions_seq ~max_steps (Traceset_system.make ts)
     in
     match Seq.find (interleaving_mentions v) execs with
     | Some cex -> Error cex

@@ -30,14 +30,14 @@ let behaviour_subset b1 b2 =
       | None -> if Behaviour.Set.mem b b2 then None else Some b)
     b1 None
 
-let check_with ~relation ?(max_states = Enumerate.default_max_states) vol
+let check_with ~relation ?(max_states = Explorer.default_max_states) vol
     ~original ~transformed =
   let sys_o = Traceset_system.make original in
   let sys_t = Traceset_system.make transformed in
-  let original_drf = Enumerate.is_drf ~max_states vol sys_o in
-  let transformed_drf = Enumerate.is_drf ~max_states vol sys_t in
-  let b_o = Enumerate.behaviours ~max_states sys_o in
-  let b_t = Enumerate.behaviours ~max_states sys_t in
+  let original_drf = Explorer.is_drf ~max_states vol sys_o in
+  let transformed_drf = Explorer.is_drf ~max_states vol sys_t in
+  let b_o = Explorer.behaviours ~max_states sys_o in
+  let b_t = Explorer.behaviours ~max_states sys_t in
   let counterexample = behaviour_subset b_t b_o in
   {
     original_drf;

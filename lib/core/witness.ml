@@ -1,0 +1,28 @@
+open Safeopt_trace
+open Safeopt_exec
+
+type evidence =
+  | New_behaviour of Behaviour.t
+  | Race_introduced of Interleaving.t
+  | Relation_failure of Trace.t
+
+type 'p t = { original : 'p; transformed : 'p; evidence : evidence }
+
+let pp_evidence ppf = function
+  | New_behaviour b ->
+      Fmt.pf ppf "@[<v2>new behaviour (not producible by the original):@ %a@]"
+        Behaviour.pp b
+  | Race_introduced i ->
+      Fmt.pf ppf
+        "@[<v2>race introduced (original is DRF; last two actions \
+         conflict):@ %a@]"
+        Interleaving.pp i
+  | Relation_failure t ->
+      Fmt.pf ppf "@[<v2>transformed trace with no semantic witness:@ %a@]"
+        Trace.pp t
+
+let pp pp_program ppf w =
+  Fmt.pf ppf "@[<v>@[<v2>original:@ %a@]@ @[<v2>transformed:@ %a@]@ %a@]"
+    pp_program w.original pp_program w.transformed pp_evidence w.evidence
+
+let map f w = { w with original = f w.original; transformed = f w.transformed }

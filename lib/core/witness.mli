@@ -1,0 +1,41 @@
+(** Structured counterexample witnesses for failed transformations.
+
+    When a validation step rejects a transformation, the caller needs
+    more than a boolean: it needs the program pair that failed and the
+    concrete evidence — a behaviour of the transformed program the
+    original cannot produce, a racy interleaving introduced by the
+    transformation, or a transformed trace with no semantic
+    elimination/reordering justification (the §4/§6 relation checks).
+
+    The type is polymorphic in the program representation so this
+    module can live in [safeopt.core] (which is AST-agnostic): the
+    traceset-level validators instantiate ['p] with
+    {!Safeopt_trace.Traceset.t}, the program-level pipeline with
+    [Safeopt_lang.Ast.program]. *)
+
+open Safeopt_trace
+open Safeopt_exec
+
+type evidence =
+  | New_behaviour of Behaviour.t
+      (** an observable behaviour of the transformed program that the
+          original lacks — the DRF guarantee's behaviour clause fails *)
+  | Race_introduced of Interleaving.t
+      (** a racy execution of the transformed program although the
+          original is data race free — DRF preservation fails *)
+  | Relation_failure of Trace.t
+      (** a transformed trace with no elimination embedding / no
+          de-permuting function into the original's traceset *)
+
+type 'p t = {
+  original : 'p;  (** the program (or traceset) before the failing step *)
+  transformed : 'p;  (** the rejected result *)
+  evidence : evidence;
+}
+
+val pp_evidence : evidence Fmt.t
+
+val pp : 'p Fmt.t -> 'p t Fmt.t
+(** [pp pp_program] renders the pair and the evidence. *)
+
+val map : ('p -> 'q) -> 'p t -> 'q t

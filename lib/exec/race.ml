@@ -44,7 +44,7 @@ let hb_race vol i =
 let has_hb_race vol i = Option.is_some (hb_race vol i)
 
 let find_racy_execution vol ts ~max_states =
-  Enumerate.find_adjacent_race ~max_states vol (Traceset_system.make ts)
+  Explorer.find_adjacent_race ~max_states vol (Traceset_system.make ts)
 
 let traceset_drf vol ts ~max_states =
   Option.is_none (find_racy_execution vol ts ~max_states)

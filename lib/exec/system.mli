@@ -1,6 +1,6 @@
 (** Abstract thread systems.
 
-    The execution-enumeration engine ({!Enumerate}) is parametric in how
+    The execution-enumeration engine ({!Explorer}) is parametric in how
     threads produce their actions, so that both explicit tracesets
     ({!Traceset_system}) and the small-step semantics of the section-6
     language ([Safeopt_lang.Thread_system]) plug into the same exhaustive

@@ -5,33 +5,33 @@ let behaviours ?fuel ?max_states ?(por = false) ?stats p =
   let local =
     if por then Some (Thread_system.local_actions p) else None
   in
-  Enumerate.behaviours ?max_states ?local ?stats (Thread_system.make ?fuel p)
+  Explorer.behaviours ?max_states ?local ?stats (Thread_system.make ?fuel p)
 
 let find_race ?fuel ?max_states ?stats p =
-  Enumerate.find_adjacent_race ?max_states ?stats p.Ast.volatile
+  Explorer.find_adjacent_race ?max_states ?stats p.Ast.volatile
     (Thread_system.make ?fuel p)
 
 let is_drf ?fuel ?max_states ?stats p =
   Option.is_none (find_race ?fuel ?max_states ?stats p)
 
 let maximal_executions ?fuel ?max_steps ?stats p =
-  Enumerate.maximal_executions ?max_steps ?stats (Thread_system.make ?fuel p)
+  Explorer.maximal_executions ?max_steps ?stats (Thread_system.make ?fuel p)
 
 let maximal_executions_seq ?fuel ?max_steps ?stats p =
-  Enumerate.maximal_executions_seq ?max_steps ?stats
+  Explorer.maximal_executions_seq ?max_steps ?stats
     (Thread_system.make ?fuel p)
 
 let count_states ?fuel ?max_states ?(por = false) ?stats p =
   let local =
     if por then Some (Thread_system.local_actions p) else None
   in
-  Enumerate.count_states ?max_states ?local ?stats (Thread_system.make ?fuel p)
+  Explorer.count_states ?max_states ?local ?stats (Thread_system.make ?fuel p)
 
 let find_deadlock ?fuel ?max_states ?stats p =
-  Enumerate.find_deadlock ?max_states ?stats (Thread_system.make ?fuel p)
+  Explorer.find_deadlock ?max_states ?stats (Thread_system.make ?fuel p)
 
 let sample_behaviours ?fuel ?max_actions ~seed ~runs ?stats p =
-  Enumerate.sample_behaviours ?max_actions ~seed ~runs ?stats
+  Explorer.sample_behaviours ?max_actions ~seed ~runs ?stats
     (Thread_system.make ?fuel p)
 
 let can_output ?fuel ?max_states p v =

@@ -1,4 +1,5 @@
 open Safeopt_lang
+open Safeopt_analysis
 
 type t = Reg.Set.t
 
@@ -9,25 +10,36 @@ let use_operand acc = function
 let use_test acc = function
   | Ast.Eq (a, b) | Ast.Ne (a, b) -> use_operand (use_operand acc a) b
 
-let rec stmt (s : Ast.stmt) (live_out : t) : t =
-  match s with
-  | Ast.Store (_, r) | Ast.Print r -> Reg.Set.add r live_out
-  | Ast.Load (r, _) -> Reg.Set.remove r live_out
-  | Ast.Move (r, o) -> use_operand (Reg.Set.remove r live_out) o
-  | Ast.Lock _ | Ast.Unlock _ | Ast.Skip -> live_out
-  | Ast.Block l -> thread l live_out
-  | Ast.If (t, s1, s2) ->
-      use_test (Reg.Set.union (stmt s1 live_out) (stmt s2 live_out)) t
-  | Ast.While (t, body) ->
-      (* fixpoint: live-in of the loop includes the test's uses and the
-         body's live-in with the loop's own live-in as its live-out;
-         two iterations reach the fixpoint because the domain is a
-         union of the two bounds *)
-      let once = use_test (Reg.Set.union live_out (stmt body live_out)) t in
-      use_test (Reg.Set.union live_out (stmt body once)) t
+(* Liveness as an instance of the generic monotone framework: a
+   backward may-analysis over the thread CFG (join = union), replacing
+   the bespoke structural fixpoint this module used to carry.  Loops
+   need no special-casing — the worklist solver iterates the back edge
+   to the fixpoint. *)
 
-and thread (l : Ast.thread) (live_out : t) : t =
-  List.fold_right stmt l live_out
+module L = struct
+  type nonrec t = t
+
+  let equal = Reg.Set.equal
+  let join = Reg.Set.union
+  let pp ppf s = Fmt.(braces (list ~sep:comma string)) ppf (Reg.Set.elements s)
+end
+
+module Solver = Dataflow.Make (L)
+
+let transfer (e : Cfg.edge) live =
+  match e.Cfg.instr with
+  | Cfg.Store (_, r) | Cfg.Print r -> Reg.Set.add r live
+  | Cfg.Load (r, _) -> Reg.Set.remove r live
+  | Cfg.Move (r, o) -> use_operand (Reg.Set.remove r live) o
+  | Cfg.Assume (t, _) -> use_test live t
+  | Cfg.Lock _ | Cfg.Unlock _ | Cfg.Nop -> live
+
+let thread (l : Ast.thread) (live_out : t) : t =
+  let g = Cfg.of_thread l in
+  let facts = Solver.backward g ~init:live_out ~transfer in
+  Option.value ~default:Reg.Set.empty facts.(g.Cfg.entry)
+
+let stmt (s : Ast.stmt) (live_out : t) : t = thread [ s ] live_out
 
 let annotate l =
   let rec go = function

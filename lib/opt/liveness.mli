@@ -5,7 +5,12 @@
     before writing it.  Used by the dead-code passes: a move to a dead
     register is silent in the trace semantics and can be dropped
     outright; a load into a dead register is an {e irrelevant read}
-    whose removal is a Definition-1 semantic elimination (clause 3). *)
+    whose removal is a Definition-1 semantic elimination (clause 3).
+
+    Implemented as a backward may-analysis (join = union) on the
+    {!Safeopt_analysis.Cfg} thread graph, solved by the
+    {!Safeopt_analysis.Dataflow} worklist engine — the same framework
+    the lockset analysis runs on. *)
 
 open Safeopt_lang
 

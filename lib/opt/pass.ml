@@ -1,0 +1,106 @@
+open Safeopt_trace
+open Safeopt_lang
+
+type kind = Elimination | Reordering | Cleanup
+
+let pp_kind ppf = function
+  | Elimination -> Fmt.string ppf "elimination"
+  | Reordering -> Fmt.string ppf "reordering"
+  | Cleanup -> Fmt.string ppf "cleanup"
+
+type site = {
+  site_thread : Thread_id.t;
+  site_rule : string;
+  site_before : string;
+  site_after : string;
+}
+
+let pp_site ppf s =
+  Fmt.pf ppf "%s @@ thread %a: %s ~> %s" s.site_rule Thread_id.pp
+    s.site_thread s.site_before s.site_after
+
+type result = { program : Ast.program; sites : site list }
+
+type t = {
+  name : string;
+  descr : string;
+  kind : kind;
+  safe : bool;
+  paper : string;
+  run : Ast.program -> result;
+}
+
+let pp ppf p =
+  Fmt.pf ppf "%s [%a%s] %s (%s)" p.name pp_kind p.kind
+    (if p.safe then "" else "; UNSAFE")
+    p.descr p.paper
+
+(* A chain step rewrites exactly one thread; summarise it as that
+   thread's before/after text. *)
+let site_of_step (s : Transform.step) =
+  let tid = s.Transform.thread in
+  let frag p =
+    match List.nth_opt p.Ast.threads tid with
+    | Some th -> Pp.thread_compact th
+    | None -> "?"
+  in
+  {
+    site_thread = tid;
+    site_rule = s.Transform.rule;
+    site_before = frag s.Transform.before;
+    site_after = frag s.Transform.after;
+  }
+
+let of_chain ~name ~descr ~kind ?(safe = true) ~paper f =
+  let run p =
+    let p', chain = f p in
+    { program = p'; sites = List.map site_of_step chain }
+  in
+  { name; descr; kind; safe; paper; run }
+
+let diff_sites ~rule ~before ~after =
+  let thread_sites tid t t' =
+    if Ast.equal_thread t t' then []
+    else if List.length t = List.length t' then
+      (* statement count preserved: report each rewritten position *)
+      List.concat
+        (List.map2
+           (fun s s' ->
+             if Ast.equal_stmt s s' then []
+             else
+               [
+                 {
+                   site_thread = tid;
+                   site_rule = rule;
+                   site_before = Pp.stmt_compact s;
+                   site_after = Pp.stmt_compact s';
+                 };
+               ])
+           t t')
+    else
+      [
+        {
+          site_thread = tid;
+          site_rule = rule;
+          site_before = Pp.thread_compact t;
+          site_after = Pp.thread_compact t';
+        };
+      ]
+  in
+  let rec go tid ts ts' =
+    match (ts, ts') with
+    | [], [] -> []
+    | t :: rest, t' :: rest' -> thread_sites tid t t' @ go (tid + 1) rest rest'
+    | _ -> []
+  in
+  go 0 before.Ast.threads after.Ast.threads
+
+let of_rewrite ~name ~descr ~kind ?(safe = true) ~paper f =
+  let run p =
+    let p' = f p in
+    { program = p'; sites = diff_sites ~rule:name ~before:p ~after:p' }
+  in
+  { name; descr; kind; safe; paper; run }
+
+let of_sites ~name ~descr ~kind ?(safe = true) ~paper run =
+  { name; descr; kind; safe; paper; run }

@@ -1,0 +1,98 @@
+(** First-class optimisation passes with per-rewrite provenance.
+
+    A pass packages a program rewrite together with the metadata the
+    §6 story needs: its {!kind} (which class of semantic transformation
+    every rewrite it performs instantiates), whether it is {e safe}
+    under the DRF guarantee (Theorems 1–4), the paper reference backing
+    that claim, and a {e provenance emitter} — every run returns the
+    rewritten program {e and} the list of {!site}s it changed, each
+    tagged with the Fig. 7–11 rule (or pass-specific tag) that fired
+    there.
+
+    Provenance is what turns "the pipeline produced P'" into "P' is the
+    composition of these n semantic-transformation instances", which is
+    exactly the shape of the paper's compositionality theorems: the
+    {!Pipeline} driver validates the instances pass by pass and the
+    sites say which rewrite to blame when validation fails. *)
+
+open Safeopt_trace
+open Safeopt_lang
+
+type kind =
+  | Elimination  (** instances of Definition 1 / Fig. 10 (Theorem 3) *)
+  | Reordering  (** instances of §4 reordering / Fig. 11 (Theorem 4) *)
+  | Cleanup
+      (** trace-preserving transformations (§2.1): identities in the
+          trace semantics, trivially safe *)
+
+val pp_kind : kind Fmt.t
+
+type site = {
+  site_thread : Thread_id.t;
+  site_rule : string;
+      (** the Fig. 10/11 rule name, or a pass tag like ["constprop"] *)
+  site_before : string;  (** compact source fragment before the rewrite *)
+  site_after : string;  (** the fragment after *)
+}
+
+val pp_site : site Fmt.t
+
+type result = { program : Ast.program; sites : site list }
+
+type t = {
+  name : string;
+  descr : string;
+  kind : kind;
+  safe : bool;
+      (** [true] iff every rewrite is an instance of a paper-safe
+          transformation, so any pipeline over safe passes inherits
+          Theorems 1–4.  Unsafe passes (irrelevant-read introduction,
+          the mutation-test controls) must be requested explicitly and
+          are expected to be caught by [--validate-each]. *)
+  paper : string;
+      (** provenance anchor: the figure/§ and theorem that justify (or,
+          for unsafe passes, indict) the rewrites *)
+  run : Ast.program -> result;
+}
+
+val pp : t Fmt.t
+
+(** {1 Constructors} *)
+
+val of_chain :
+  name:string ->
+  descr:string ->
+  kind:kind ->
+  ?safe:bool ->
+  paper:string ->
+  (Ast.program -> Ast.program * Transform.chain) ->
+  t
+(** Wrap a rule-driven fixpoint: each {!Transform.step} of the returned
+    chain becomes one provenance site carrying its rule name. *)
+
+val of_rewrite :
+  name:string ->
+  descr:string ->
+  kind:kind ->
+  ?safe:bool ->
+  paper:string ->
+  (Ast.program -> Ast.program) ->
+  t
+(** Wrap a whole-program rewrite without native site reporting.  Sites
+    are recovered by structural diff: per-thread, position-wise when
+    the statement count is preserved (constant/copy propagation,
+    folding), else one site for the whole thread. *)
+
+val of_sites :
+  name:string ->
+  descr:string ->
+  kind:kind ->
+  ?safe:bool ->
+  paper:string ->
+  (Ast.program -> result) ->
+  t
+(** A pass that reports its own sites (the CFG-driven passes). *)
+
+val diff_sites :
+  rule:string -> before:Ast.program -> after:Ast.program -> site list
+(** The structural diff used by {!of_rewrite}, exposed for tests. *)

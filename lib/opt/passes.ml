@@ -304,6 +304,113 @@ let dead_moves p = dce ~kill:Liveness.dead_move p
 
 let dead_loads p = dce ~kill:Liveness.dead_load p
 
+(* --- Dead-store elimination across branches (CFG dataflow) ------------ *)
+
+(* E-WBW strengthened with control-flow facts: the syntactic rule only
+   fires when the overwriting store is a *statement* in the same block;
+   the CFG version removes a store when {e every} path from it reaches
+   another store of the same location before any read of it, any
+   synchronisation (lock, unlock, volatile access), or thread exit.
+   The removal of each such store is an Overwritten_write elimination
+   (Definition 1 clause 5) on every trace, so Theorem 3 applies; the
+   register side conditions of the syntactic rule are unnecessary
+   because the statement is deleted, not substituted. *)
+
+module Overwrite_lattice = struct
+  type t = Location.Set.t
+
+  let equal = Location.Set.equal
+  let join = Location.Set.inter (* must: overwritten on every path *)
+
+  let pp ppf s =
+    Fmt.(braces (list ~sep:comma Location.pp)) ppf (Location.Set.elements s)
+end
+
+module Overwrite_solver = Safeopt_analysis.Dataflow.Make (Overwrite_lattice)
+
+(* Backward transfer: the set of locations every path from this point
+   overwrites before observing them.  Synchronisation edges clear the
+   set (the E-WBW window must be sync-free), exit seeds it empty (a
+   final write is visible to other threads). *)
+let overwritten_ahead vol (e : Safeopt_analysis.Cfg.edge) dead =
+  let open Safeopt_analysis in
+  match e.Cfg.instr with
+  | Cfg.Store (x, _) ->
+      if Location.Volatile.mem vol x then Location.Set.empty
+      else Location.Set.add x dead
+  | Cfg.Load (_, x) ->
+      if Location.Volatile.mem vol x then Location.Set.empty
+      else Location.Set.remove x dead
+  | Cfg.Lock _ | Cfg.Unlock _ -> Location.Set.empty
+  | Cfg.Move _ | Cfg.Print _ | Cfg.Assume _ | Cfg.Nop -> dead
+
+let dead_store_paths vol thread =
+  let open Safeopt_analysis in
+  let g = Cfg.of_thread thread in
+  let facts =
+    Overwrite_solver.backward g ~init:Location.Set.empty
+      ~transfer:(overwritten_ahead vol)
+  in
+  List.filter_map
+    (fun (e : Cfg.edge) ->
+      match e.Cfg.instr with
+      | Cfg.Store (x, _) when not (Location.Volatile.mem vol x) -> (
+          match facts.(e.Cfg.dst) with
+          | Some dead when Location.Set.mem x dead -> Some e.Cfg.path
+          | _ -> None)
+      | _ -> None)
+    g.Cfg.edges
+  |> List.sort_uniq Cfg.compare_path
+
+(* Navigate a CFG edge path (statement index within a thread or block,
+   0/1 for If branches, 0 for a While body) back into the AST. *)
+let rec update_stmt_at s path f =
+  match (path, s) with
+  | [], _ -> f s
+  | _, Ast.Block l -> Ast.Block (update_thread_at l path f)
+  | 0 :: rest, Ast.If (t, s1, s2) -> Ast.If (t, update_stmt_at s1 rest f, s2)
+  | 1 :: rest, Ast.If (t, s1, s2) -> Ast.If (t, s1, update_stmt_at s2 rest f)
+  | 0 :: rest, Ast.While (t, body) ->
+      Ast.While (t, update_stmt_at body rest f)
+  | _ -> s
+
+and update_thread_at l path f =
+  match path with
+  | i :: rest ->
+      List.mapi (fun j s -> if j = i then update_stmt_at s rest f else s) l
+  | [] -> l
+
+let dead_stores_cfg (p : Ast.program) =
+  let vol = p.Ast.volatile in
+  (* One store at a time, to a fixpoint: each removal is individually a
+     clause-5 elimination of the *current* program, so the whole pass
+     is a chain of semantic eliminations. *)
+  let rec thread_fix t sites_rev =
+    match dead_store_paths vol t with
+    | [] -> (t, List.rev sites_rev)
+    | path :: _ -> (
+        let removed = ref None in
+        let t' =
+          update_thread_at t path (fun s ->
+              removed := Some s;
+              Ast.Skip)
+        in
+        match !removed with
+        | Some s when not (Ast.equal_thread t t') ->
+            thread_fix t' ((path, s) :: sites_rev)
+        | _ -> (t, List.rev sites_rev))
+  in
+  let threads, sites =
+    List.fold_left
+      (fun (threads_rev, sites) (tid, t) ->
+        let t', thread_sites = thread_fix t [] in
+        ( t' :: threads_rev,
+          sites @ List.map (fun (path, s) -> (tid, path, s)) thread_sites ))
+      ([], [])
+      (List.mapi (fun i t -> (i, t)) p.Ast.threads)
+  in
+  ({ p with Ast.threads = List.rev threads }, sites)
+
 (* --- Branch folding and normalisation --------------------------------- *)
 
 let const_test = function

@@ -64,6 +64,20 @@ val dead_loads : Ast.program -> Ast.program
     is a Definition-1 clause-3 semantic elimination (safe under the DRF
     guarantee but {e not} trace-preserving). *)
 
+val dead_stores_cfg :
+  Ast.program ->
+  Ast.program
+  * (Safeopt_trace.Thread_id.t * Safeopt_analysis.Cfg.path * Ast.stmt) list
+(** Dead-store elimination across branches: remove a non-volatile store
+    when a backward must-analysis over the thread CFG proves that every
+    path from it reaches another store to the same location before any
+    read of it, any synchronisation, or thread exit.  Each removal is
+    an overwritten-write elimination (Definition 1 clause 5, rule
+    E-WBW's semantic core) valid on {e every} execution because the
+    window is sync-free on all paths — strictly stronger than the
+    straight-line syntactic rule.  Returns the removed stores with
+    their CFG paths as provenance. *)
+
 val fold_branches : Ast.program -> Ast.program
 (** Resolve conditionals and loops whose tests compare literals.
     Trace-preserving (COND/LOOP steps are silent). *)

@@ -81,6 +81,28 @@ let validate ?fuel ?max_states ?stats ~original ~transformed () =
     ~relation_check:(fun () -> (None, None))
     ~original ~transformed ()
 
+(* Structured counterexample extraction: a failed report becomes a
+   witness carrying the program pair and the strongest evidence the
+   report holds — an introduced race beats a new behaviour beats a
+   failed relation check (the first two break the DRF guarantee
+   itself; the last only breaks the claimed §4/§6 justification). *)
+let witness ~original ~transformed (r : report) :
+    Ast.program Safeopt_core.Witness.t option =
+  if ok r then None
+  else
+    let evidence =
+      match (r.race_witness, r.new_behaviour, r.relation_counterexample) with
+      | Some i, _, _ when r.original_drf ->
+          Some (Safeopt_core.Witness.Race_introduced i)
+      | _, Some b, _ when r.original_drf ->
+          Some (Safeopt_core.Witness.New_behaviour b)
+      | _, _, Some t -> Some (Safeopt_core.Witness.Relation_failure t)
+      | _ -> None
+    in
+    Option.map
+      (fun evidence -> { Safeopt_core.Witness.original; transformed; evidence })
+      evidence
+
 let validate_semantic ?fuel ?max_states ?stats ?(max_len = 12) ~relation
     ~original ~transformed () =
   let universe = Denote.joint_universe [ original; transformed ] in

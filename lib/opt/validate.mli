@@ -77,6 +77,18 @@ val find_race_fast :
 (** [find_race] with the static fast path: returns [None] without
     enumerating when the program is statically certified DRF. *)
 
+val witness :
+  original:Ast.program ->
+  transformed:Ast.program ->
+  report ->
+  Ast.program Safeopt_core.Witness.t option
+(** Turn a failed report into a structured counterexample: the program
+    pair plus the strongest evidence it carries (an introduced race,
+    then a new behaviour, then an unwitnessed trace from a relation
+    check).  [None] when the report satisfies {!ok} — or in the
+    degenerate case where it fails but records no concrete evidence
+    (e.g. a racy original, where the DRF guarantee is vacuous). *)
+
 type chain_report = {
   pairwise : report list;  (** adjacent pairs, in order *)
   end_to_end : report;  (** first program vs last *)

@@ -11,13 +11,14 @@
     - trace semantics: {!Value}, {!Location}, {!Monitor}, {!Thread_id},
       {!Action}, {!Trace}, {!Wildcard}, {!Traceset}, {!Syntax};
     - executions: {!Interleaving}, {!Happens_before}, {!Race},
-      {!Behaviour}, {!System}, {!Enumerate};
+      {!Behaviour}, {!System}, {!Explorer};
     - the section-6 language: {!Ast}, {!Parser}, {!Pp}, {!Semantics},
       {!Denote}, {!Interp}, {!Thread_system};
     - the paper's transformations: {!Eliminable}, {!Elimination},
-      {!Reorder}, {!Unelimination}, {!Unordering}, {!Origin}, {!Safety};
-    - the syntactic layer: {!Rule}, {!Transform}, {!Passes},
-      {!Liveness}, {!Validate};
+      {!Reorder}, {!Unelimination}, {!Unordering}, {!Origin}, {!Safety},
+      {!Witness};
+    - the syntactic layer: {!Rule}, {!Transform}, {!Passes}, {!Pass},
+      {!Pipeline}, {!Liveness}, {!Validate};
     - static analysis: {!Cfg}, {!Dataflow}, {!Lockset}, {!Static_race};
     - hardware models: {!Tso}, {!Pso}, {!Robustness};
     - corpus and generators: {!Litmus}, {!Corpus}, {!Generators}. *)
@@ -40,7 +41,7 @@ module Race = Safeopt_exec.Race
 module Behaviour = Safeopt_exec.Behaviour
 module System = Safeopt_exec.System
 module Traceset_system = Safeopt_exec.Traceset_system
-module Enumerate = Safeopt_exec.Enumerate
+module Explorer = Safeopt_exec.Explorer
 
 (* lang *)
 module Reg = Safeopt_lang.Reg
@@ -61,11 +62,14 @@ module Unelimination = Safeopt_core.Unelimination
 module Unordering = Safeopt_core.Unordering
 module Origin = Safeopt_core.Origin
 module Safety = Safeopt_core.Safety
+module Witness = Safeopt_core.Witness
 
 (* opt *)
 module Rule = Safeopt_opt.Rule
 module Transform = Safeopt_opt.Transform
 module Passes = Safeopt_opt.Passes
+module Pass = Safeopt_opt.Pass
+module Pipeline = Safeopt_opt.Pipeline
 module Liveness = Safeopt_opt.Liveness
 module Validate = Safeopt_opt.Validate
 

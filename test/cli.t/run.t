@@ -171,3 +171,111 @@ running the exhaustive enumeration:
 
   $ drfopt analyze ../../examples/racy_counter.lit --stats | grep 'verdict:'
   verdict: RACY (exhaustive enumeration); witness:
+
+The pass manager: a pipeline spec of first-class passes with per-pass
+provenance sites and differential validation after every pass
+(validation wall time varies between runs, so it is masked):
+
+  $ cat > dse.lit <<'PROG'
+  > thread {
+  >   r1 := 1;
+  >   if (r1 == 1) { x := r1; } else { x := r1; }
+  >   x := r1;
+  > }
+  > PROG
+
+  $ drfopt optimize dse.lit --pipeline "constprop;cse*;dse;normalise" --validate-each --trace-passes | sed -E 's/[0-9]+\.[0-9]+ ms/_ ms/'
+  pass constprop: 1 site in 1 iteration
+    constprop @ thread 0: if (r1 == 1) { x := r1; } else { x := r1; } ~> if (1 == 1) { x := r1; } else { x := r1; }
+    validation: ok (states 8, _ ms)
+  pass redundancy: 0 sites in 1 iteration
+    validation: skipped
+  pass dead-stores: 2 sites in 1 iteration
+    E-WBW/cfg @ 1.0.0 @ thread 0: x := r1; ~> skip;
+    E-WBW/cfg @ 1.1.0 @ thread 0: x := r1; ~> skip;
+    validation: ok (states 7, _ ms)
+  pass normalise: 1 site in 1 iteration
+    normalise @ thread 0: if (1 == 1) { skip; } else { skip; } ~> if (1 == 1) skip; else skip;
+    validation: ok (states 6, _ ms)
+  pipeline ok: 4 passes run
+  --- optimised ---
+  thread {
+    r1 := 1;
+    if (1 == 1)
+      skip;
+    else
+      skip;
+    x := r1;
+  }
+  4 rewrite sites across 4 passes
+
+The differential validator catches a deliberately unsound pass — a
+store reordered past the lock release that published it — with a
+concrete counterexample witness (the program pair and a racy
+interleaving of the transformed program):
+
+  $ cat > locked.lit <<'PROG'
+  > thread {
+  >   lock m;
+  >   r0 := 1;
+  >   data := r0;
+  >   unlock m;
+  > }
+  > thread {
+  >   lock m;
+  >   r1 := data;
+  >   unlock m;
+  >   print r1;
+  > }
+  > PROG
+
+  $ drfopt optimize locked.lit --pipeline "unsafe-store-release" --validate-each --trace-passes | sed -E 's/[0-9]+\.[0-9]+ ms/_ ms/'
+  pass unsafe-store-release: 2 sites in 1 iteration
+    unsafe-store-release @ thread 0: data := r0; ~> unlock m;
+    unsafe-store-release @ thread 0: unlock m; ~> data := r0;
+    validation: FAILED (states 71, _ ms)
+  pipeline REJECTED at pass unsafe-store-release:
+  original:
+    thread {
+    lock m;
+    r0 := 1;
+    data := r0;
+    unlock m;
+  }
+  thread {
+    lock m;
+    r1 := data;
+    unlock m;
+    print r1;
+  }
+  transformed:
+    thread {
+    lock m;
+    r0 := 1;
+    unlock m;
+    data := r0;
+  }
+  thread {
+    lock m;
+    r1 := data;
+    unlock m;
+    print r1;
+  }
+  race introduced (original is DRF; last two actions conflict):
+    [(0,S(0)); (0,L[m]); (0,U[m]); (1,S(1)); (1,L[m]); (0,W[data=1]);
+     (1,R[data=1])]
+  --- optimised ---
+  thread {
+    lock m;
+    r0 := 1;
+    data := r0;
+    unlock m;
+  }
+  thread {
+    lock m;
+    r1 := data;
+    unlock m;
+    print r1;
+  }
+  2 rewrite sites across 1 pass
+  REJECTED at pass unsafe-store-release

@@ -1,13 +1,153 @@
-(* The unified exploration engine: stats consistency, sleep-set POR
-   soundness over the litmus corpus, and streaming early exit. *)
+(* The unified exploration engine — the repository's single exploration
+   entry point: core engine semantics over explicit tracesets
+   (behaviours, executions, locks, deadlock, sampling, budgets), stats
+   consistency, sleep-set POR soundness over the litmus corpus, and
+   streaming early exit. *)
 
+open Safeopt_trace
 open Safeopt_exec
 open Safeopt_lang
 open Safeopt_litmus
+open Helpers
 
 let corpus_programs () = List.map Litmus.program Corpus.all
 
 let check = Alcotest.(check bool)
+let check_b = check
+
+(* --- engine semantics over explicit tracesets --------------------- *)
+
+(* SB as an explicit traceset over {0,1}. *)
+let sb_ts =
+  Traceset.of_list
+    (List.concat_map
+       (fun v ->
+         [ [ st 0; w "x" 1; r "y" v; ext v ]; [ st 1; w "y" 1; r "x" v; ext v ] ])
+       [ 0; 1 ])
+
+let test_behaviours () =
+  let bs = Explorer.behaviours (Traceset_system.make sb_ts) in
+  check_b "prefix closed" true (Behaviour.Set.is_prefix_closed bs);
+  check_b "can 0,1" true (Behaviour.Set.mem [ 0; 1 ] bs);
+  check_b "can 1,1" true (Behaviour.Set.mem [ 1; 1 ] bs);
+  check_b "cannot 0,0 (SC)" false (Behaviour.Set.mem [ 0; 0 ] bs)
+
+let test_executions () =
+  let execs = Explorer.maximal_executions (Traceset_system.make sb_ts) in
+  check_b "nonempty" true (execs <> []);
+  check_b "all SC" true
+    (List.for_all Interleaving.is_sequentially_consistent execs);
+  check_b "all are executions of the traceset" true
+    (List.for_all (Interleaving.is_execution_of sb_ts) execs);
+  (* every maximal execution runs all 8 actions *)
+  check_b "maximal length" true
+    (List.for_all (fun i -> Interleaving.length i = 8) execs);
+  Alcotest.(check int) "count matches count_executions"
+    (List.length execs)
+    (Explorer.count_executions (Traceset_system.make sb_ts))
+
+let test_race_search () =
+  check_b "sb racy" false (Explorer.is_drf none (Traceset_system.make sb_ts));
+  let locked =
+    Traceset.of_list
+      [
+        [ st 0; lk "m"; w "x" 1; ul "m" ];
+        [ st 1; lk "m"; r "x" 0; ul "m" ];
+        [ st 1; lk "m"; r "x" 1; ul "m" ];
+      ]
+  in
+  check_b "locked drf" true (Explorer.is_drf none (Traceset_system.make locked))
+
+let test_locks_block () =
+  (* Two threads both want m; the engine must serialise them. *)
+  let ts =
+    Traceset.of_list
+      [
+        [ st 0; lk "m"; w "x" 1; ul "m" ];
+        [ st 1; lk "m"; w "x" 2; ul "m" ];
+      ]
+  in
+  let execs = Explorer.maximal_executions (Traceset_system.make ts) in
+  check_b "all respect mutex" true
+    (List.for_all Interleaving.respects_mutex execs);
+  (* Deadlock shape: each thread holds one lock and wants the other;
+     maximal executions may be stuck before completion. *)
+  let dl =
+    Traceset.of_list
+      [
+        [ st 0; lk "m"; lk "n"; ul "n"; ul "m" ];
+        [ st 1; lk "n"; lk "m"; ul "m"; ul "n" ];
+      ]
+  in
+  let dl_execs = Explorer.maximal_executions (Traceset_system.make dl) in
+  check_b "some execution deadlocks" true
+    (List.exists (fun i -> Interleaving.length i < 10) dl_execs);
+  check_b "some execution completes" true
+    (List.exists (fun i -> Interleaving.length i = 10) dl_execs)
+
+let test_deadlock () =
+  let dl =
+    Traceset.of_list
+      [
+        [ st 0; lk "m"; lk "n"; ul "n"; ul "m" ];
+        [ st 1; lk "n"; lk "m"; ul "m"; ul "n" ];
+      ]
+  in
+  (match Explorer.find_deadlock (Traceset_system.make dl) with
+  | Some i ->
+      check_b "witness is a prefix execution" true
+        (Interleaving.is_sequentially_consistent i)
+  | None -> Alcotest.fail "lock inversion must deadlock");
+  (* consistent lock order: no deadlock *)
+  let ordered =
+    Traceset.of_list
+      [
+        [ st 0; lk "m"; lk "n"; ul "n"; ul "m" ];
+        [ st 1; lk "m"; lk "n"; ul "n"; ul "m" ];
+      ]
+  in
+  check_b "ordered locks deadlock-free" true
+    (Explorer.find_deadlock (Traceset_system.make ordered) = None)
+
+let test_sampling () =
+  let bs_full = Explorer.behaviours (Traceset_system.make sb_ts) in
+  let bs_sample =
+    Explorer.sample_behaviours ~seed:7 ~runs:200 (Traceset_system.make sb_ts)
+  in
+  check_b "sampled subset of exhaustive" true
+    (Behaviour.Set.subset bs_sample bs_full);
+  check_b "sampling finds something" true
+    (Behaviour.Set.cardinal bs_sample > 1);
+  (* determinism for a fixed seed *)
+  check_b "deterministic" true
+    (Behaviour.Set.equal bs_sample
+       (Explorer.sample_behaviours ~seed:7 ~runs:200
+          (Traceset_system.make sb_ts)))
+
+let test_budget () =
+  Alcotest.check_raises "state budget enforced"
+    (Explorer.Too_many_states 3) (fun () ->
+      ignore (Explorer.count_states ~max_states:2 (Traceset_system.make sb_ts)))
+
+let test_count_states () =
+  let n = Explorer.count_states (Traceset_system.make sb_ts) in
+  check_b "some states" true (n > 10);
+  (* memoisation: states are far fewer than execution steps *)
+  let execs = Explorer.count_executions (Traceset_system.make sb_ts) in
+  check_b "fewer states than 8 * executions" true (n < 8 * execs)
+
+let test_reads_see_most_recent () =
+  (* A reader that would read a stale value is never scheduled. *)
+  let ts =
+    Traceset.of_list
+      [ [ st 0; w "x" 1 ]; [ st 1; r "x" 0; ext 0 ]; [ st 1; r "x" 1; ext 1 ] ]
+  in
+  let bs = Explorer.behaviours (Traceset_system.make ts) in
+  check_b "can read 0 before write" true (Behaviour.Set.mem [ 0 ] bs);
+  check_b "can read 1 after write" true (Behaviour.Set.mem [ 1 ] bs);
+  let execs = Explorer.maximal_executions (Traceset_system.make ts) in
+  check_b "every execution SC" true
+    (List.for_all Interleaving.is_sequentially_consistent execs)
 
 (* Per-program stats are internally consistent: a connected exploration
    visits at least one state, traverses at least [states - 1] edges
@@ -106,6 +246,19 @@ let test_graph_stats () =
 let () =
   Alcotest.run "explorer"
     [
+      ( "engine",
+        [
+          Alcotest.test_case "behaviours" `Quick test_behaviours;
+          Alcotest.test_case "maximal executions" `Quick test_executions;
+          Alcotest.test_case "race search" `Quick test_race_search;
+          Alcotest.test_case "locks" `Quick test_locks_block;
+          Alcotest.test_case "deadlock detection" `Quick test_deadlock;
+          Alcotest.test_case "random sampling" `Quick test_sampling;
+          Alcotest.test_case "state budget" `Quick test_budget;
+          Alcotest.test_case "count_states" `Quick test_count_states;
+          Alcotest.test_case "reads see most recent" `Quick
+            test_reads_see_most_recent;
+        ] );
       ( "stats",
         [
           Alcotest.test_case "consistent over corpus" `Quick

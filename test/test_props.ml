@@ -118,7 +118,7 @@ let race_definitions_agree =
           in
           let hb = List.exists (Race.has_hb_race vol) execs in
           adj = hb
-      | exception Enumerate.Too_many_states _ -> QCheck2.assume_fail ())
+      | exception Explorer.Too_many_states _ -> QCheck2.assume_fail ())
 
 let interp_agrees_with_denotation =
   test ~count:40 "interpreter behaviours = explicit-traceset behaviours"
@@ -128,10 +128,10 @@ let interp_agrees_with_denotation =
       let ts = Denote.traceset ~universe ~max_len p in
       match
         ( Interp.behaviours ~max_states:200_000 p,
-          Enumerate.behaviours ~max_states:200_000 (Traceset_system.make ts) )
+          Explorer.behaviours ~max_states:200_000 (Traceset_system.make ts) )
       with
       | b1, b2 -> Behaviour.Set.equal b1 b2
-      | exception Enumerate.Too_many_states _ -> QCheck2.assume_fail ())
+      | exception Explorer.Too_many_states _ -> QCheck2.assume_fail ())
 
 let theorems_3_4 =
   test ~count:30 "safe rules preserve DRF and behaviours (Thms 3-4)"

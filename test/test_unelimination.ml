@@ -91,7 +91,7 @@ let test_drf_unelimination () =
   let universe = Safeopt_lang.Denote.joint_universe [ orig; trans ] in
   let ts_o = Safeopt_lang.Denote.traceset ~universe ~max_len:12 orig in
   let sys = Safeopt_lang.Thread_system.make trans in
-  let execs = Enumerate.maximal_executions sys in
+  let execs = Explorer.maximal_executions sys in
   check_b "at least one execution" true (execs <> []);
   List.iter
     (fun e ->

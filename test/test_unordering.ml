@@ -80,7 +80,7 @@ let test_drf_unordering () =
         b
   in
   let execs =
-    Enumerate.maximal_executions (Safeopt_lang.Thread_system.make trans)
+    Explorer.maximal_executions (Safeopt_lang.Thread_system.make trans)
   in
   check_b "has executions" true (execs <> []);
   List.iter
