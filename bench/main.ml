@@ -512,15 +512,30 @@ let baseline_pre_refactor =
     ("behaviours_por", (0.2321, 1760));
   ]
 
+(* Wall-clock timing on the monotonic clock (Clock): immune to system
+   time adjustments, so benchmark walls are never negative or skewed. *)
+let time f =
+  let t0 = Clock.now () in
+  let r = f () in
+  (r, Clock.elapsed t0)
+
+(* Benchmark JSON must never carry NaN / infinity (division by a zero
+   wall): refuse to emit the file instead of publishing garbage. *)
+let rate_or_die ~what num den =
+  let r = num /. den in
+  if den <= 0. || not (Float.is_finite r) then begin
+    Fmt.epr
+      "bench: refusing to emit %s: non-finite rate (%f / %f); the workload \
+       completed too fast to time@."
+      what num den;
+    exit 1
+  end;
+  r
+
 let explore_bench () =
   hr "P3: exploration engine on the litmus corpus -> BENCH_explore.json";
   let programs = List.map Litmus.program Corpus.all in
   let reps = 20 in
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    (r, Unix.gettimeofday () -. t0)
-  in
   let count_run por () =
     let acc = ref 0 in
     for _ = 1 to reps do
@@ -563,8 +578,14 @@ let explore_bench () =
     List.map
       (fun (name, (total, wall)) ->
         let base_wall, _ = List.assoc name baseline_pre_refactor in
-        let speedup = base_wall /. wall in
-        let per_sec = float_of_int total /. wall in
+        let speedup =
+          rate_or_die ~what:("BENCH_explore.json " ^ name) base_wall wall
+        in
+        let per_sec =
+          rate_or_die
+            ~what:("BENCH_explore.json " ^ name)
+            (float_of_int total) wall
+        in
         Fmt.pr "  %-18s %-10d %-12.4f %-14.0f %.2fx@." name total wall per_sec
           speedup;
         Printf.sprintf
@@ -626,7 +647,7 @@ let pipeline_bench ?(quick = false) () =
     | Ok s -> s
     | Error e -> failwith e
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let rows =
     List.map
       (fun (l : Litmus.t) ->
@@ -658,7 +679,7 @@ let pipeline_bench ?(quick = false) () =
             l.Litmus.name sites states vwall rejected ))
       corpus
   in
-  let wall = Unix.gettimeofday () -. t0 in
+  let wall = Clock.elapsed t0 in
   let none_rejected = List.for_all (fun (r, _) -> not r) rows in
   claim "no safe pipeline rejected on the corpus" true none_rejected;
   let json =
@@ -684,6 +705,122 @@ let pipeline_bench ?(quick = false) () =
   output_char oc '\n';
   close_out oc;
   Fmt.pr "  wrote BENCH_pipeline.json@."
+
+(* ------------------------------------------------------------------ *)
+(* P5: domain-parallel exploration -> BENCH_parallel.json              *)
+(* ------------------------------------------------------------------ *)
+
+(* Time the corpus workloads sequentially and across [jobs] domains on
+   one shared pool, recording wall-clock speedups.  Every parallel
+   total is compared against the sequential one, and the acceptance
+   criterion is re-checked explicitly: parallel behaviour sets must be
+   identical to the sequential ones, program by program.  [quick] trims
+   the repetitions — the CI smoke mode.  Speedup is bounded by the
+   host's core count, which the JSON records so a 1-core container's
+   ~1.0x is not mistaken for a regression. *)
+let parallel_bench ?(quick = false) ~jobs () =
+  let jobs = Par.resolve_jobs jobs in
+  hr "P5: domain-parallel exploration -> BENCH_parallel.json";
+  let host_cores = Domain.recommended_domain_count () in
+  let reps = if quick then 2 else 8 in
+  Fmt.pr "  %d domains requested, %d cores on this host, %d reps@." jobs
+    host_cores reps;
+  let programs = List.map Litmus.program Corpus.all in
+  let big = [ writer_reader_program 3; private_work_program 3 3 ] in
+  let all = programs @ big in
+  Par.Pool.with_pool jobs (fun pool ->
+      let beh ?pool () =
+        let acc = ref 0 in
+        for _ = 1 to reps do
+          List.iter
+            (fun p ->
+              acc := !acc + Behaviour.Set.cardinal (Interp.behaviours ?pool p))
+            all
+        done;
+        !acc
+      in
+      let count ?pool () =
+        let acc = ref 0 in
+        for _ = 1 to reps do
+          List.iter (fun p -> acc := !acc + Interp.count_states ?pool p) all
+        done;
+        !acc
+      in
+      let litmus ?pool () =
+        let acc = ref 0 in
+        for _ = 1 to reps do
+          List.iter
+            (fun o -> if Litmus.passed o then incr acc)
+            (Litmus.check_all ?pool Corpus.all)
+        done;
+        !acc
+      in
+      let experiments =
+        List.map
+          (fun (name, (f : ?pool:Par.Pool.t -> unit -> int)) ->
+            let rseq, wseq = time (fun () -> f ?pool:None ()) in
+            let rpar, wpar = time (fun () -> f ~pool ()) in
+            (name, rseq, wseq, rpar, wpar))
+          [
+            ("behaviours", beh);
+            ("count_states", count);
+            ("litmus_corpus", litmus);
+          ]
+      in
+      Fmt.pr "  %-18s %-10s %-12s %-12s %s@." "experiment" "total" "seq (s)"
+        "par (s)" "speedup";
+      let rows =
+        List.map
+          (fun (name, rseq, wseq, rpar, wpar) ->
+            let speedup =
+              rate_or_die ~what:("BENCH_parallel.json " ^ name) wseq wpar
+            in
+            Fmt.pr "  %-18s %-10d %-12.4f %-12.4f %.2fx@." name rseq wseq wpar
+              speedup;
+            Printf.sprintf
+              "    {\"name\": %S, \"total\": %d, \"seq_wall_s\": %.4f, \
+               \"par_wall_s\": %.4f, \"speedup\": %.2f, \"totals_equal\": %b}"
+              name rseq wseq wpar speedup (rseq = rpar))
+          experiments
+      in
+      let totals_equal =
+        List.for_all (fun (_, rseq, _, rpar, _) -> rseq = rpar) experiments
+      in
+      let identical =
+        List.for_all
+          (fun p ->
+            Behaviour.Set.equal (Interp.behaviours p)
+              (Interp.behaviours ~pool p))
+          all
+      in
+      claim "parallel totals equal sequential totals" true totals_equal;
+      claim "parallel and sequential behaviour sets identical" true identical;
+      let json =
+        String.concat "\n"
+          ([
+             "{";
+             "  \"schema\": \"bench_parallel/v1\",";
+             Printf.sprintf "  \"quick\": %b," quick;
+             Printf.sprintf "  \"jobs\": %d," jobs;
+             Printf.sprintf "  \"host_cores\": %d," host_cores;
+             Printf.sprintf "  \"reps\": %d," reps;
+             Printf.sprintf "  \"programs\": %d," (List.length all);
+             "  \"experiments\": [";
+           ]
+          @ [ String.concat ",\n" rows ]
+          @ [
+              "  ],";
+              Printf.sprintf "  \"parallel_totals_equal\": %b," totals_equal;
+              Printf.sprintf "  \"parallel_behaviour_sets_identical\": %b"
+                identical;
+              "}";
+            ])
+      in
+      let oc = open_out "BENCH_parallel.json" in
+      output_string oc json;
+      output_char oc '\n';
+      close_out oc;
+      Fmt.pr "  wrote BENCH_parallel.json@.")
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing                                                     *)
@@ -797,12 +934,19 @@ let () =
   (* `dune exec bench/main.exe -- explore` runs just the exploration
      benchmark (and writes BENCH_explore.json); `-- pipeline` (or
      `pipeline-quick`, the CI smoke mode) just the pass-manager one
-     (BENCH_pipeline.json); the default runs the full reproduction
+     (BENCH_pipeline.json); `-- parallel [jobs]` (or `parallel-quick
+     [jobs]`) the sequential-vs-parallel comparison
+     (BENCH_parallel.json); the default runs the full reproduction
      suite. *)
   match Sys.argv with
   | [| _; "explore" |] -> explore_bench ()
   | [| _; "pipeline" |] -> pipeline_bench ()
   | [| _; "pipeline-quick" |] -> pipeline_bench ~quick:true ()
+  | [| _; "parallel" |] -> parallel_bench ~jobs:4 ()
+  | [| _; "parallel"; j |] -> parallel_bench ~jobs:(int_of_string j) ()
+  | [| _; "parallel-quick" |] -> parallel_bench ~quick:true ~jobs:2 ()
+  | [| _; "parallel-quick"; j |] ->
+      parallel_bench ~quick:true ~jobs:(int_of_string j) ()
   | _ ->
       e1 ();
       e2 ();
@@ -822,5 +966,6 @@ let () =
       p2 ();
       explore_bench ();
       pipeline_bench ();
+      parallel_bench ~jobs:4 ();
       run_bechamel ();
       Fmt.pr "@.done.@."

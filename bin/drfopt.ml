@@ -49,6 +49,21 @@ let stats_arg =
               memo hits, POR cuts, peak frontier depth, wall time) after \
               the analysis.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Run explorations across $(docv) domains (default 1 = \
+              sequential; 0 = all recommended cores).  Verdicts, behaviour \
+              sets and counts are identical at any job count.")
+
+let check_jobs jobs =
+  if jobs < 0 then begin
+    Fmt.epr "drfopt: --jobs must be non-negative@.";
+    exit 2
+  end;
+  jobs
+
 (* Thread one stats sink through [f]'s explorations, print it, then
    exit with [f]'s code — so a failing run still reports what it cost. *)
 let with_stats enabled f =
@@ -72,17 +87,18 @@ let print_behaviours bs =
 (* --- run --- *)
 
 let run_cmd =
-  let run file fuel stats =
+  let run file fuel stats jobs =
+    let jobs = check_jobs jobs in
     let p = or_die (load file) in
     Fmt.pr "%a@.@." Pp.program p;
     with_stats stats (fun stats ->
-        print_behaviours (Interp.behaviours ~fuel ?stats p);
-        Fmt.pr "data race free: %b@." (Interp.is_drf ~fuel ?stats p);
+        print_behaviours (Interp.behaviours ~fuel ?stats ~jobs p);
+        Fmt.pr "data race free: %b@." (Interp.is_drf ~fuel ?stats ~jobs p);
         0)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Enumerate SC behaviours and check race freedom")
-    Term.(const run $ file_arg $ fuel_arg $ stats_arg)
+    Term.(const run $ file_arg $ fuel_arg $ stats_arg $ jobs_arg)
 
 (* --- drf --- *)
 
@@ -103,7 +119,8 @@ let drf_cmd =
 (* --- analyze --- *)
 
 let analyze_cmd =
-  let run file fuel stats =
+  let run file fuel stats jobs =
+    let jobs = check_jobs jobs in
     let p = or_die (load file) in
     let open Safeopt_analysis in
     Fmt.pr "may-access summary:@.";
@@ -126,7 +143,7 @@ let analyze_cmd =
           (* With --stats, settle the static "unknown" by running the
              exhaustive enumeration the verdict calls for. *)
           with_stats stats (fun stats ->
-              match Interp.find_race ~fuel ?stats p with
+              match Interp.find_race ~fuel ?stats ~jobs p with
               | Some i ->
                   Fmt.pr
                     "@[<v>verdict: RACY (exhaustive enumeration); witness:@ \
@@ -145,7 +162,7 @@ let analyze_cmd =
              pairs the lockset analysis cannot rule out.  With $(b,--stats), \
              unresolved potential races are settled by the exhaustive \
              enumeration and its exploration statistics are printed")
-    Term.(const run $ file_arg $ fuel_arg $ stats_arg)
+    Term.(const run $ file_arg $ fuel_arg $ stats_arg $ jobs_arg)
 
 (* --- transform --- *)
 
@@ -260,7 +277,8 @@ let optimize_cmd =
       & info [] ~docv:"FILE"
           ~doc:"Program in the concrete syntax (omit with $(b,--list)).")
   in
-  let run file fuel pipeline validate_each trace list_passes =
+  let run file fuel pipeline validate_each trace list_passes jobs =
+    let jobs = check_jobs jobs in
     let open Safeopt_opt in
     if list_passes then (
       List.iter (fun p -> Fmt.pr "%a@." Pass.pp p) Pipeline.registry;
@@ -274,7 +292,7 @@ let optimize_cmd =
     in
     let p = or_die (load file) in
     let spec = or_die (Pipeline.parse pipeline) in
-    let o = Pipeline.run ~fuel ~validate_each spec p in
+    let o = Pipeline.run ~fuel ~validate_each ~jobs spec p in
     if trace then Fmt.pr "%a" Pipeline.pp_trace o;
     Fmt.pr "--- optimised ---@.%a@." Pp.program o.final;
     let sites =
@@ -303,7 +321,7 @@ let optimize_cmd =
              differential validation")
     Term.(
       const run $ opt_file_arg $ fuel_arg $ pipeline_arg $ validate_each_arg
-      $ trace_arg $ list_arg)
+      $ trace_arg $ list_arg $ jobs_arg)
 
 (* --- validate --- *)
 
@@ -336,18 +354,19 @@ let validate_cmd =
       value & opt int 10
       & info [ "max-len" ] ~doc:"Trace length bound for the relation check.")
   in
-  let run orig_file trans_file relation max_len fuel stats =
+  let run orig_file trans_file relation max_len fuel stats jobs =
+    let jobs = check_jobs jobs in
     let original = or_die (load orig_file) in
     let transformed = or_die (load trans_file) in
     with_stats stats (fun stats ->
         let report =
           match relation with
           | Safeopt_opt.Validate.Unchecked ->
-              Safeopt_opt.Validate.validate ~fuel ?stats ~original ~transformed
-                ()
+              Safeopt_opt.Validate.validate ~fuel ?stats ~jobs ~original
+                ~transformed ()
           | r ->
-              Safeopt_opt.Validate.validate_semantic ~fuel ?stats ~max_len
-                ~relation:r ~original ~transformed ()
+              Safeopt_opt.Validate.validate_semantic ~fuel ?stats ~jobs
+                ~max_len ~relation:r ~original ~transformed ()
         in
         Fmt.pr "%a@." Safeopt_opt.Validate.pp_report report;
         Fmt.pr "DRF guarantee: %s@."
@@ -359,7 +378,7 @@ let validate_cmd =
        ~doc:"Check a transformation against the DRF guarantee (Theorems 1-4)")
     Term.(
       const run $ file_arg $ transformed_arg $ relation_arg $ max_len_arg
-      $ fuel_arg $ stats_arg)
+      $ fuel_arg $ stats_arg $ jobs_arg)
 
 (* --- denote --- *)
 
@@ -396,7 +415,8 @@ let litmus_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"NAME" ~doc:"Run a single test by name.")
   in
-  let run name stats =
+  let run name stats jobs =
+    let jobs = check_jobs jobs in
     let tests =
       match name with
       | None -> Safeopt_litmus.Corpus.all
@@ -408,9 +428,7 @@ let litmus_cmd =
               exit 2)
     in
     with_stats stats (fun stats ->
-        let outcomes =
-          List.map (Safeopt_litmus.Litmus.check ?stats) tests
-        in
+        let outcomes = Safeopt_litmus.Litmus.check_all ?stats ~jobs tests in
         List.iter
           (fun o -> Fmt.pr "%a@." Safeopt_litmus.Litmus.pp_outcome o)
           outcomes;
@@ -418,9 +436,10 @@ let litmus_cmd =
   in
   Cmd.v
     (Cmd.info "litmus"
-       ~doc:"Run the built-in litmus corpus.  With $(b,--stats), print the \
-             exploration statistics accumulated across the whole corpus")
-    Term.(const run $ name_arg $ stats_arg)
+       ~doc:"Run the built-in litmus corpus, sharded across $(b,--jobs) \
+             domains.  With $(b,--stats), print the exploration statistics \
+             accumulated across the whole corpus")
+    Term.(const run $ name_arg $ stats_arg $ jobs_arg)
 
 (* --- eliminable --- *)
 

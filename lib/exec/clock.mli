@@ -1,0 +1,15 @@
+(** Monotonic timing for exploration statistics and benchmarks.
+
+    [Unix.gettimeofday] is wall-clock time: NTP can step it backwards,
+    which would make accumulated {!Explorer.stats} wall times and bench
+    speedup ratios negative or nonsensical.  This module wraps
+    [clock_gettime(CLOCK_MONOTONIC)]: readings are meaningful only as
+    differences, and those differences are always non-negative. *)
+
+val now : unit -> float
+(** Seconds on the monotonic clock, from an arbitrary epoch.  Only
+    differences between two readings are meaningful. *)
+
+val elapsed : float -> float
+(** [elapsed t0] is [now () -. t0]: seconds since the earlier reading
+    [t0].  Never negative. *)

@@ -1,0 +1,17 @@
+/* Monotonic clock for exploration timing.
+
+   Wall-clock time (gettimeofday) can step backwards under NTP
+   adjustment, corrupting accumulated `stats.wall` values and benchmark
+   speedup ratios.  CLOCK_MONOTONIC only ever moves forward. */
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value safeopt_clock_monotonic_s(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec + 1e-9 * (double)ts.tv_nsec);
+}

@@ -16,6 +16,9 @@ type stats = {
   mutable por_cuts : int;
   mutable peak_frontier : int;
   mutable wall : float;
+  mutable domains : int;
+  mutable chunks : int;
+  mutable lock_waits : int;
 }
 
 let create_stats () =
@@ -26,6 +29,9 @@ let create_stats () =
     por_cuts = 0;
     peak_frontier = 0;
     wall = 0.;
+    domains = 0;
+    chunks = 0;
+    lock_waits = 0;
   }
 
 let reset_stats s =
@@ -34,19 +40,40 @@ let reset_stats s =
   s.memo_hits <- 0;
   s.por_cuts <- 0;
   s.peak_frontier <- 0;
-  s.wall <- 0.
+  s.wall <- 0.;
+  s.domains <- 0;
+  s.chunks <- 0;
+  s.lock_waits <- 0
+
+let merge_stats ~into s =
+  into.states <- into.states + s.states;
+  into.edges <- into.edges + s.edges;
+  into.memo_hits <- into.memo_hits + s.memo_hits;
+  into.por_cuts <- into.por_cuts + s.por_cuts;
+  if s.peak_frontier > into.peak_frontier then
+    into.peak_frontier <- s.peak_frontier;
+  into.wall <- into.wall +. s.wall;
+  if s.domains > into.domains then into.domains <- s.domains;
+  into.chunks <- into.chunks + s.chunks;
+  into.lock_waits <- into.lock_waits + s.lock_waits
 
 let pp_stats ppf s =
   Fmt.pf ppf
     "@[<v>exploration: %d states, %d transitions@ memo hits: %d, POR cuts: \
-     %d@ peak frontier depth: %d@ wall time: %.6f s@]"
-    s.states s.edges s.memo_hits s.por_cuts s.peak_frontier s.wall
+     %d@ peak frontier depth: %d@ wall time: %.6f s"
+    s.states s.edges s.memo_hits s.por_cuts s.peak_frontier s.wall;
+  if s.domains > 0 then
+    Fmt.pf ppf "@ parallel: %d domains, %d chunks, %d lock waits" s.domains
+      s.chunks s.lock_waits;
+  Fmt.pf ppf "@]"
 
 let stats_to_json s =
   Printf.sprintf
     "{\"states\": %d, \"edges\": %d, \"memo_hits\": %d, \"por_cuts\": %d, \
-     \"peak_frontier\": %d, \"wall_s\": %.6f}"
-    s.states s.edges s.memo_hits s.por_cuts s.peak_frontier s.wall
+     \"peak_frontier\": %d, \"wall_s\": %.6f, \"domains\": %d, \"chunks\": \
+     %d, \"lock_waits\": %d}"
+    s.states s.edges s.memo_hits s.por_cuts s.peak_frontier s.wall s.domains
+    s.chunks s.lock_waits
 
 (* A dummy sink so the hot loops mutate unconditionally instead of
    matching on an option at every step. *)
@@ -56,10 +83,8 @@ let timed stats f =
   match stats with
   | None -> f ()
   | Some s ->
-      let t0 = Unix.gettimeofday () in
-      Fun.protect
-        ~finally:(fun () -> s.wall <- s.wall +. (Unix.gettimeofday () -. t0))
-        f
+      let t0 = Clock.now () in
+      Fun.protect ~finally:(fun () -> s.wall <- s.wall +. Clock.elapsed t0) f
 
 (* ------------------------------------------------------------------ *)
 (* Interning                                                           *)
@@ -77,29 +102,6 @@ module Intern = struct
         let i = Hashtbl.length t in
         Hashtbl.add t s i;
         i
-end
-
-(* Int-array keys with a full-width hash: the generic [Hashtbl.hash]
-   only inspects a bounded prefix of the structure, which degenerates
-   for states differing only deep in memory. *)
-module Ikey = struct
-  type t = int array
-
-  let equal (a : int array) (b : int array) =
-    let n = Array.length a in
-    n = Array.length b
-    &&
-    let rec go i =
-      i >= n || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1))
-    in
-    go 0
-
-  let hash (a : int array) =
-    let h = ref 0x811c9dc5 in
-    for i = 0 to Array.length a - 1 do
-      h := (!h lxor Array.unsafe_get a i) * 0x01000193 land max_int
-    done;
-    !h
 end
 
 module Itbl = Hashtbl.Make (Ikey)
@@ -131,49 +133,84 @@ type 'ts state = {
   locks_id : int;
 }
 
+(* The interning context is a record of closures so the sequential
+   engine (plain [Hashtbl]s, no synchronisation) and the parallel
+   engine (striped tables from {!Par}) share every function below
+   ([initial], [enabled], [state_id], ...) without the sequential path
+   paying any mutex or atomic cost. *)
 type 'ts ctx = {
   sys : 'ts System.t;
-  tkey : Intern.t;  (** thread-state keys *)
-  lkey : Intern.t;  (** locations *)
-  mkey : Intern.t;  (** monitors *)
-  mems : int Itbl.t;  (** canonical memories *)
-  lockts : int Itbl.t;  (** canonical monitor tables *)
-  ids : int Itbl.t;  (** full state digests -> state id *)
+  tkey : string -> int;  (** thread-state keys *)
+  lkey : string -> int;  (** locations *)
+  mkey : string -> int;  (** monitors *)
+  mems : int array -> int;  (** canonical memories *)
+  lockts : int array -> int;  (** canonical monitor tables *)
+  ids : int array -> int * bool;  (** full state digest -> (id, fresh) *)
 }
 
 let make_ctx sys =
+  let tkey = Intern.create () in
+  let lkey = Intern.create () in
+  let mkey = Intern.create () in
+  let mems : int Itbl.t = Itbl.create 256 in
+  let lockts : int Itbl.t = Itbl.create 64 in
+  let ids : int Itbl.t = Itbl.create 997 in
   {
     sys;
-    tkey = Intern.create ();
-    lkey = Intern.create ();
-    mkey = Intern.create ();
-    mems = Itbl.create 256;
-    lockts = Itbl.create 64;
-    ids = Itbl.create 997;
+    tkey = Intern.id tkey;
+    lkey = Intern.id lkey;
+    mkey = Intern.id mkey;
+    mems = intern_ints mems;
+    lockts = intern_ints lockts;
+    ids =
+      (fun d ->
+        match Itbl.find_opt ids d with
+        | Some i -> (i, false)
+        | None ->
+            let i = Itbl.length ids in
+            Itbl.add ids d i;
+            (i, true));
+  }
+
+(* Same context shape over the sharded tables: safe to call from any
+   domain of a pool.  Ids come from atomic counters, so their numeric
+   order varies across runs; they are only used for equality. *)
+let make_par_ctx sys =
+  let tkey = Par.Intern.create () in
+  let lkey = Par.Intern.create () in
+  let mkey = Par.Intern.create () in
+  let mems = Par.Itbl.create () in
+  let lockts = Par.Itbl.create () in
+  let ids = Par.Itbl.create () in
+  {
+    sys;
+    tkey = Par.Intern.id tkey;
+    lkey = Par.Intern.id lkey;
+    mkey = Par.Intern.id mkey;
+    mems = Par.Itbl.intern mems;
+    lockts = Par.Itbl.intern lockts;
+    ids = Par.Itbl.intern_fresh ids;
   }
 
 let intern_mem ctx mem =
   let parts =
-    Location.Map.fold
-      (fun l v acc -> Intern.id ctx.lkey l :: v :: acc)
-      mem []
+    Location.Map.fold (fun l v acc -> ctx.lkey l :: v :: acc) mem []
   in
-  intern_ints ctx.mems (Array.of_list parts)
+  ctx.mems (Array.of_list parts)
 
 let intern_locks ctx locks =
   let parts =
     Monitor.Map.fold
-      (fun m (o, d) acc -> Intern.id ctx.mkey m :: o :: d :: acc)
+      (fun m (o, d) acc -> ctx.mkey m :: o :: d :: acc)
       locks []
   in
-  intern_ints ctx.lockts (Array.of_list parts)
+  ctx.lockts (Array.of_list parts)
 
 let initial ctx =
   let threads = Array.of_list ctx.sys.System.initial in
   {
     threads;
-    tkeys =
-      Array.map (fun ts -> Intern.id ctx.tkey (ctx.sys.System.key ts)) threads;
+    tkeys = Array.map (fun ts -> ctx.tkey (ctx.sys.System.key ts)) threads;
     mem = Location.Map.empty;
     mem_id = intern_mem ctx Location.Map.empty;
     locks = Monitor.Map.empty;
@@ -186,12 +223,7 @@ let state_id ctx st =
   Array.blit st.tkeys 0 d 0 n;
   d.(n) <- st.mem_id;
   d.(n + 1) <- st.locks_id;
-  match Itbl.find_opt ctx.ids d with
-  | Some i -> (i, false)
-  | None ->
-      let i = Itbl.length ctx.ids in
-      Itbl.add ctx.ids d i;
-      (i, true)
+  ctx.ids d
 
 let read_value st l =
   Option.value ~default:Value.default (Location.Map.find_opt l st.mem)
@@ -200,7 +232,7 @@ let set_thread ctx st tid ts' =
   let threads = Array.copy st.threads in
   threads.(tid) <- ts';
   let tkeys = Array.copy st.tkeys in
-  tkeys.(tid) <- Intern.id ctx.tkey (ctx.sys.System.key ts');
+  tkeys.(tid) <- ctx.tkey (ctx.sys.System.key ts');
   (threads, tkeys)
 
 (* All enabled transitions from a scheduler state:
@@ -390,24 +422,173 @@ let explore_core (type r) ~(empty : r) ~(union : r -> r -> r)
   let r = go (initial ctx) [] 1 in
   (r, !count)
 
-let behaviours ?(max_states = default_max_states) ?local ?stats sys =
-  timed stats (fun () ->
-      fst
-        (explore_core
-           ~empty:(Behaviour.Set.singleton [])
-           ~union:Behaviour.Set.union
-           ~label:(fun a sub ->
-             match a with
-             | Action.External v -> Behaviour.Set.map (fun b -> v :: b) sub
-             | _ -> sub)
-           ~max_states ~local ~stats sys))
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel exploration                                         *)
+(* ------------------------------------------------------------------ *)
 
-let count_states ?(max_states = default_max_states) ?local ?stats sys =
-  timed stats (fun () ->
-      snd
-        (explore_core ~empty:() ~union:(fun () () -> ())
-           ~label:(fun _ () -> ())
-           ~max_states ~local ~stats sys))
+(* The parallel engine splits the work the sequential DFS does in one
+   pass into two phases:
+
+   Phase 1 (parallel): frontier discovery over the {!Par.Wq} work
+   queue.  Workers expand states ([enabled] — the expensive part:
+   successor construction, interning, hashing), dedupe through the
+   sharded id table (the worker that interns a state first owns its
+   expansion), and record the labelled edges plus BFS-tree parents in
+   per-worker accumulators (no sharing, no locks).
+
+   Phase 2 (sequential): a memoised suffix fold over the discovered
+   compact int graph — the cheap part — computing the same result the
+   sequential DFS would, including raising [Cyclic] on cycles.
+
+   Soundness under POR: persistent-set selection is a per-state
+   decision, independent of exploration order, so it commutes with the
+   parallel expansion schedule.  Sleep sets, by contrast, encode the
+   DFS visiting order and are dropped in parallel mode; they only prune
+   redundant interleavings, so the computed result set is unchanged. *)
+
+let par_discover (type st lbl) ~pool ~max_states ~(wstats : stats array)
+    ~(expand : int -> st -> (lbl * st) list)
+    ~(intern : st -> int * bool) (st0 : st) :
+    int * (lbl * int) list array * (int * lbl) option array * int =
+  let nw = Par.Pool.size pool in
+  let wq : (int * st) Par.Wq.t = Par.Wq.create () in
+  let edges : (int * lbl * int) list array = Array.make nw [] in
+  let parents : (int * int * lbl) list array = Array.make nw [] in
+  let total = Atomic.make 1 in
+  let id0, fresh0 = intern st0 in
+  assert fresh0;
+  wstats.(0).states <- wstats.(0).states + 1;
+  Par.Wq.seed wq (id0, st0);
+  Par.Pool.run pool (fun w ->
+      let s = wstats.(w) in
+      Par.Wq.run wq
+        ~on_wait:(fun () -> s.lock_waits <- s.lock_waits + 1)
+        ~on_chunk:(fun () -> s.chunks <- s.chunks + 1)
+        ~on_peak:(fun n -> if n > s.peak_frontier then s.peak_frontier <- n)
+        (fun (id, st) push ->
+          List.iter
+            (fun (lbl, st') ->
+              s.edges <- s.edges + 1;
+              let id', fresh = intern st' in
+              edges.(w) <- (id, lbl, id') :: edges.(w);
+              if fresh then begin
+                s.states <- s.states + 1;
+                parents.(w) <- (id', id, lbl) :: parents.(w);
+                let n = Atomic.fetch_and_add total 1 + 1 in
+                if n > max_states then raise (Too_many_states n);
+                push (id', st')
+              end)
+            (expand w st)));
+  let n = Atomic.get total in
+  let succ : (lbl * int) list array = Array.make n [] in
+  Array.iter
+    (List.iter (fun (u, l, v) -> succ.(u) <- (l, v) :: succ.(u)))
+    edges;
+  let parent = Array.make n None in
+  Array.iter
+    (List.iter (fun (v, u, l) -> parent.(v) <- Some (u, l)))
+    parents;
+  (n, succ, parent, id0)
+
+(* Memoised suffix fold over the discovered graph — the parallel
+   counterpart of [explore_core]'s result computation, on compact int
+   ids.  Raises [Cyclic] exactly when a cycle is reachable, like the
+   sequential engine. *)
+let fold_graph (type r lbl) ~(empty : r) ~(union : r -> r -> r)
+    ~(label : lbl -> r -> r) ~(stats : stats)
+    (succ : (lbl * int) list array) id0 : r =
+  let n = Array.length succ in
+  let memo : r option array = Array.make n None in
+  let on_stack = Array.make n false in
+  let rec go id =
+    match memo.(id) with
+    | Some r ->
+        stats.memo_hits <- stats.memo_hits + 1;
+        r
+    | None ->
+        if on_stack.(id) then raise Cyclic;
+        on_stack.(id) <- true;
+        let r =
+          List.fold_left
+            (fun acc (l, id') -> union acc (label l (go id')))
+            empty succ.(id)
+        in
+        on_stack.(id) <- false;
+        memo.(id) <- Some r;
+        r
+  in
+  go id0
+
+let par_explore_core (type r) ~(empty : r) ~(union : r -> r -> r)
+    ~(label : Action.t -> r -> r) ~pool ~max_states ~local ~stats sys =
+  let s = sink stats in
+  let ctx = make_par_ctx sys in
+  let nw = Par.Pool.size pool in
+  let wstats = Array.init nw (fun _ -> create_stats ()) in
+  let reduce = Option.is_some local in
+  let local_pred = match local with Some f -> f | None -> fun _ -> false in
+  let expand w st =
+    let succs = enabled ctx st in
+    let selected =
+      if reduce then persistent_select local_pred [] succs else succs
+    in
+    if reduce then
+      wstats.(w).por_cuts <-
+        wstats.(w).por_cuts + (List.length succs - List.length selected);
+    List.map (fun (_, a, st') -> (a, st')) selected
+  in
+  let n, succ, _parents, id0 =
+    par_discover ~pool ~max_states ~wstats ~expand
+      ~intern:(fun st -> state_id ctx st)
+      (initial ctx)
+  in
+  let r = fold_graph ~empty ~union ~label ~stats:s succ id0 in
+  Array.iter (fun w -> merge_stats ~into:s w) wstats;
+  s.domains <- max s.domains nw;
+  (r, n)
+
+let run_par = Par.dispatch
+
+let beh_label a sub =
+  match a with
+  | Action.External v -> Behaviour.Set.map (fun b -> v :: b) sub
+  | _ -> sub
+
+let behaviours ?(max_states = default_max_states) ?local ?stats ?jobs ?pool
+    sys =
+  run_par ?jobs ?pool
+    ~seq:(fun () ->
+      timed stats (fun () ->
+          fst
+            (explore_core
+               ~empty:(Behaviour.Set.singleton [])
+               ~union:Behaviour.Set.union ~label:beh_label ~max_states ~local
+               ~stats sys)))
+    ~par:(fun p ->
+      timed stats (fun () ->
+          fst
+            (par_explore_core
+               ~empty:(Behaviour.Set.singleton [])
+               ~union:Behaviour.Set.union ~label:beh_label ~pool:p ~max_states
+               ~local ~stats sys)))
+    ()
+
+let count_states ?(max_states = default_max_states) ?local ?stats ?jobs ?pool
+    sys =
+  run_par ?jobs ?pool
+    ~seq:(fun () ->
+      timed stats (fun () ->
+          snd
+            (explore_core ~empty:() ~union:(fun () () -> ())
+               ~label:(fun _ () -> ())
+               ~max_states ~local ~stats sys)))
+    ~par:(fun p ->
+      timed stats (fun () ->
+          snd
+            (par_explore_core ~empty:() ~union:(fun () () -> ())
+               ~label:(fun _ () -> ())
+               ~pool:p ~max_states ~local ~stats sys)))
+    ()
 
 (* ------------------------------------------------------------------ *)
 (* Streaming executions                                                *)
@@ -447,7 +628,7 @@ let count_executions ?max_steps ?stats sys =
 (* Witness searches                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let find_adjacent_race ?(max_states = default_max_states) ?stats vol sys =
+let seq_find_adjacent_race ~max_states ?stats vol sys =
   timed stats (fun () ->
       let s = sink stats in
       let ctx = make_ctx sys in
@@ -503,8 +684,72 @@ let find_adjacent_race ?(max_states = default_max_states) ?stats vol sys =
         None
       with Found i -> Some i)
 
-let is_drf ?max_states ?stats vol sys =
-  Option.is_none (find_adjacent_race ?max_states ?stats vol sys)
+(* Parallel race search: phase-1 discovery records (thread, action)
+   edge labels and BFS-tree parents (a fresh state's parent edge is
+   fixed by whichever worker interned it first — a well-founded chain
+   back to the root); the adjacent-conflict scan and witness-path
+   reconstruction then run sequentially on the compact graph.  The DRF
+   verdict is deterministic; when a program does race, the particular
+   witness interleaving may differ from the sequential engine's (and
+   between parallel runs), as any adjacent race is a valid witness. *)
+let par_find_adjacent_race ~pool ~max_states ?stats vol sys =
+  timed stats (fun () ->
+      let s = sink stats in
+      let ctx = make_par_ctx sys in
+      let nw = Par.Pool.size pool in
+      let wstats = Array.init nw (fun _ -> create_stats ()) in
+      let expand _w st =
+        List.map (fun (tid, a, st') -> ((tid, a), st')) (enabled ctx st)
+      in
+      let n, succ, parent, id0 =
+        par_discover ~pool ~max_states ~wstats ~expand
+          ~intern:(fun st -> state_id ctx st)
+          (initial ctx)
+      in
+      Array.iter (fun w -> merge_stats ~into:s w) wstats;
+      s.domains <- max s.domains nw;
+      let path_to u =
+        let rec up id acc =
+          if id = id0 then acc
+          else
+            match parent.(id) with
+            | Some (p, (tid, a)) -> up p (Interleaving.pair tid a :: acc)
+            | None -> acc
+        in
+        up u []
+      in
+      let exception Found of Interleaving.t in
+      try
+        for u = 0 to n - 1 do
+          List.iter
+            (fun ((tid, a), v) ->
+              List.iter
+                (fun ((tid', b), _) ->
+                  if
+                    (not (Thread_id.equal tid tid'))
+                    && Action.conflicting vol a b
+                  then
+                    raise
+                      (Found
+                         (path_to u
+                         @ [
+                             Interleaving.pair tid a; Interleaving.pair tid' b;
+                           ])))
+                succ.(v))
+            succ.(u)
+        done;
+        None
+      with Found i -> Some i)
+
+let find_adjacent_race ?(max_states = default_max_states) ?stats ?jobs ?pool
+    vol sys =
+  run_par ?jobs ?pool
+    ~seq:(fun () -> seq_find_adjacent_race ~max_states ?stats vol sys)
+    ~par:(fun p -> par_find_adjacent_race ~pool:p ~max_states ?stats vol sys)
+    ()
+
+let is_drf ?max_states ?stats ?jobs ?pool vol sys =
+  Option.is_none (find_adjacent_race ?max_states ?stats ?jobs ?pool vol sys)
 
 let find_deadlock ?(max_states = default_max_states) ?stats sys =
   timed stats (fun () ->
@@ -589,7 +834,12 @@ type 'st graph = {
   graph_digest : 'st -> int list;
 }
 
-let graph_behaviours ?(max_states = default_max_states) ?stats g =
+let graph_label a sub =
+  match a with
+  | Some (Action.External v) -> Behaviour.Set.map (fun b -> v :: b) sub
+  | _ -> sub
+
+let seq_graph_behaviours ~max_states ?stats g =
   timed stats (fun () ->
       let s = sink stats in
       let ids : int Itbl.t = Itbl.create 997 in
@@ -614,13 +864,7 @@ let graph_behaviours ?(max_states = default_max_states) ?stats g =
                 (fun acc (a, st') ->
                   s.edges <- s.edges + 1;
                   let sub = go st' (depth + 1) in
-                  let sub =
-                    match a with
-                    | Some (Action.External v) ->
-                        Behaviour.Set.map (fun b -> v :: b) sub
-                    | _ -> sub
-                  in
-                  Behaviour.Set.union acc sub)
+                  Behaviour.Set.union acc (graph_label a sub))
                 (Behaviour.Set.singleton [])
                 (g.graph_transitions st)
             in
@@ -629,3 +873,31 @@ let graph_behaviours ?(max_states = default_max_states) ?stats g =
             set
       in
       go g.graph_initial 1)
+
+let par_graph_behaviours ~pool ~max_states ?stats g =
+  timed stats (fun () ->
+      let s = sink stats in
+      let ids = Par.Itbl.create () in
+      let nw = Par.Pool.size pool in
+      let wstats = Array.init nw (fun _ -> create_stats ()) in
+      let _n, succ, _parents, id0 =
+        par_discover ~pool ~max_states ~wstats
+          ~expand:(fun _ st -> g.graph_transitions st)
+          ~intern:(fun st ->
+            Par.Itbl.intern_fresh ids (Array.of_list (g.graph_digest st)))
+          g.graph_initial
+      in
+      let r =
+        fold_graph
+          ~empty:(Behaviour.Set.singleton [])
+          ~union:Behaviour.Set.union ~label:graph_label ~stats:s succ id0
+      in
+      Array.iter (fun w -> merge_stats ~into:s w) wstats;
+      s.domains <- max s.domains nw;
+      r)
+
+let graph_behaviours ?(max_states = default_max_states) ?stats ?jobs ?pool g =
+  run_par ?jobs ?pool
+    ~seq:(fun () -> seq_graph_behaviours ~max_states ?stats g)
+    ~par:(fun p -> par_graph_behaviours ~pool:p ~max_states ?stats g)
+    ()

@@ -44,17 +44,33 @@ type stats = {
   mutable edges : int;  (** transitions traversed *)
   mutable memo_hits : int;  (** visits answered from the memo table *)
   mutable por_cuts : int;  (** transitions pruned by the reduction *)
-  mutable peak_frontier : int;  (** maximum DFS stack depth *)
-  mutable wall : float;  (** accumulated wall-clock seconds *)
+  mutable peak_frontier : int;
+      (** maximum DFS stack depth (sequential) or per-worker frontier
+          buffer length (parallel) *)
+  mutable wall : float;  (** accumulated wall-clock seconds (monotonic) *)
+  mutable domains : int;  (** pool size of the last parallel run; 0 if
+                              every run was sequential *)
+  mutable chunks : int;  (** work-queue chunks taken across workers *)
+  mutable lock_waits : int;
+      (** blocking waits on the shared queue across workers *)
 }
 
 val create_stats : unit -> stats
 val reset_stats : stats -> unit
+
+val merge_stats : into:stats -> stats -> unit
+(** Aggregate a (per-domain) record into an accumulator: counters add,
+    [peak_frontier] and [domains] take the maximum.  Parallel runs keep
+    one private record per worker domain and merge them at join, so no
+    two domains ever mutate the same record. *)
+
 val pp_stats : Format.formatter -> stats -> unit
+(** Human-readable rendering.  The parallel counters are printed only
+    when [domains > 0], so sequential output is unchanged. *)
 
 val stats_to_json : stats -> string
 (** One-line JSON object (states, edges, memo_hits, por_cuts,
-    peak_frontier, wall_s). *)
+    peak_frontier, wall_s, domains, chunks, lock_waits). *)
 
 (** {1 Independence} *)
 
@@ -66,29 +82,61 @@ val independent : Thread_id.t * Action.t -> Thread_id.t * Action.t -> bool
     not both external (the order of external actions is the observable
     behaviour). *)
 
-(** {1 Exhaustive analyses over thread systems} *)
+(** {1 Exhaustive analyses over thread systems}
+
+    {2 Parallel exploration}
+
+    The exhaustive analyses below accept [?jobs] / [?pool] to run the
+    state-space search across multiple domains ({!Par}).  [?pool] (a
+    caller-managed {!Par.Pool.t}, reused across many explorations)
+    takes precedence over [?jobs] (a one-shot pool per call, resolved
+    through {!Par.resolve_jobs}: [0] means all recommended cores).
+    When neither is given, or the resolved size is 1, the sequential
+    engine runs completely unchanged — no mutexes, no atomics.
+
+    The parallel engine discovers the state graph breadth-first across
+    workers (dedupe through sharded interning tables; each state is
+    expanded by exactly the worker that interned it first), then folds
+    results over the discovered compact graph sequentially.  Persistent
+    set selection is kept under parallelism (it is a per-state,
+    order-independent decision); sleep sets are dropped (they encode
+    DFS order) — they only prune redundant work, so {b results are
+    identical} to the sequential engine: same behaviour sets, same
+    state counts, same DRF verdicts, same [Cyclic] /
+    [Too_many_states] outcomes.  Only race-witness {e choice} may
+    differ where several witnesses exist. *)
 
 val behaviours :
   ?max_states:int ->
   ?local:(Action.t -> bool) ->
   ?stats:stats ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
   'ts System.t ->
   Behaviour.Set.t
 (** The set of behaviours of all executions.  Prefix-closed.
 
-    [local] enables the sleep-set reduction; it must return [true] only
-    for actions that are invisible (not external) and independent of
-    every other thread — accesses to locations touched by a single
-    thread.  The behaviour set is identical with and without [local]. *)
+    [local] enables the reduction (sleep sets sequentially, persistent
+    sets under [jobs]/[pool]); it must return [true] only for actions
+    that are invisible (not external) and independent of every other
+    thread — accesses to locations touched by a single thread.  The
+    behaviour set is identical with and without [local], and with and
+    without parallelism. *)
 
 val count_states :
   ?max_states:int ->
   ?local:(Action.t -> bool) ->
   ?stats:stats ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
   'ts System.t ->
   int
 (** Number of distinct scheduler states explored; [local] as in
-    {!behaviours} (the reduced count can be much smaller). *)
+    {!behaviours} (the reduced count can be much smaller).  Note the
+    parallel reduced count equals the sequential reduced count only up
+    to sleep-set pruning: with [local] and [jobs > 1] the engine keeps
+    persistent sets but not sleep sets, which can visit more states.
+    Without [local] the counts agree exactly. *)
 
 val maximal_executions_seq :
   ?max_steps:int -> ?stats:stats -> 'ts System.t -> Interleaving.t Seq.t
@@ -107,16 +155,26 @@ val count_executions : ?max_steps:int -> ?stats:stats -> 'ts System.t -> int
 val find_adjacent_race :
   ?max_states:int ->
   ?stats:stats ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
   Location.Volatile.t ->
   'ts System.t ->
   Interleaving.t option
 (** A witness execution whose last two actions are adjacent conflicting
     accesses by different threads, if one exists.  Each state's enabled
     set is computed once and shared between the visit and the per-edge
-    race checks. *)
+    race checks.  Under [jobs]/[pool] the existence verdict is
+    deterministic and agrees with the sequential search; the particular
+    witness returned may differ (any adjacent race is a valid
+    witness). *)
 
 val is_drf :
-  ?max_states:int -> ?stats:stats -> Location.Volatile.t -> 'ts System.t ->
+  ?max_states:int ->
+  ?stats:stats ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
+  Location.Volatile.t ->
+  'ts System.t ->
   bool
 
 val find_deadlock :
@@ -157,6 +215,17 @@ type 'st graph = {
 }
 
 val graph_behaviours :
-  ?max_states:int -> ?stats:stats -> 'st graph -> Behaviour.Set.t
+  ?max_states:int ->
+  ?stats:stats ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
+  'st graph ->
+  Behaviour.Set.t
 (** Prefix-closed behaviour set of the graph, memoised on the interned
-    digest.  Raises {!Cyclic} / {!Too_many_states} as above. *)
+    digest.  Raises {!Cyclic} / {!Too_many_states} as above.
+    [jobs]/[pool] parallelise the graph discovery as described under
+    {e Parallel exploration}; the resulting set is identical.  Under
+    [jobs]/[pool] the engine calls [graph_transitions] and
+    [graph_digest] from several worker domains concurrently, so any
+    state the closures share (e.g. interning tables) must be
+    thread-safe — {!Par.Intern} is made for this. *)

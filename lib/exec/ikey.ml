@@ -1,0 +1,17 @@
+type t = int array
+
+let equal (a : int array) (b : int array) =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i =
+    i >= n || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1))
+  in
+  go 0
+
+let hash (a : int array) =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to Array.length a - 1 do
+    h := (!h lxor Array.unsafe_get a i) * 0x01000193 land max_int
+  done;
+  !h

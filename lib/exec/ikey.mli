@@ -1,0 +1,12 @@
+(** Int-array hash keys for state digests.
+
+    The generic [Hashtbl.hash] only inspects a bounded prefix of a
+    structure, which degenerates for scheduler states differing only
+    deep in memory; this module hashes the full array (FNV-1a).  Shared
+    by the sequential explorer's hash-consing tables and the sharded
+    tables of the parallel engine ({!Par}). *)
+
+type t = int array
+
+val equal : t -> t -> bool
+val hash : t -> int

@@ -1,0 +1,346 @@
+(* Domain-parallel work-pool primitives: a reusable fixed pool of
+   domains, a shared chunked work queue with in-flight termination
+   detection, and sharded hash-consing tables.  Stdlib multicore only
+   (Domain / Atomic / Mutex / Condition). *)
+
+let resolve_jobs n =
+  if n < 0 then invalid_arg "Par.resolve_jobs: negative job count"
+  else if n = 0 then Domain.recommended_domain_count ()
+  else n
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = struct
+  type t = {
+    size : int;
+    mu : Mutex.t;
+    start : Condition.t;
+    finished : Condition.t;
+    mutable job : (int -> unit) option;
+    mutable epoch : int;  (** bumped per job; workers wait for a change *)
+    mutable running : int;  (** workers still inside the current job *)
+    mutable closed : bool;
+    error : exn option Atomic.t;  (** first failure of the current job *)
+    mutable domains : unit Domain.t list;
+  }
+
+  let size t = t.size
+
+  let record_error t exn =
+    ignore (Atomic.compare_and_set t.error None (Some exn))
+
+  let worker t w =
+    let seen = ref 0 in
+    let rec loop () =
+      Mutex.lock t.mu;
+      while (not t.closed) && t.epoch = !seen do
+        Condition.wait t.start t.mu
+      done;
+      if t.closed then Mutex.unlock t.mu
+      else begin
+        seen := t.epoch;
+        let job = Option.get t.job in
+        Mutex.unlock t.mu;
+        (try job w with exn -> record_error t exn);
+        Mutex.lock t.mu;
+        t.running <- t.running - 1;
+        if t.running = 0 then Condition.broadcast t.finished;
+        Mutex.unlock t.mu;
+        loop ()
+      end
+    in
+    loop ()
+
+  let create n =
+    let size = max 1 n in
+    let t =
+      {
+        size;
+        mu = Mutex.create ();
+        start = Condition.create ();
+        finished = Condition.create ();
+        job = None;
+        epoch = 0;
+        running = 0;
+        closed = false;
+        error = Atomic.make None;
+        domains = [];
+      }
+    in
+    t.domains <-
+      List.init (size - 1) (fun i ->
+          Domain.spawn (fun () -> worker t (i + 1)));
+    t
+
+  let run t f =
+    if t.size = 1 then f 0
+    else begin
+      Mutex.lock t.mu;
+      t.job <- Some f;
+      t.running <- t.size - 1;
+      t.epoch <- t.epoch + 1;
+      Condition.broadcast t.start;
+      Mutex.unlock t.mu;
+      (try f 0 with exn -> record_error t exn);
+      Mutex.lock t.mu;
+      while t.running > 0 do
+        Condition.wait t.finished t.mu
+      done;
+      t.job <- None;
+      Mutex.unlock t.mu;
+      match Atomic.exchange t.error None with
+      | Some exn -> raise exn
+      | None -> ()
+    end
+
+  let shutdown t =
+    Mutex.lock t.mu;
+    t.closed <- true;
+    Condition.broadcast t.start;
+    Mutex.unlock t.mu;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+
+  let with_pool jobs f =
+    let t = create (resolve_jobs jobs) in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+  let map_list t f xs =
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let out = Array.make n None in
+    let next = Atomic.make 0 in
+    run t (fun _ ->
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            out.(i) <- Some (f i arr.(i));
+            loop ()
+          end
+        in
+        loop ());
+    Array.to_list (Array.map Option.get out)
+end
+
+(* One dispatcher shared by every [?jobs ?pool] entry point in the
+   repository: an explicit pool wins over a job count; a resolved
+   parallelism of 1 takes the untouched sequential path. *)
+let dispatch ?jobs ?pool ~seq ~par () =
+  match pool with
+  | Some p -> if Pool.size p > 1 then par p else seq ()
+  | None -> (
+      match jobs with
+      | None -> seq ()
+      | Some j ->
+          let j = resolve_jobs j in
+          if j <= 1 then seq () else Pool.with_pool j par)
+
+(* ------------------------------------------------------------------ *)
+(* Work queue                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Wq = struct
+  type 'a t = {
+    mu : Mutex.t;
+    nonempty : Condition.t;
+    chunks : 'a list Queue.t;  (** protected by [mu] *)
+    queued : int Atomic.t;  (** chunk count, read locklessly for spills *)
+    in_flight : int Atomic.t;  (** items discovered but not yet processed *)
+    aborted : bool Atomic.t;
+  }
+
+  let create () =
+    {
+      mu = Mutex.create ();
+      nonempty = Condition.create ();
+      chunks = Queue.create ();
+      queued = Atomic.make 0;
+      in_flight = Atomic.make 0;
+      aborted = Atomic.make false;
+    }
+
+  let spill t chunk =
+    Mutex.lock t.mu;
+    Queue.push chunk t.chunks;
+    Atomic.incr t.queued;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mu
+
+  let seed t x =
+    Atomic.incr t.in_flight;
+    spill t [ x ]
+
+  (* The last finished item wakes every idle worker so they can observe
+     completion.  Finishing happens outside [mu]; the waiter either
+     sees in_flight = 0 on its locked re-check or is woken by this
+     broadcast (which must take [mu], hence cannot slip into the window
+     between a waiter's check and its wait). *)
+  let finish_item t =
+    if Atomic.fetch_and_add t.in_flight (-1) = 1 then begin
+      Mutex.lock t.mu;
+      Condition.broadcast t.nonempty;
+      Mutex.unlock t.mu
+    end
+
+  let abort t =
+    Atomic.set t.aborted true;
+    Mutex.lock t.mu;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mu
+
+  let take_shared t ~on_wait ~on_chunk =
+    Mutex.lock t.mu;
+    let rec go () =
+      if Atomic.get t.aborted then begin
+        Mutex.unlock t.mu;
+        None
+      end
+      else if not (Queue.is_empty t.chunks) then begin
+        let c = Queue.pop t.chunks in
+        Atomic.decr t.queued;
+        Mutex.unlock t.mu;
+        on_chunk ();
+        Some c
+      end
+      else if Atomic.get t.in_flight = 0 then begin
+        Mutex.unlock t.mu;
+        None
+      end
+      else begin
+        on_wait ();
+        Condition.wait t.nonempty t.mu;
+        go ()
+      end
+    in
+    go ()
+
+  let max_local = 64
+
+  let run t ?(on_wait = ignore) ?(on_chunk = ignore) ?(on_peak = ignore) f =
+    let local = ref [] in
+    let nlocal = ref 0 in
+    let spill_half () =
+      (* keep the newer (hotter) half locally, share the older half *)
+      let keep = !nlocal / 2 in
+      let rec split i acc rest =
+        if i = 0 then (List.rev acc, rest)
+        else
+          match rest with
+          | [] -> (List.rev acc, [])
+          | x :: rest -> split (i - 1) (x :: acc) rest
+      in
+      let mine, shared = split keep [] !local in
+      local := mine;
+      nlocal := keep;
+      if shared <> [] then spill t shared
+    in
+    let push x =
+      Atomic.incr t.in_flight;
+      local := x :: !local;
+      incr nlocal;
+      on_peak !nlocal;
+      (* spill when the buffer overflows, or eagerly when other
+         workers appear starved (shared queue empty) *)
+      if !nlocal >= max_local || (!nlocal >= 2 && Atomic.get t.queued = 0)
+      then spill_half ()
+    in
+    let process x =
+      match f x push with
+      | () -> finish_item t
+      | exception exn ->
+          finish_item t;
+          raise exn
+    in
+    let rec drain () =
+      if Atomic.get t.aborted then ()
+      else
+        match !local with
+        | x :: rest ->
+            local := rest;
+            decr nlocal;
+            process x;
+            drain ()
+        | [] -> (
+            match take_shared t ~on_wait ~on_chunk with
+            | Some chunk ->
+                local := chunk;
+                nlocal := List.length chunk;
+                drain ()
+            | None -> ())
+    in
+    try drain ()
+    with exn ->
+      abort t;
+      raise exn
+end
+
+(* ------------------------------------------------------------------ *)
+(* Sharded hash-consing tables                                         *)
+(* ------------------------------------------------------------------ *)
+
+let stripes = 64 (* power of two; stripe = hash land (stripes - 1) *)
+
+module Intern = struct
+  type t = {
+    counter : int Atomic.t;
+    locks : Mutex.t array;
+    tbls : (string, int) Hashtbl.t array;
+  }
+
+  let create () =
+    {
+      counter = Atomic.make 0;
+      locks = Array.init stripes (fun _ -> Mutex.create ());
+      tbls = Array.init stripes (fun _ -> Hashtbl.create 64);
+    }
+
+  let id t s =
+    let i = Hashtbl.hash s land (stripes - 1) in
+    Mutex.lock t.locks.(i);
+    let r =
+      match Hashtbl.find_opt t.tbls.(i) s with
+      | Some id -> id
+      | None ->
+          let id = Atomic.fetch_and_add t.counter 1 in
+          Hashtbl.add t.tbls.(i) s id;
+          id
+    in
+    Mutex.unlock t.locks.(i);
+    r
+end
+
+module Itbl = struct
+  module H = Hashtbl.Make (Ikey)
+
+  type t = {
+    counter : int Atomic.t;
+    locks : Mutex.t array;
+    tbls : int H.t array;
+  }
+
+  let create () =
+    {
+      counter = Atomic.make 0;
+      locks = Array.init stripes (fun _ -> Mutex.create ());
+      tbls = Array.init stripes (fun _ -> H.create 64);
+    }
+
+  let intern_fresh t key =
+    let i = Ikey.hash key land (stripes - 1) in
+    Mutex.lock t.locks.(i);
+    let r =
+      match H.find_opt t.tbls.(i) key with
+      | Some id -> (id, false)
+      | None ->
+          let id = Atomic.fetch_and_add t.counter 1 in
+          H.add t.tbls.(i) key id;
+          (id, true)
+    in
+    Mutex.unlock t.locks.(i);
+    r
+
+  let intern t key = fst (intern_fresh t key)
+  let length t = Atomic.get t.counter
+end

@@ -1,0 +1,134 @@
+(** Domain-parallel work-pool primitives for the exploration engine.
+
+    Built on the stdlib multicore primitives only ([Domain], [Atomic],
+    [Mutex], [Condition]) — no external scheduler dependency.  Three
+    layers:
+
+    - {!Pool}: a fixed pool of worker domains reusable across many
+      parallel sections (spawning a domain is expensive; a pool
+      amortises it over a corpus of explorations).
+    - {!Wq}: a shared chunked work queue of frontier states with
+      termination detection via an atomic in-flight counter — the
+      substrate of the parallel state-space search.
+    - {!Intern} / {!Itbl}: sharded (striped) hash tables for the
+      hash-consing the engine keys everything on: one mutex per stripe,
+      ids drawn from an atomic counter.  Ids are stable within a run
+      (same key, same id) but their numeric order varies between runs;
+      they are only ever used for equality, so every derived result
+      (state counts, behaviour sets) is deterministic.
+
+    Determinism contract: parallel explorations built on these
+    primitives visit the same state set and produce the same canonical
+    result values as their sequential counterparts; only internal id
+    assignment and witness-path {e choice} (where several witnesses
+    exist) may differ. *)
+
+val resolve_jobs : int -> int
+(** [resolve_jobs 0] is [Domain.recommended_domain_count ()]; positive
+    [n] is [n].  @raise Invalid_argument on negative input. *)
+
+(** {1 Domain pool} *)
+
+module Pool : sig
+  type t
+
+  val create : int -> t
+  (** [create n] spawns [n - 1] worker domains (the caller participates
+      as worker 0 in every {!run}).  [n <= 1] creates a pool that runs
+      everything in the calling domain. *)
+
+  val size : t -> int
+  (** Total workers, caller included. *)
+
+  val run : t -> (int -> unit) -> unit
+  (** [run t f] executes [f w] on every worker [w] in [0 .. size-1]
+      (worker 0 is the calling domain) and returns when all have
+      finished.  If any worker raises, the first exception is re-raised
+      in the caller after the join.  Not reentrant: do not call [run]
+      from inside [f]. *)
+
+  val map_list : t -> (int -> 'a -> 'b) -> 'a list -> 'b list
+  (** Dynamic parallel map: elements are claimed one at a time from an
+      atomic counter, so uneven task costs balance across workers.
+      Results are returned in input order.  [f] receives the element
+      index and the element. *)
+
+  val shutdown : t -> unit
+  (** Join all worker domains.  The pool must not be used afterwards. *)
+
+  val with_pool : int -> (t -> 'a) -> 'a
+  (** [with_pool jobs f]: create (after {!resolve_jobs}), run [f],
+      always shutdown. *)
+end
+
+val dispatch :
+  ?jobs:int ->
+  ?pool:Pool.t ->
+  seq:(unit -> 'a) ->
+  par:(Pool.t -> 'a) ->
+  unit ->
+  'a
+(** The one dispatcher behind every [?jobs ?pool] entry point: [?pool]
+    wins over [?jobs]; a size-1 pool or a job count resolving to 1 runs
+    [seq] — the sequential path, unchanged, paying no synchronisation.
+    With [?jobs] (and no pool) a one-shot pool is created for the call
+    and shut down afterwards. *)
+
+(** {1 Shared chunked work queue} *)
+
+module Wq : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val seed : 'a t -> 'a -> unit
+  (** Enqueue an initial item (before workers start). *)
+
+  val run :
+    'a t ->
+    ?on_wait:(unit -> unit) ->
+    ?on_chunk:(unit -> unit) ->
+    ?on_peak:(int -> unit) ->
+    ('a -> ('a -> unit) -> unit) ->
+    unit
+  (** Worker loop: repeatedly take an item and call [f item push],
+      where [push] enqueues newly discovered work.  Each worker keeps a
+      local LIFO buffer and spills chunks to the shared queue when the
+      buffer grows past a threshold or when other workers are starving;
+      [on_chunk] fires per shared chunk taken, [on_wait] per block on
+      the queue's condition variable, [on_peak] with the local buffer
+      length after each push.  Returns when the in-flight counter hits
+      zero (all discovered work processed) or when any worker raised —
+      the exception aborts the queue (waking all waiters) and is
+      re-raised from that worker's [run]. *)
+end
+
+(** {1 Sharded hash-consing tables} *)
+
+module Intern : sig
+  type t
+
+  val create : unit -> t
+
+  val id : t -> string -> int
+  (** Thread-safe interning: equal strings get equal ids; fresh strings
+      draw the next id from an atomic counter.  Striped by hash, one
+      mutex per stripe. *)
+end
+
+module Itbl : sig
+  type t
+
+  val create : unit -> t
+
+  val intern : t -> Ikey.t -> int
+  (** Thread-safe interning of int-array digests. *)
+
+  val intern_fresh : t -> Ikey.t -> int * bool
+  (** Like {!intern}, also reporting whether the key was fresh.  The
+      worker that interns a state first (and only that worker) sees
+      [true] — the parallel search uses this to expand each state
+      exactly once. *)
+
+  val length : t -> int
+end

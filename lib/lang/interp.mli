@@ -15,22 +15,39 @@ val behaviours :
   ?max_states:int ->
   ?por:bool ->
   ?stats:Explorer.stats ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
   Ast.program ->
   Behaviour.Set.t
 (** All observable behaviours of all SC executions (prefix-closed).
-    [por] (default false) enables the sleep-set partial-order reduction
-    seeded with {!Thread_system.local_actions}; the result is unchanged,
-    the exploration usually smaller. *)
+    [por] (default false) enables the partial-order reduction seeded
+    with {!Thread_system.local_actions}; the result is unchanged, the
+    exploration usually smaller.  [jobs]/[pool] run the exploration
+    across domains ([Safeopt_exec.Par]); the behaviour set is identical
+    to the sequential one. *)
 
 val is_drf :
-  ?fuel:int -> ?max_states:int -> ?stats:Explorer.stats -> Ast.program -> bool
+  ?fuel:int ->
+  ?max_states:int ->
+  ?stats:Explorer.stats ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
+  Ast.program ->
+  bool
 (** No execution has two adjacent conflicting accesses from different
-    threads. *)
+    threads.  The verdict is deterministic under [jobs]/[pool]. *)
 
 val find_race :
-  ?fuel:int -> ?max_states:int -> ?stats:Explorer.stats -> Ast.program ->
+  ?fuel:int ->
+  ?max_states:int ->
+  ?stats:Explorer.stats ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
+  Ast.program ->
   Interleaving.t option
-(** A witness racy execution, if any. *)
+(** A witness racy execution, if any.  Under [jobs]/[pool] the
+    existence verdict matches the sequential search; the particular
+    witness may differ. *)
 
 val maximal_executions :
   ?fuel:int -> ?max_steps:int -> ?stats:Explorer.stats -> Ast.program ->
@@ -47,6 +64,8 @@ val count_states :
   ?max_states:int ->
   ?por:bool ->
   ?stats:Explorer.stats ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
   Ast.program ->
   int
 

@@ -45,6 +45,37 @@ let check ?fuel ?max_states ?stats t =
     t.cannot;
   { test = t; program = p; drf_actual; behaviours; failures = List.rev !failures }
 
+(* Corpus runs shard one test per pool job (claimed dynamically, so a
+   handful of expensive tests do not serialise the rest); each job
+   accumulates into a private stats record, merged after the join. *)
+let check_all ?fuel ?max_states ?stats ?jobs ?pool tests =
+  Par.dispatch ?jobs ?pool
+    ~seq:(fun () -> List.map (check ?fuel ?max_states ?stats) tests)
+    ~par:(fun p ->
+      let wstats =
+        match stats with
+        | None -> [||]
+        | Some _ ->
+            Array.init (List.length tests) (fun _ ->
+                Explorer.create_stats ())
+      in
+      let outcomes =
+        Par.Pool.map_list p
+          (fun i t ->
+            let stats =
+              if Array.length wstats = 0 then None else Some wstats.(i)
+            in
+            check ?fuel ?max_states ?stats t)
+          tests
+      in
+      Option.iter
+        (fun s ->
+          Array.iter (fun w -> Explorer.merge_stats ~into:s w) wstats;
+          s.Explorer.domains <- max s.Explorer.domains (Par.Pool.size p))
+        stats;
+      outcomes)
+    ()
+
 let passed o = o.failures = []
 
 let pp_outcome ppf o =

@@ -34,6 +34,19 @@ val check :
     ({!Safeopt_exec.Explorer.stats}) across the DRF check and the
     behaviour enumeration. *)
 
+val check_all :
+  ?fuel:int ->
+  ?max_states:int ->
+  ?stats:Explorer.stats ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
+  t list ->
+  outcome list
+(** Check a corpus, one test per pool job under [jobs]/[pool]
+    ([Safeopt_exec.Par]).  Outcomes come back in input order and are
+    identical to [List.map check]; per-job stats records are merged
+    into [stats] after the join. *)
+
 val passed : outcome -> bool
 
 val pp_outcome : outcome Fmt.t

@@ -205,47 +205,100 @@ let run_step ~max_iters { pass; fixpoint } p =
   in
   go p [] 1
 
-let run ?fuel ?max_states ?(validate_each = false) ?(max_iters = 16) spec p =
-  let rec go p steps_rev = function
-    | [] -> { final = p; steps = List.rev steps_rev; failure = None }
-    | step :: rest -> (
-        let p', sites, iters = run_step ~max_iters step p in
-        let changed = not (Ast.equal_program p' p) in
-        let stats = Explorer.create_stats () in
-        let validation =
-          if validate_each && changed then (
-            let t0 = Unix.gettimeofday () in
-            let r =
-              Validate.validate ?fuel ?max_states ~stats ~original:p
-                ~transformed:p' ()
-            in
-            Some (r, Unix.gettimeofday () -. t0))
-          else None
-        in
-        let ps =
-          {
-            ps_pass = step.pass.Pass.name;
-            ps_iterations = iters;
-            ps_sites = sites;
-            ps_validation = Option.map fst validation;
-            ps_validation_wall =
-              (match validation with Some (_, w) -> w | None -> 0.);
-            ps_explorer = stats;
-          }
-        in
-        let steps_rev = ps :: steps_rev in
-        match validation with
-        | Some (r, _) when not (Validate.ok r) ->
-            let failure =
-              match Validate.witness ~original:p ~transformed:p' r with
-              | Some w -> Some (step.pass.Pass.name, w)
-              | None -> None
-            in
-            (* reject the pass's output: the pipeline stops at its input *)
-            { final = p; steps = List.rev steps_rev; failure }
-        | _ -> go p' steps_rev rest)
+let run ?fuel ?max_states ?(validate_each = false) ?(max_iters = 16) ?jobs
+    ?pool spec p =
+  let validate_step stats pin pout =
+    if validate_each && not (Ast.equal_program pout pin) then begin
+      let t0 = Clock.now () in
+      let r =
+        Validate.validate ?fuel ?max_states ~stats ~original:pin
+          ~transformed:pout ()
+      in
+      Some (r, Clock.elapsed t0)
+    end
+    else None
   in
-  go p [] spec
+  let mk_ps step iters sites stats validation =
+    {
+      ps_pass = step.pass.Pass.name;
+      ps_iterations = iters;
+      ps_sites = sites;
+      ps_validation = Option.map fst validation;
+      ps_validation_wall =
+        (match validation with Some (_, w) -> w | None -> 0.);
+      ps_explorer = stats;
+    }
+  in
+  let failure_of step pin pout r =
+    match Validate.witness ~original:pin ~transformed:pout r with
+    | Some w -> Some (step.pass.Pass.name, w)
+    | None -> None
+  in
+  let seq () =
+    let rec go p steps_rev = function
+      | [] -> { final = p; steps = List.rev steps_rev; failure = None }
+      | step :: rest -> (
+          let p', sites, iters = run_step ~max_iters step p in
+          let stats = Explorer.create_stats () in
+          let validation = validate_step stats p p' in
+          let steps_rev = mk_ps step iters sites stats validation :: steps_rev in
+          match validation with
+          | Some (r, _) when not (Validate.ok r) ->
+              (* reject the pass's output: the pipeline stops at its input *)
+              {
+                final = p;
+                steps = List.rev steps_rev;
+                failure = failure_of step p p' r;
+              }
+          | _ -> go p' steps_rev rest)
+    in
+    go p [] spec
+  in
+  (* Speculative parallel validation: the syntactic rewrites are cheap
+     and inherently sequential (each pass consumes its predecessor's
+     output), so they all run first; the per-step differential
+     validations — the expensive part — are independent of each other
+     and fan out across the pool.  Folding the verdicts in pipeline
+     order and cutting at the earliest failure reproduces the
+     sequential outcome exactly: steps past a failure are validated
+     speculatively but their records and programs are discarded. *)
+  let par pl =
+    let rec transform p acc = function
+      | [] -> List.rev acc
+      | step :: rest ->
+          let p', sites, iters = run_step ~max_iters step p in
+          transform p' ((step, p, p', sites, iters) :: acc) rest
+    in
+    let staged = transform p [] spec in
+    let stats =
+      Array.init (List.length staged) (fun _ -> Explorer.create_stats ())
+    in
+    let validations =
+      Par.Pool.map_list pl
+        (fun i (_, pin, pout, _, _) -> validate_step stats.(i) pin pout)
+        staged
+    in
+    let rec cut final steps_rev staged validations i =
+      match (staged, validations) with
+      | [], _ | _, [] ->
+          { final; steps = List.rev steps_rev; failure = None }
+      | (step, pin, pout, sites, iters) :: staged', validation :: validations'
+        -> (
+          let steps_rev =
+            mk_ps step iters sites stats.(i) validation :: steps_rev
+          in
+          match validation with
+          | Some (r, _) when not (Validate.ok r) ->
+              {
+                final = pin;
+                steps = List.rev steps_rev;
+                failure = failure_of step pin pout r;
+              }
+          | _ -> cut pout steps_rev staged' validations' (i + 1))
+    in
+    cut p [] staged validations 0
+  in
+  Par.dispatch ?jobs ?pool ~seq ~par ()
 
 let pp_trace ppf o =
   Fmt.pf ppf "@[<v>";

@@ -74,6 +74,8 @@ val run :
   ?max_states:int ->
   ?validate_each:bool ->
   ?max_iters:int ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
   spec ->
   Ast.program ->
   outcome
@@ -82,7 +84,13 @@ val run :
     [validate_each] (default [false]), every pass's output is validated
     against its input using the static-certificate fast path; the first
     failing pass aborts the pipeline with a witness.  A pass whose
-    output equals its input is never validated (nothing to check). *)
+    output equals its input is never validated (nothing to check).
+
+    [jobs]/[pool] parallelise the validations: the (cheap, inherently
+    sequential) rewrites run first, then every changed step's
+    differential validation fans out across the pool, and the verdicts
+    are folded in pipeline order, cutting at the earliest failure — the
+    outcome is identical to the sequential run. *)
 
 val pp_trace : outcome Fmt.t
 (** The [--trace-passes] rendering: one block per executed pass with

@@ -50,21 +50,25 @@ let ok r =
    documentation), so a positive answer avoids the exponential schedule
    enumeration entirely; a negative answer only means "unknown" and
    falls back to the exhaustive check. *)
-let drf_fast ?fuel ?max_states ?stats p =
+let drf_fast ?fuel ?max_states ?stats ?jobs ?pool p =
   Safeopt_analysis.Static_race.certified_drf p
-  || Interp.is_drf ?fuel ?max_states ?stats p
+  || Interp.is_drf ?fuel ?max_states ?stats ?jobs ?pool p
 
-let find_race_fast ?fuel ?max_states ?stats p =
+let find_race_fast ?fuel ?max_states ?stats ?jobs ?pool p =
   if Safeopt_analysis.Static_race.certified_drf p then None
-  else Interp.find_race ?fuel ?max_states ?stats p
+  else Interp.find_race ?fuel ?max_states ?stats ?jobs ?pool p
 
-let validate_with ?fuel ?max_states ?stats ~relation ~relation_check ~original
-    ~transformed () =
-  let b_orig = Interp.behaviours ?fuel ?max_states ?stats original in
-  let b_trans = Interp.behaviours ?fuel ?max_states ?stats transformed in
+let validate_with ?fuel ?max_states ?stats ?jobs ?pool ~relation
+    ~relation_check ~original ~transformed () =
+  let b_orig = Interp.behaviours ?fuel ?max_states ?stats ?jobs ?pool original in
+  let b_trans =
+    Interp.behaviours ?fuel ?max_states ?stats ?jobs ?pool transformed
+  in
   let new_behaviour = Safeopt_core.Safety.behaviour_subset b_trans b_orig in
-  let original_drf = drf_fast ?fuel ?max_states ?stats original in
-  let race_witness = find_race_fast ?fuel ?max_states ?stats transformed in
+  let original_drf = drf_fast ?fuel ?max_states ?stats ?jobs ?pool original in
+  let race_witness =
+    find_race_fast ?fuel ?max_states ?stats ?jobs ?pool transformed
+  in
   let relation_holds, relation_counterexample = relation_check () in
   {
     original_drf;
@@ -76,8 +80,8 @@ let validate_with ?fuel ?max_states ?stats ~relation ~relation_check ~original
     relation_counterexample;
   }
 
-let validate ?fuel ?max_states ?stats ~original ~transformed () =
-  validate_with ?fuel ?max_states ?stats ~relation:Unchecked
+let validate ?fuel ?max_states ?stats ?jobs ?pool ~original ~transformed () =
+  validate_with ?fuel ?max_states ?stats ?jobs ?pool ~relation:Unchecked
     ~relation_check:(fun () -> (None, None))
     ~original ~transformed ()
 
@@ -103,8 +107,8 @@ let witness ~original ~transformed (r : report) :
       (fun evidence -> { Safeopt_core.Witness.original; transformed; evidence })
       evidence
 
-let validate_semantic ?fuel ?max_states ?stats ?(max_len = 12) ~relation
-    ~original ~transformed () =
+let validate_semantic ?fuel ?max_states ?stats ?jobs ?pool ?(max_len = 12)
+    ~relation ~original ~transformed () =
   let universe = Denote.joint_universe [ original; transformed ] in
   let vol = original.Ast.volatile in
   let relation_check () =
@@ -143,8 +147,40 @@ let validate_semantic ?fuel ?max_states ?stats ?(max_len = 12) ~relation
         in
         (Some (Option.is_none cex), cex)
   in
-  validate_with ?fuel ?max_states ?stats ~relation ~relation_check ~original
-    ~transformed ()
+  validate_with ?fuel ?max_states ?stats ?jobs ?pool ~relation ~relation_check
+    ~original ~transformed ()
+
+(* Batch parallelism: a list of independent per-program (or per-pair)
+   jobs spread across the pool, each job running the ordinary
+   sequential analyses — the pool must not be re-entered from inside a
+   worker.  Every job writes to its own stats record; the records are
+   merged into the caller's sink after the join, so reports and
+   aggregate statistics are independent of the schedule. *)
+let batch_map ?stats ?jobs ?pool f xs =
+  Par.dispatch ?jobs ?pool
+    ~seq:(fun () -> List.map (f stats) xs)
+    ~par:(fun p ->
+      let n = List.length xs in
+      let wstats =
+        match stats with
+        | None -> [||]
+        | Some _ -> Array.init n (fun _ -> Explorer.create_stats ())
+      in
+      let stat_of i = if Array.length wstats = 0 then None else Some wstats.(i) in
+      let ys = Par.Pool.map_list p (fun i x -> f (stat_of i) x) xs in
+      Option.iter
+        (fun s ->
+          Array.iter (fun w -> Explorer.merge_stats ~into:s w) wstats;
+          s.Explorer.domains <- max s.Explorer.domains (Par.Pool.size p))
+        stats;
+      ys)
+    ()
+
+let validate_batch ?fuel ?max_states ?stats ?jobs ?pool pairs =
+  batch_map ?stats ?jobs ?pool
+    (fun stats (original, transformed) ->
+      validate ?fuel ?max_states ?stats ~original ~transformed ())
+    pairs
 
 type chain_report = { pairwise : report list; end_to_end : report }
 
@@ -156,17 +192,18 @@ let pp_chain_report ppf c =
 
 let chain_ok c = List.for_all ok c.pairwise && ok c.end_to_end
 
-let validate_chain ?fuel ?max_states ?stats programs =
+let validate_chain ?fuel ?max_states ?stats ?jobs ?pool programs =
   match programs with
   | [] -> invalid_arg "Validate.validate_chain: empty chain"
   | _ ->
       (* Enumerate each program's behaviours and race witness exactly
          once: a middle program is the transformed side of one pair and
          the original side of the next, and the end-to-end report reuses
-         the first and last programs' results. *)
+         the first and last programs' results.  The per-program
+         enumerations are independent, so they shard across the pool. *)
       let data =
-        List.map
-          (fun p ->
+        batch_map ?stats ?jobs ?pool
+          (fun stats p ->
             ( Interp.behaviours ?fuel ?max_states ?stats p,
               find_race_fast ?fuel ?max_states ?stats p ))
           programs

@@ -55,6 +55,8 @@ val validate :
   ?fuel:int ->
   ?max_states:int ->
   ?stats:Explorer.stats ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
   original:Ast.program ->
   transformed:Ast.program ->
   unit ->
@@ -64,18 +66,44 @@ val validate :
     Both DRF questions first try the static lockset certificate
     ({!Safeopt_analysis.Static_race.certified_drf}); only when the
     analysis reports potential races does the exhaustive interleaving
-    enumeration run. *)
+    enumeration run.  [jobs]/[pool] parallelise those enumerations at
+    the state-space level; the report is unchanged. *)
 
 val drf_fast :
-  ?fuel:int -> ?max_states:int -> ?stats:Explorer.stats -> Ast.program -> bool
+  ?fuel:int ->
+  ?max_states:int ->
+  ?stats:Explorer.stats ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
+  Ast.program ->
+  bool
 (** [is_drf] with the static fast path: a lockset certificate first,
     enumeration only as fallback. *)
 
 val find_race_fast :
-  ?fuel:int -> ?max_states:int -> ?stats:Explorer.stats -> Ast.program ->
+  ?fuel:int ->
+  ?max_states:int ->
+  ?stats:Explorer.stats ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
+  Ast.program ->
   Interleaving.t option
 (** [find_race] with the static fast path: returns [None] without
     enumerating when the program is statically certified DRF. *)
+
+val validate_batch :
+  ?fuel:int ->
+  ?max_states:int ->
+  ?stats:Explorer.stats ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
+  (Ast.program * Ast.program) list ->
+  report list
+(** Validate many (original, transformed) pairs, sharded across the
+    pool (one pair per job, claimed dynamically).  Reports come back in
+    input order and are identical to [List.map] of {!validate}; each
+    job accumulates into a private stats record, merged into [stats]
+    after the join. *)
 
 val witness :
   original:Ast.program ->
@@ -102,17 +130,25 @@ val chain_ok : chain_report -> bool
     transformations starting from a DRF program adds no behaviours. *)
 
 val validate_chain :
-  ?fuel:int -> ?max_states:int -> ?stats:Explorer.stats -> Ast.program list ->
+  ?fuel:int ->
+  ?max_states:int ->
+  ?stats:Explorer.stats ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
+  Ast.program list ->
   chain_report
 (** Validate a chain of at least one program ([relation = Unchecked]
     per pair).  Each program's behaviours and race witness are computed
-    once and shared between the pairwise and end-to-end reports.
+    once and shared between the pairwise and end-to-end reports; under
+    [jobs]/[pool] the per-program enumerations shard across domains.
     @raise Invalid_argument on an empty chain. *)
 
 val validate_semantic :
   ?fuel:int ->
   ?max_states:int ->
   ?stats:Explorer.stats ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
   ?max_len:int ->
   relation:relation ->
   original:Ast.program ->

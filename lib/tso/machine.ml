@@ -98,16 +98,12 @@ let transitions vol sys st =
   List.rev !out
 
 (* Length-prefixed injective int encoding of a machine state; thread
-   keys, locations and monitors are interned per [behaviours] call. *)
+   keys, locations and monitors are interned per [behaviours] call.
+   The interning tables are the sharded thread-safe ones because
+   [Explorer.graph_behaviours] may call the digest from several worker
+   domains at once under [jobs]/[pool]. *)
 let digest ~tkey ~lkey ~mkey sys st =
-  let intern tbl s =
-    match Hashtbl.find_opt tbl s with
-    | Some i -> i
-    | None ->
-        let i = Hashtbl.length tbl in
-        Hashtbl.add tbl s i;
-        i
-  in
+  let intern = Par.Intern.id in
   let acc = ref [] in
   let push x = acc := x :: !acc in
   Monitor.Map.iter
@@ -135,11 +131,11 @@ let digest ~tkey ~lkey ~mkey sys st =
   Array.iter (fun ts -> push (intern tkey (sys.System.key ts))) st.threads;
   !acc
 
-let behaviours ?max_states ?stats vol sys =
-  let tkey = Hashtbl.create 256 in
-  let lkey = Hashtbl.create 16 in
-  let mkey = Hashtbl.create 16 in
-  Explorer.graph_behaviours ?max_states ?stats
+let behaviours ?max_states ?stats ?jobs ?pool vol sys =
+  let tkey = Par.Intern.create () in
+  let lkey = Par.Intern.create () in
+  let mkey = Par.Intern.create () in
+  Explorer.graph_behaviours ?max_states ?stats ?jobs ?pool
     {
       Explorer.graph_initial =
         {
@@ -152,12 +148,14 @@ let behaviours ?max_states ?stats vol sys =
       graph_digest = (fun st -> digest ~tkey ~lkey ~mkey sys st);
     }
 
-let program_behaviours ?fuel ?max_states ?stats (p : Ast.program) =
-  behaviours ?max_states ?stats p.Ast.volatile (Thread_system.make ?fuel p)
+let program_behaviours ?fuel ?max_states ?stats ?jobs ?pool (p : Ast.program)
+    =
+  behaviours ?max_states ?stats ?jobs ?pool p.Ast.volatile
+    (Thread_system.make ?fuel p)
 
-let weak_behaviours ?fuel ?max_states ?stats p =
-  let tso = program_behaviours ?fuel ?max_states ?stats p in
-  let sc = Interp.behaviours ?fuel ?max_states ?stats p in
+let weak_behaviours ?fuel ?max_states ?stats ?jobs ?pool p =
+  let tso = program_behaviours ?fuel ?max_states ?stats ?jobs ?pool p in
+  let sc = Interp.behaviours ?fuel ?max_states ?stats ?jobs ?pool p in
   Behaviour.Set.diff tso sc
 
 let explained_by_transformations ?fuel ?max_states ?(max_programs = 2_000) p =

@@ -27,22 +27,35 @@ open Safeopt_lang
 val behaviours :
   ?max_states:int ->
   ?stats:Explorer.stats ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
   Location.Volatile.t ->
   'ts System.t ->
   Behaviour.Set.t
 (** All observable behaviours of the system under TSO (prefix-closed),
     computed on the unified engine ({!Explorer.graph_behaviours}) with
-    hash-consed machine states.
+    hash-consed machine states.  [jobs]/[pool] parallelise the state
+    discovery ({!Safeopt_exec.Par}); the resulting set is identical.
     @raise Explorer.Cyclic / @raise Explorer.Too_many_states as the
     SC engine does. *)
 
 val program_behaviours :
-  ?fuel:int -> ?max_states:int -> ?stats:Explorer.stats -> Ast.program ->
+  ?fuel:int ->
+  ?max_states:int ->
+  ?stats:Explorer.stats ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
+  Ast.program ->
   Behaviour.Set.t
 (** TSO behaviours of a program. *)
 
 val weak_behaviours :
-  ?fuel:int -> ?max_states:int -> ?stats:Explorer.stats -> Ast.program ->
+  ?fuel:int ->
+  ?max_states:int ->
+  ?stats:Explorer.stats ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
+  Ast.program ->
   Behaviour.Set.t
 (** TSO behaviours that are not SC behaviours — the program's observable
     store-buffering weakness (empty for DRF programs; Theorem 2 +

@@ -106,14 +106,7 @@ let transitions vol sys st =
 (* Length-prefixed injective int encoding; interners shared with the
    digest's caller (see {!Machine.digest} for the TSO analogue). *)
 let digest ~tkey ~lkey ~mkey sys st =
-  let intern tbl s =
-    match Hashtbl.find_opt tbl s with
-    | Some i -> i
-    | None ->
-        let i = Hashtbl.length tbl in
-        Hashtbl.add tbl s i;
-        i
-  in
+  let intern = Par.Intern.id in
   let acc = ref [] in
   let push x = acc := x :: !acc in
   Monitor.Map.iter
@@ -142,11 +135,11 @@ let digest ~tkey ~lkey ~mkey sys st =
   Array.iter (fun ts -> push (intern tkey (sys.System.key ts))) st.threads;
   !acc
 
-let behaviours ?max_states ?stats vol sys =
-  let tkey = Hashtbl.create 256 in
-  let lkey = Hashtbl.create 16 in
-  let mkey = Hashtbl.create 16 in
-  Explorer.graph_behaviours ?max_states ?stats
+let behaviours ?max_states ?stats ?jobs ?pool vol sys =
+  let tkey = Par.Intern.create () in
+  let lkey = Par.Intern.create () in
+  let mkey = Par.Intern.create () in
+  Explorer.graph_behaviours ?max_states ?stats ?jobs ?pool
     {
       Explorer.graph_initial =
         {
@@ -160,18 +153,20 @@ let behaviours ?max_states ?stats vol sys =
       graph_digest = (fun st -> digest ~tkey ~lkey ~mkey sys st);
     }
 
-let program_behaviours ?fuel ?max_states ?stats (p : Ast.program) =
-  behaviours ?max_states ?stats p.Ast.volatile (Thread_system.make ?fuel p)
+let program_behaviours ?fuel ?max_states ?stats ?jobs ?pool (p : Ast.program)
+    =
+  behaviours ?max_states ?stats ?jobs ?pool p.Ast.volatile
+    (Thread_system.make ?fuel p)
 
-let weak_behaviours ?fuel ?max_states ?stats p =
+let weak_behaviours ?fuel ?max_states ?stats ?jobs ?pool p =
   Behaviour.Set.diff
-    (program_behaviours ?fuel ?max_states ?stats p)
-    (Interp.behaviours ?fuel ?max_states ?stats p)
+    (program_behaviours ?fuel ?max_states ?stats ?jobs ?pool p)
+    (Interp.behaviours ?fuel ?max_states ?stats ?jobs ?pool p)
 
-let weak_beyond_tso ?fuel ?max_states ?stats p =
+let weak_beyond_tso ?fuel ?max_states ?stats ?jobs ?pool p =
   Behaviour.Set.diff
-    (program_behaviours ?fuel ?max_states ?stats p)
-    (Machine.program_behaviours ?fuel ?max_states ?stats p)
+    (program_behaviours ?fuel ?max_states ?stats ?jobs ?pool p)
+    (Machine.program_behaviours ?fuel ?max_states ?stats ?jobs ?pool p)
 
 let explained_by_transformations ?fuel ?max_states ?(max_programs = 2_000) p =
   let pso = program_behaviours ?fuel ?max_states p in

@@ -21,20 +21,42 @@ open Safeopt_exec
 open Safeopt_lang
 
 val behaviours :
-  ?max_states:int -> ?stats:Explorer.stats -> Location.Volatile.t ->
-  'ts System.t -> Behaviour.Set.t
+  ?max_states:int ->
+  ?stats:Explorer.stats ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
+  Location.Volatile.t ->
+  'ts System.t ->
+  Behaviour.Set.t
+(** As {!Machine.behaviours}, under PSO.  [jobs]/[pool] parallelise the
+    state discovery; the resulting set is identical. *)
 
 val program_behaviours :
-  ?fuel:int -> ?max_states:int -> ?stats:Explorer.stats -> Ast.program ->
+  ?fuel:int ->
+  ?max_states:int ->
+  ?stats:Explorer.stats ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
+  Ast.program ->
   Behaviour.Set.t
 
 val weak_behaviours :
-  ?fuel:int -> ?max_states:int -> ?stats:Explorer.stats -> Ast.program ->
+  ?fuel:int ->
+  ?max_states:int ->
+  ?stats:Explorer.stats ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
+  Ast.program ->
   Behaviour.Set.t
 (** PSO behaviours that are not SC behaviours. *)
 
 val weak_beyond_tso :
-  ?fuel:int -> ?max_states:int -> ?stats:Explorer.stats -> Ast.program ->
+  ?fuel:int ->
+  ?max_states:int ->
+  ?stats:Explorer.stats ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
+  Ast.program ->
   Behaviour.Set.t
 (** PSO behaviours that are not even TSO behaviours (the observable
     effect of write-write reordering alone). *)

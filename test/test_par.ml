@@ -1,0 +1,212 @@
+(* Domain-parallel exploration: every parallel entry point must produce
+   results identical to its sequential counterpart (the Par determinism
+   contract), and the pool/queue primitives themselves must behave. *)
+
+open Safeopt_exec
+open Safeopt_lang
+open Safeopt_litmus
+open Safeopt_gen
+open Helpers
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+(* One pool for the whole binary: spawning domains per test case would
+   dominate the runtime.  Size 4 also oversubscribes small CI hosts,
+   which is exactly the scheduling noise the determinism tests should
+   survive. *)
+let pool = Par.Pool.create 4
+
+(* --- primitives ------------------------------------------------------- *)
+
+let test_resolve_jobs () =
+  check_i "0 resolves to the recommended domain count"
+    (Domain.recommended_domain_count ())
+    (Par.resolve_jobs 0);
+  check_i "positive job counts pass through" 3 (Par.resolve_jobs 3);
+  Alcotest.check_raises "negative job counts are rejected"
+    (Invalid_argument "Par.resolve_jobs: negative job count") (fun () ->
+      ignore (Par.resolve_jobs (-1)))
+
+let test_pool_map_list () =
+  let xs = List.init 100 Fun.id in
+  let ys = Par.Pool.map_list pool (fun i x -> (i, x * x)) xs in
+  check_b "results in input order with their indices" true
+    (List.for_all2 (fun x (i, y) -> i = x && y = x * x) xs ys)
+
+exception Boom
+
+let test_pool_exception () =
+  check_b "a worker exception reaches the caller" true
+    (try
+       ignore
+         (Par.Pool.map_list pool
+            (fun _ x -> if x = 37 then raise Boom else x)
+            (List.init 64 Fun.id));
+       false
+     with Boom -> true);
+  check_i "the pool survives and runs the next job" 10
+    (List.length (Par.Pool.map_list pool (fun _ x -> x) (List.init 10 Fun.id)))
+
+(* --- exploration determinism ----------------------------------------- *)
+
+let test_corpus_determinism () =
+  List.iter
+    (fun (t : Litmus.t) ->
+      let p = Litmus.program t in
+      let seq = Interp.behaviours p in
+      let par1 = Interp.behaviours ~pool p in
+      let par2 = Interp.behaviours ~pool p in
+      if not (Behaviour.Set.equal seq par1) then
+        Alcotest.failf "%s: parallel behaviours differ from sequential"
+          t.Litmus.name;
+      if not (Behaviour.Set.equal par1 par2) then
+        Alcotest.failf "%s: two parallel runs disagree" t.Litmus.name;
+      if Interp.is_drf p <> Interp.is_drf ~pool p then
+        Alcotest.failf "%s: parallel DRF verdict differs" t.Litmus.name;
+      if Interp.count_states p <> Interp.count_states ~pool p then
+        Alcotest.failf "%s: parallel state count differs" t.Litmus.name)
+    Corpus.all
+
+(* A one-shot ?jobs call (no pre-built pool) takes the pool-per-call
+   path; jobs = 1 must stay on the sequential one. *)
+let test_jobs_entry () =
+  let p = Litmus.program Corpus.sb in
+  Alcotest.check behaviour_set "jobs:2 equals sequential"
+    (Interp.behaviours p)
+    (Interp.behaviours ~jobs:2 p);
+  Alcotest.check behaviour_set "jobs:1 equals sequential"
+    (Interp.behaviours p)
+    (Interp.behaviours ~jobs:1 p)
+
+let rand () = Random.State.make [| 0x9a7a11e1; 7 |]
+
+let qcheck_parallel_equiv =
+  QCheck_alcotest.to_alcotest ~rand:(rand ())
+    (QCheck2.Test.make
+       ~name:"parallel behaviours equal sequential (300 random programs)"
+       ~count:300 ~print:Generators.print_program Generators.program (fun p ->
+         Behaviour.Set.equal (Interp.behaviours p) (Interp.behaviours ~pool p)))
+
+(* --- stats aggregation ------------------------------------------------ *)
+
+let test_stats_aggregation () =
+  let seq = Explorer.create_stats () in
+  ignore (Litmus.check_all ~stats:seq Corpus.all);
+  let par = Explorer.create_stats () in
+  ignore (Litmus.check_all ~stats:par ~pool Corpus.all);
+  check_i "aggregated states equal sequential" seq.Explorer.states
+    par.Explorer.states;
+  check_i "aggregated transitions equal sequential" seq.Explorer.edges
+    par.Explorer.edges;
+  check_i "aggregated memo hits equal sequential" seq.Explorer.memo_hits
+    par.Explorer.memo_hits;
+  check_b "parallel stats record the domain count" true
+    (par.Explorer.domains >= 2);
+  check_i "sequential stats record no domains" 0 seq.Explorer.domains
+
+(* --- graph engine (TSO/PSO) ------------------------------------------ *)
+
+let test_graph_parallel () =
+  List.iter
+    (fun (t : Litmus.t) ->
+      let p = Litmus.program t in
+      if
+        not
+          (Behaviour.Set.equal
+             (Safeopt_tso.Machine.program_behaviours p)
+             (Safeopt_tso.Machine.program_behaviours ~pool p))
+      then Alcotest.failf "%s: parallel TSO behaviours differ" t.Litmus.name)
+    (List.filteri (fun i _ -> i < 8) Corpus.all);
+  let sb = Litmus.program Corpus.sb in
+  Alcotest.check behaviour_set "parallel PSO behaviours equal sequential"
+    (Safeopt_tso.Pso.program_behaviours sb)
+    (Safeopt_tso.Pso.program_behaviours ~pool sb)
+
+(* --- batch validation and the pipeline -------------------------------- *)
+
+let test_validate_batch () =
+  let open Safeopt_opt in
+  let pairs =
+    List.filter_map
+      (fun t ->
+        let p = Litmus.program t in
+        let q = Passes.optimise p in
+        if Ast.equal_program p q then None else Some (p, q))
+      Corpus.all
+  in
+  check_b "corpus yields some non-trivial pairs" true (List.length pairs >= 3);
+  let seq =
+    List.map
+      (fun (original, transformed) -> Validate.validate ~original ~transformed ())
+      pairs
+  in
+  let par = Validate.validate_batch ~pool pairs in
+  check_b "batch reports identical to sequential" true (seq = par)
+
+let pipeline_spec s =
+  match Safeopt_opt.Pipeline.parse s with
+  | Ok spec -> spec
+  | Error e -> failwith e
+
+let test_pipeline_parallel () =
+  let open Safeopt_opt in
+  let spec = pipeline_spec "constprop;copyprop;cse*;dead-moves;dse;normalise" in
+  List.iter
+    (fun (t : Litmus.t) ->
+      let p = Litmus.program t in
+      let seq = Pipeline.run ~validate_each:true spec p in
+      let par = Pipeline.run ~validate_each:true ~pool spec p in
+      if not (Ast.equal_program seq.Pipeline.final par.Pipeline.final) then
+        Alcotest.failf "%s: parallel pipeline result differs" t.Litmus.name;
+      if
+        Option.map fst seq.Pipeline.failure
+        <> Option.map fst par.Pipeline.failure
+      then Alcotest.failf "%s: parallel pipeline verdict differs" t.Litmus.name)
+    Corpus.all
+
+(* The speculative parallel pipeline must cut at the same failing pass
+   as the incremental sequential one, discarding speculated suffixes. *)
+let test_pipeline_reject_parallel () =
+  let open Safeopt_opt in
+  let spec = pipeline_spec "unsafe-store-release;normalise" in
+  let p =
+    parse
+      "thread { lock m; r1 := c; c := r1; unlock m; }\n\
+       thread { lock m; r2 := c; c := r2; unlock m; }"
+  in
+  let seq = Pipeline.run ~validate_each:true spec p in
+  let par = Pipeline.run ~validate_each:true ~pool spec p in
+  check_b "sequential run rejects" true (Option.is_some seq.Pipeline.failure);
+  check_b "parallel run rejects at the same pass" true
+    (Option.map fst seq.Pipeline.failure = Option.map fst par.Pipeline.failure);
+  Alcotest.check program "both keep the last accepted program"
+    seq.Pipeline.final par.Pipeline.final
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "primitives",
+        [
+          Alcotest.test_case "resolve_jobs" `Quick test_resolve_jobs;
+          Alcotest.test_case "pool map_list" `Quick test_pool_map_list;
+          Alcotest.test_case "pool exceptions" `Quick test_pool_exception;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "corpus" `Slow test_corpus_determinism;
+          Alcotest.test_case "jobs entry points" `Quick test_jobs_entry;
+          qcheck_parallel_equiv;
+        ] );
+      ( "aggregation",
+        [ Alcotest.test_case "stats merge" `Slow test_stats_aggregation ] );
+      ( "graph engine",
+        [ Alcotest.test_case "tso/pso" `Slow test_graph_parallel ] );
+      ( "batch",
+        [
+          Alcotest.test_case "validate_batch" `Slow test_validate_batch;
+          Alcotest.test_case "pipeline" `Slow test_pipeline_parallel;
+          Alcotest.test_case "pipeline rejection" `Quick
+            test_pipeline_reject_parallel;
+        ] );
+    ]
