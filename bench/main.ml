@@ -532,8 +532,29 @@ let rate_or_die ~what num den =
   end;
   r
 
+(* Per-phase wall-time breakdowns for the BENCH_* files: the benchmark
+   runs under a Memory tracer sink (entry-point spans only, a few
+   events per exploration — negligible next to the workloads), and the
+   stopped event buffer folds into a {"phase": {count, wall_s}} object
+   via the same aggregation [drfopt report] uses. *)
+module Obs = Safeopt_obs
+
+let phases_json events =
+  let t = Obs.Report.aggregate events in
+  let rows =
+    List.map
+      (fun (name, count, wall) ->
+        Printf.sprintf "    %S: {\"count\": %d, \"wall_s\": %.6f}" name count
+          wall)
+      (Obs.Report.phase_walls t)
+  in
+  match rows with
+  | [] -> "{}"
+  | _ -> "{\n" ^ String.concat ",\n" rows ^ "\n  }"
+
 let explore_bench () =
   hr "P3: exploration engine on the litmus corpus -> BENCH_explore.json";
+  Obs.Tracer.start Obs.Tracer.Memory;
   let programs = List.map Litmus.program Corpus.all in
   let reps = 20 in
   let count_run por () =
@@ -600,6 +621,7 @@ let explore_bench () =
   claim "count_states at least 2x faster than the pre-refactor baseline" true
     (let _, wall = List.assoc "count_states" experiments in
      fst (List.assoc "count_states" baseline_pre_refactor) /. wall >= 2.0);
+  let phases = phases_json (Obs.Tracer.stop ()) in
   let json =
     String.concat "\n"
       ([
@@ -612,6 +634,7 @@ let explore_bench () =
       @ [ String.concat ",\n" rows ]
       @ [
           "  ],";
+          Printf.sprintf "  \"phases\": %s," phases;
           Printf.sprintf "  \"por_behaviour_sets_identical\": %b," identical;
           Printf.sprintf "  \"explorer_stats\": %s"
             (Explorer.stats_to_json stats);
@@ -638,6 +661,7 @@ let pipeline_bench ?(quick = false) () =
     hr "P4: pass-manager pipeline (quick smoke mode) -> BENCH_pipeline.json"
   else hr "P4: pass-manager pipeline over the litmus corpus -> \
            BENCH_pipeline.json";
+  Obs.Tracer.start Obs.Tracer.Memory;
   let corpus =
     if quick then List.filteri (fun i _ -> i < 4) Corpus.all else Corpus.all
   in
@@ -680,6 +704,7 @@ let pipeline_bench ?(quick = false) () =
       corpus
   in
   let wall = Clock.elapsed t0 in
+  let phases = phases_json (Obs.Tracer.stop ()) in
   let none_rejected = List.for_all (fun (r, _) -> not r) rows in
   claim "no safe pipeline rejected on the corpus" true none_rejected;
   let json =
@@ -691,6 +716,7 @@ let pipeline_bench ?(quick = false) () =
          "  \"pipeline\": \"constprop;copyprop;cse*;dead-moves;dse;normalise\",";
          Printf.sprintf "  \"programs\": %d," (List.length corpus);
          Printf.sprintf "  \"wall_s\": %.4f," wall;
+         Printf.sprintf "  \"phases\": %s," phases;
          "  \"per_program\": [";
        ]
       @ [ String.concat ",\n" (List.map snd rows) ]
@@ -823,6 +849,71 @@ let parallel_bench ?(quick = false) ~jobs () =
       Fmt.pr "  wrote BENCH_parallel.json@.")
 
 (* ------------------------------------------------------------------ *)
+(* obs-overhead: the disabled-telemetry cost guard                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The instrumentation contract is that a disabled call site costs one
+   flag load and one branch — no closure, no allocation.  This mode
+   pins it three ways and exits 1 on any violation, so CI catches an
+   accidentally-allocating guard:
+     1. [Gc.minor_words] across a million disabled guard hits stays
+        below a thousand words (i.e. the loop itself allocates nothing;
+        the slack absorbs unrelated runtime noise);
+     2. a disabled guard hit costs well under 20 ns;
+     3. two interleaved runs of the same macro workload (corpus
+        behaviour enumeration, all guards disabled) land within 1.25x
+        of each other — the instrumented hot loops are within run-to-run
+        noise of themselves. *)
+let obs_overhead () =
+  hr "obs-overhead: disabled-telemetry cost guard";
+  let failed = ref false in
+  let check name ok detail =
+    Fmt.pr "  %-58s %s (%s)@." name (if ok then "OK" else "VIOLATION") detail;
+    if not ok then failed := true
+  in
+  assert (not (Obs.Tracer.enabled ()));
+  assert (not (Obs.Metrics.enabled ()));
+  let hits = 1_000_000 in
+  let sink = ref 0 in
+  (* 1: allocation-free fast path *)
+  let w0 = Gc.minor_words () in
+  for _ = 1 to hits do
+    if Obs.Tracer.enabled () then incr sink;
+    if Obs.Metrics.enabled () then incr sink
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  check "disabled guards allocate nothing" (dw < 1_000.)
+    (Printf.sprintf "%.0f minor words / %d hits" dw hits);
+  (* 2: per-hit cost *)
+  let t0 = Clock.now () in
+  for _ = 1 to hits do
+    if Obs.Tracer.enabled () then incr sink
+  done;
+  let ns = Clock.elapsed t0 *. 1e9 /. float_of_int hits in
+  check "disabled guard costs < 20 ns" (ns < 20.)
+    (Printf.sprintf "%.2f ns/hit" ns);
+  ignore (Sys.opaque_identity !sink);
+  (* 3: macro A/A stability with every guard on the hot paths disabled *)
+  let programs = List.map Litmus.program Corpus.all in
+  let macro () =
+    List.iter (fun p -> ignore (Interp.behaviours p)) programs
+  in
+  macro ();
+  (* warm-up *)
+  let wa = ref 0. and wb = ref 0. in
+  for _ = 1 to 5 do
+    let _, w = time macro in
+    wa := !wa +. w;
+    let _, w = time macro in
+    wb := !wb +. w
+  done;
+  let ratio = Float.max (!wa /. !wb) (!wb /. !wa) in
+  check "interleaved A/A macro runs within 1.25x" (ratio < 1.25)
+    (Printf.sprintf "%.4fs vs %.4fs, ratio %.3f" !wa !wb ratio);
+  if !failed then exit 1;
+  Fmt.pr "  disabled-telemetry overhead within bounds@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -936,10 +1027,12 @@ let () =
      `pipeline-quick`, the CI smoke mode) just the pass-manager one
      (BENCH_pipeline.json); `-- parallel [jobs]` (or `parallel-quick
      [jobs]`) the sequential-vs-parallel comparison
-     (BENCH_parallel.json); the default runs the full reproduction
-     suite. *)
+     (BENCH_parallel.json); `-- obs-overhead` the disabled-telemetry
+     cost guard (exits 1 when the guards are not free); the default
+     runs the full reproduction suite. *)
   match Sys.argv with
   | [| _; "explore" |] -> explore_bench ()
+  | [| _; "obs-overhead" |] -> obs_overhead ()
   | [| _; "pipeline" |] -> pipeline_bench ()
   | [| _; "pipeline-quick" |] -> pipeline_bench ~quick:true ()
   | [| _; "parallel" |] -> parallel_bench ~jobs:4 ()

@@ -9,7 +9,11 @@
      validate    compare two programs under the DRF guarantee
      litmus      run the built-in corpus
      matrix      print the section-4 reorderability matrix
-     tso         TSO behaviours and the section-8 explanation check *)
+     report      aggregate a --trace-out JSONL trace offline
+     tso         TSO behaviours and the section-8 explanation check
+
+   The analysis subcommands share the telemetry flags --trace-out FILE,
+   --trace-format jsonl|chrome and --metrics (see [setup_obs]). *)
 
 open Cmdliner
 open Safeopt_lang
@@ -84,10 +88,79 @@ let print_behaviours bs =
     Fmt.(list ~sep:cut string)
     (Interp.behaviour_strings bs)
 
+(* --- telemetry flags (shared by the analysis subcommands) --- *)
+
+module Obs = Safeopt_obs
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write a structured span/event trace of the run to $(docv) \
+              (spans per exploration, pass, validation and litmus test; \
+              counter samples for queue depth and throughput).  Inspect it \
+              with $(b,drfopt report) or load the $(b,chrome) format in \
+              Perfetto.")
+
+let trace_format_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("jsonl", Obs.Tracer.Jsonl); ("chrome", Obs.Tracer.Chrome_trace) ])
+        Obs.Tracer.Jsonl
+    & info [ "trace-format" ] ~docv:"FMT"
+        ~doc:"Trace file format: $(b,jsonl) (one event per line, the input \
+              of $(b,drfopt report)) or $(b,chrome) (Chrome trace_event \
+              JSON with one lane per domain, loadable in Perfetto or \
+              chrome://tracing).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Collect the process-global metrics registry (counters, \
+              gauges, latency histograms) during the run and print its \
+              summary on exit.")
+
+(* Subcommands terminate via [exit] from several places, so the
+   finaliser that writes the trace file and prints the metrics summary
+   is registered with [at_exit]; it runs before the stdlib's formatter
+   flushes (registered earlier, hence later in at_exit order). *)
+let setup_obs trace_out format metrics =
+  let live = metrics || trace_out <> None in
+  if live then begin
+    Obs.Metrics.reset_global ();
+    Obs.Metrics.set_enabled true
+  end;
+  Option.iter
+    (fun path -> Obs.Tracer.start (Obs.Tracer.File { path; format }))
+    trace_out;
+  if live then
+    at_exit (fun () ->
+        if Obs.Tracer.enabled () then
+          (* final value of every metric as trailing counter samples, so
+             the trace file is self-contained *)
+          List.iter
+            (fun n ->
+              match Obs.Metrics.(find_counter global n) with
+              | Some v -> Obs.Tracer.counter n (float_of_int v)
+              | None -> (
+                  match Obs.Metrics.(find_gauge global n) with
+                  | Some g -> Obs.Tracer.counter n g.Obs.Metrics.g_last
+                  | None -> ()))
+            Obs.Metrics.(names global);
+        ignore (Obs.Tracer.stop () : Obs.Event.t list);
+        if metrics then Fmt.pr "%a@." Obs.Metrics.pp Obs.Metrics.global)
+
+let obs_term =
+  Term.(const setup_obs $ trace_out_arg $ trace_format_arg $ metrics_arg)
+
 (* --- run --- *)
 
 let run_cmd =
-  let run file fuel stats jobs =
+  let run () file fuel stats jobs =
     let jobs = check_jobs jobs in
     let p = or_die (load file) in
     Fmt.pr "%a@.@." Pp.program p;
@@ -98,12 +171,12 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Enumerate SC behaviours and check race freedom")
-    Term.(const run $ file_arg $ fuel_arg $ stats_arg $ jobs_arg)
+    Term.(const run $ obs_term $ file_arg $ fuel_arg $ stats_arg $ jobs_arg)
 
 (* --- drf --- *)
 
 let drf_cmd =
-  let run file fuel =
+  let run () file fuel =
     let p = or_die (load file) in
     match Interp.find_race ~fuel p with
     | None -> Fmt.pr "data race free@."
@@ -114,12 +187,12 @@ let drf_cmd =
   in
   Cmd.v
     (Cmd.info "drf" ~doc:"Check data race freedom, with witness")
-    Term.(const run $ file_arg $ fuel_arg)
+    Term.(const run $ obs_term $ file_arg $ fuel_arg)
 
 (* --- analyze --- *)
 
 let analyze_cmd =
-  let run file fuel stats jobs =
+  let run () file fuel stats jobs =
     let jobs = check_jobs jobs in
     let p = or_die (load file) in
     let open Safeopt_analysis in
@@ -162,7 +235,7 @@ let analyze_cmd =
              pairs the lockset analysis cannot rule out.  With $(b,--stats), \
              unresolved potential races are settled by the exhaustive \
              enumeration and its exploration statistics are printed")
-    Term.(const run $ file_arg $ fuel_arg $ stats_arg $ jobs_arg)
+    Term.(const run $ obs_term $ file_arg $ fuel_arg $ stats_arg $ jobs_arg)
 
 (* --- transform --- *)
 
@@ -215,7 +288,7 @@ let opt_cmd =
                 cross-acquire-elim, roach-motel); default pipeline if \
                 omitted.")
   in
-  let run file fuel passes =
+  let run () file fuel passes =
     let p = or_die (load file) in
     let p' =
       match passes with
@@ -233,7 +306,7 @@ let opt_cmd =
     (Cmd.info "opt"
        ~doc:"Run an optimisation pipeline and validate it against the DRF \
              guarantee")
-    Term.(const run $ file_arg $ fuel_arg $ passes_arg)
+    Term.(const run $ obs_term $ file_arg $ fuel_arg $ passes_arg)
 
 (* --- optimize (pass-manager pipeline) --- *)
 
@@ -277,7 +350,7 @@ let optimize_cmd =
       & info [] ~docv:"FILE"
           ~doc:"Program in the concrete syntax (omit with $(b,--list)).")
   in
-  let run file fuel pipeline validate_each trace list_passes jobs =
+  let run () file fuel pipeline validate_each trace list_passes jobs =
     let jobs = check_jobs jobs in
     let open Safeopt_opt in
     if list_passes then (
@@ -320,8 +393,8 @@ let optimize_cmd =
        ~doc:"Run a pass-manager pipeline with per-pass provenance and \
              differential validation")
     Term.(
-      const run $ opt_file_arg $ fuel_arg $ pipeline_arg $ validate_each_arg
-      $ trace_arg $ list_arg $ jobs_arg)
+      const run $ obs_term $ opt_file_arg $ fuel_arg $ pipeline_arg
+      $ validate_each_arg $ trace_arg $ list_arg $ jobs_arg)
 
 (* --- validate --- *)
 
@@ -354,7 +427,7 @@ let validate_cmd =
       value & opt int 10
       & info [ "max-len" ] ~doc:"Trace length bound for the relation check.")
   in
-  let run orig_file trans_file relation max_len fuel stats jobs =
+  let run () orig_file trans_file relation max_len fuel stats jobs =
     let jobs = check_jobs jobs in
     let original = or_die (load orig_file) in
     let transformed = or_die (load trans_file) in
@@ -377,8 +450,8 @@ let validate_cmd =
     (Cmd.info "validate"
        ~doc:"Check a transformation against the DRF guarantee (Theorems 1-4)")
     Term.(
-      const run $ file_arg $ transformed_arg $ relation_arg $ max_len_arg
-      $ fuel_arg $ stats_arg $ jobs_arg)
+      const run $ obs_term $ file_arg $ transformed_arg $ relation_arg
+      $ max_len_arg $ fuel_arg $ stats_arg $ jobs_arg)
 
 (* --- denote --- *)
 
@@ -415,7 +488,7 @@ let litmus_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"NAME" ~doc:"Run a single test by name.")
   in
-  let run name stats jobs =
+  let run () name stats jobs =
     let jobs = check_jobs jobs in
     let tests =
       match name with
@@ -439,7 +512,7 @@ let litmus_cmd =
        ~doc:"Run the built-in litmus corpus, sharded across $(b,--jobs) \
              domains.  With $(b,--stats), print the exploration statistics \
              accumulated across the whole corpus")
-    Term.(const run $ name_arg $ stats_arg $ jobs_arg)
+    Term.(const run $ obs_term $ name_arg $ stats_arg $ jobs_arg)
 
 (* --- eliminable --- *)
 
@@ -495,7 +568,7 @@ let matrix_cmd =
 (* --- deadlock --- *)
 
 let deadlock_cmd =
-  let run file fuel =
+  let run () file fuel =
     let p = or_die (load file) in
     match Interp.find_deadlock ~fuel p with
     | None -> Fmt.pr "no deadlock reachable@."
@@ -505,7 +578,7 @@ let deadlock_cmd =
   in
   Cmd.v
     (Cmd.info "deadlock" ~doc:"Search for a reachable deadlock")
-    Term.(const run $ file_arg $ fuel_arg)
+    Term.(const run $ obs_term $ file_arg $ fuel_arg)
 
 (* --- chain --- *)
 
@@ -515,7 +588,7 @@ let chain_cmd =
       non_empty & pos_all file []
       & info [] ~docv:"FILES" ~doc:"Chain of programs, original first.")
   in
-  let run files fuel =
+  let run () files fuel =
     let programs = List.map (fun f -> or_die (load f)) files in
     let report = Safeopt_opt.Validate.validate_chain ~fuel programs in
     Fmt.pr "%a@." Safeopt_opt.Validate.pp_chain_report report;
@@ -527,12 +600,12 @@ let chain_cmd =
     (Cmd.info "chain"
        ~doc:"Validate a chain of transformations (the paper's composition \
              result)")
-    Term.(const run $ files_arg $ fuel_arg)
+    Term.(const run $ obs_term $ files_arg $ fuel_arg)
 
 (* --- robust --- *)
 
 let robust_cmd =
-  let run file fuel =
+  let run () file fuel =
     let p = or_die (load file) in
     let p', promoted = Safeopt_tso.Robustness.enforce ~fuel p in
     (match promoted with
@@ -548,12 +621,12 @@ let robust_cmd =
     (Cmd.info "robust"
        ~doc:"Infer the volatile annotations (fences) that make the program \
              data race free, hence SC on TSO")
-    Term.(const run $ file_arg $ fuel_arg)
+    Term.(const run $ obs_term $ file_arg $ fuel_arg)
 
 (* --- tso --- *)
 
 let tso_cmd =
-  let run file fuel =
+  let run () file fuel =
     let p = or_die (load file) in
     let tso = Safeopt_tso.Machine.program_behaviours ~fuel p in
     let weak = Safeopt_tso.Machine.weak_behaviours ~fuel p in
@@ -567,10 +640,10 @@ let tso_cmd =
     (Cmd.info "tso"
        ~doc:"Enumerate store-buffer (TSO) behaviours and check the \
              section-8 explanation")
-    Term.(const run $ file_arg $ fuel_arg)
+    Term.(const run $ obs_term $ file_arg $ fuel_arg)
 
 let pso_cmd =
-  let run file fuel =
+  let run () file fuel =
     let p = or_die (load file) in
     Fmt.pr "PSO behaviours:@.";
     print_behaviours (Safeopt_tso.Pso.program_behaviours ~fuel p);
@@ -587,7 +660,34 @@ let pso_cmd =
     (Cmd.info "pso"
        ~doc:"Enumerate partial-store-order behaviours (per-location store \
              buffers)")
-    Term.(const run $ file_arg $ fuel_arg)
+    Term.(const run $ obs_term $ file_arg $ fuel_arg)
+
+(* --- report --- *)
+
+let report_cmd =
+  let trace_file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE"
+          ~doc:"A JSONL trace written by $(b,--trace-out) (the default \
+                $(b,jsonl) format; $(b,chrome) traces are for Perfetto, \
+                not for this command).")
+  in
+  let run file =
+    let events =
+      match Obs.Report.read_file file with
+      | Ok evs -> evs
+      | Error e -> or_die (Error e)
+    in
+    Fmt.pr "%a@." Obs.Report.pp (Obs.Report.aggregate events)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Aggregate a $(b,--trace-out) JSONL trace offline: per-phase \
+             wall-time totals, a per-pass table (iterations, rewrite \
+             sites, validation verdicts) and final counter values")
+    Term.(const run $ trace_file_arg)
 
 let main =
   Cmd.group
@@ -609,6 +709,7 @@ let main =
       robust_cmd;
       litmus_cmd;
       matrix_cmd;
+      report_cmd;
       tso_cmd;
       pso_cmd;
     ]

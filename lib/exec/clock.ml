@@ -1,3 +1,6 @@
-external now : unit -> float = "safeopt_clock_monotonic_s"
+(* The clock (and its C stub) lives in Safeopt_obs so the telemetry
+   layer can timestamp without depending on this library; re-exported
+   here for the existing call sites. *)
 
-let elapsed t0 = Float.max 0. (now () -. t0)
+let now = Safeopt_obs.Clock.now
+let elapsed = Safeopt_obs.Clock.elapsed

@@ -1,4 +1,7 @@
 open Safeopt_trace
+module Metrics = Safeopt_obs.Metrics
+module Tracer = Safeopt_obs.Tracer
+module Ev = Safeopt_obs.Event
 
 exception Cyclic
 exception Too_many_states of int
@@ -57,7 +60,56 @@ let merge_stats ~into s =
   into.chunks <- into.chunks + s.chunks;
   into.lock_waits <- into.lock_waits + s.lock_waits
 
+(* The mutable record remains the per-worker accumulation cell (workers
+   merge privately and join, no synchronisation in the hot loops), but
+   the one counter system is the {!Safeopt_obs.Metrics} registry:
+   [publish] folds a record into a registry under "explorer.*" names,
+   and the renderers below round-trip through a registry, so the record
+   and the registry views can never drift. *)
+let publish ~into s =
+  let c name v = Metrics.add (Metrics.counter into name) v in
+  c "explorer.states" s.states;
+  c "explorer.edges" s.edges;
+  c "explorer.memo_hits" s.memo_hits;
+  c "explorer.por_cuts" s.por_cuts;
+  c "explorer.chunks" s.chunks;
+  c "explorer.lock_waits" s.lock_waits;
+  let g name v = Metrics.record (Metrics.gauge into name) v in
+  g "explorer.peak_frontier" (float_of_int s.peak_frontier);
+  g "explorer.wall_s" s.wall;
+  g "explorer.domains" (float_of_int s.domains)
+
+let of_registry reg =
+  let c name = Option.value ~default:0 (Metrics.find_counter reg name) in
+  let gmax name =
+    match Metrics.find_gauge reg name with
+    | Some g -> int_of_float g.Metrics.g_max
+    | None -> 0
+  in
+  let gsum name =
+    match Metrics.find_gauge reg name with
+    | Some g -> g.Metrics.g_mean *. float_of_int g.Metrics.g_count
+    | None -> 0.
+  in
+  {
+    states = c "explorer.states";
+    edges = c "explorer.edges";
+    memo_hits = c "explorer.memo_hits";
+    por_cuts = c "explorer.por_cuts";
+    peak_frontier = gmax "explorer.peak_frontier";
+    wall = gsum "explorer.wall_s";
+    domains = gmax "explorer.domains";
+    chunks = c "explorer.chunks";
+    lock_waits = c "explorer.lock_waits";
+  }
+
+let via_registry s =
+  let reg = Metrics.create ~stripes:1 () in
+  publish ~into:reg s;
+  of_registry reg
+
 let pp_stats ppf s =
+  let s = via_registry s in
   Fmt.pf ppf
     "@[<v>exploration: %d states, %d transitions@ memo hits: %d, POR cuts: \
      %d@ peak frontier depth: %d@ wall time: %.6f s"
@@ -68,6 +120,7 @@ let pp_stats ppf s =
   Fmt.pf ppf "@]"
 
 let stats_to_json s =
+  let s = via_registry s in
   Printf.sprintf
     "{\"states\": %d, \"edges\": %d, \"memo_hits\": %d, \"por_cuts\": %d, \
      \"peak_frontier\": %d, \"wall_s\": %.6f, \"domains\": %d, \"chunks\": \
@@ -79,12 +132,64 @@ let stats_to_json s =
    matching on an option at every step. *)
 let sink = function Some s -> s | None -> create_stats ()
 
-let timed stats f =
-  match stats with
-  | None -> f ()
-  | Some s ->
+let copy_stats s = { s with states = s.states }
+
+let delta_stats ~now ~before =
+  {
+    states = now.states - before.states;
+    edges = now.edges - before.edges;
+    memo_hits = now.memo_hits - before.memo_hits;
+    por_cuts = now.por_cuts - before.por_cuts;
+    peak_frontier = now.peak_frontier;
+    wall = now.wall -. before.wall;
+    domains = now.domains;
+    chunks = now.chunks - before.chunks;
+    lock_waits = now.lock_waits - before.lock_waits;
+  }
+
+(* Entry-point wrapper replacing the old [timed]: accumulates wall time
+   into the caller's record exactly as before and, when telemetry is
+   live, materialises a record even for callers that passed none, then
+   publishes this call's deltas into the global registry and closes one
+   span per entry point with the result counters as attributes.  With
+   telemetry off and no [?stats], the cost is the [live] test. *)
+let observed name stats f =
+  let live = Metrics.enabled () || Tracer.enabled () in
+  match (stats, live) with
+  | None, false -> f None
+  | _ ->
+      let s = match stats with Some s -> s | None -> create_stats () in
+      let before = copy_stats s in
+      let sp = if Tracer.enabled () then Tracer.span name else Tracer.none in
       let t0 = Clock.now () in
-      Fun.protect ~finally:(fun () -> s.wall <- s.wall +. Clock.elapsed t0) f
+      Fun.protect
+        ~finally:(fun () ->
+          s.wall <- s.wall +. Clock.elapsed t0;
+          if live then begin
+            let d = delta_stats ~now:s ~before in
+            if Metrics.enabled () then begin
+              publish ~into:Metrics.global d;
+              if d.wall > 0. && d.states > 0 then
+                Metrics.record
+                  (Metrics.gauge Metrics.global "explorer.states_per_s")
+                  (float_of_int d.states /. d.wall)
+            end;
+            if sp <> Tracer.none then
+              let attempts = float_of_int (d.edges + 1) in
+              Tracer.close_span
+                ~attrs:
+                  [
+                    ("states", Ev.Int d.states);
+                    ("edges", Ev.Int d.edges);
+                    ("memo_hits", Ev.Int d.memo_hits);
+                    ("por_cuts", Ev.Int d.por_cuts);
+                    ( "intern_hit_rate",
+                      Ev.Float
+                        ((attempts -. float_of_int d.states) /. attempts) );
+                  ]
+                sp
+          end)
+        (fun () -> f (Some s))
 
 (* ------------------------------------------------------------------ *)
 (* Interning                                                           *)
@@ -459,26 +564,49 @@ let par_discover (type st lbl) ~pool ~max_states ~(wstats : stats array)
   assert fresh0;
   wstats.(0).states <- wstats.(0).states + 1;
   Par.Wq.seed wq (id0, st0);
-  Par.Pool.run pool (fun w ->
-      let s = wstats.(w) in
-      Par.Wq.run wq
-        ~on_wait:(fun () -> s.lock_waits <- s.lock_waits + 1)
-        ~on_chunk:(fun () -> s.chunks <- s.chunks + 1)
-        ~on_peak:(fun n -> if n > s.peak_frontier then s.peak_frontier <- n)
-        (fun (id, st) push ->
-          List.iter
-            (fun (lbl, st') ->
-              s.edges <- s.edges + 1;
-              let id', fresh = intern st' in
-              edges.(w) <- (id, lbl, id') :: edges.(w);
-              if fresh then begin
-                s.states <- s.states + 1;
-                parents.(w) <- (id', id, lbl) :: parents.(w);
-                let n = Atomic.fetch_and_add total 1 + 1 in
-                if n > max_states then raise (Too_many_states n);
-                push (id', st')
-              end)
-            (expand w st)));
+  let sp =
+    if Tracer.enabled () then Tracer.span "explore.discover" else Tracer.none
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Tracer.close_span ~attrs:[ ("states", Ev.Int (Atomic.get total)) ] sp)
+    (fun () ->
+      Par.Pool.run pool (fun w ->
+          let s = wstats.(w) in
+          (* the branch on the metrics flag is hoisted out of the hooks:
+             disabled runs get the bare closures below, paying nothing
+             per wait or chunk *)
+          let on_wait, on_chunk =
+            if Metrics.enabled () then begin
+              let waits = Metrics.histogram Metrics.global "par.lock_wait_s" in
+              let depth = Metrics.gauge Metrics.global "par.queue_depth" in
+              ( (fun dt ->
+                  s.lock_waits <- s.lock_waits + 1;
+                  Metrics.observe waits dt),
+                fun d ->
+                  s.chunks <- s.chunks + 1;
+                  Metrics.record depth (float_of_int d) )
+            end
+            else
+              ( (fun (_ : float) -> s.lock_waits <- s.lock_waits + 1),
+                fun (_ : int) -> s.chunks <- s.chunks + 1 )
+          in
+          Par.Wq.run wq ~on_wait ~on_chunk
+            ~on_peak:(fun n -> if n > s.peak_frontier then s.peak_frontier <- n)
+            (fun (id, st) push ->
+              List.iter
+                (fun (lbl, st') ->
+                  s.edges <- s.edges + 1;
+                  let id', fresh = intern st' in
+                  edges.(w) <- (id, lbl, id') :: edges.(w);
+                  if fresh then begin
+                    s.states <- s.states + 1;
+                    parents.(w) <- (id', id, lbl) :: parents.(w);
+                    let n = Atomic.fetch_and_add total 1 + 1 in
+                    if n > max_states then raise (Too_many_states n);
+                    push (id', st')
+                  end)
+                (expand w st))));
   let n = Atomic.get total in
   let succ : (lbl * int) list array = Array.make n [] in
   Array.iter
@@ -517,7 +645,10 @@ let fold_graph (type r lbl) ~(empty : r) ~(union : r -> r -> r)
         memo.(id) <- Some r;
         r
   in
-  go id0
+  let sp =
+    if Tracer.enabled () then Tracer.span "explore.fold" else Tracer.none
+  in
+  Fun.protect ~finally:(fun () -> Tracer.close_span sp) (fun () -> go id0)
 
 let par_explore_core (type r) ~(empty : r) ~(union : r -> r -> r)
     ~(label : Action.t -> r -> r) ~pool ~max_states ~local ~stats sys =
@@ -556,39 +687,37 @@ let beh_label a sub =
 
 let behaviours ?(max_states = default_max_states) ?local ?stats ?jobs ?pool
     sys =
-  run_par ?jobs ?pool
-    ~seq:(fun () ->
-      timed stats (fun () ->
+  observed "explorer.behaviours" stats (fun stats ->
+      run_par ?jobs ?pool
+        ~seq:(fun () ->
           fst
             (explore_core
                ~empty:(Behaviour.Set.singleton [])
                ~union:Behaviour.Set.union ~label:beh_label ~max_states ~local
-               ~stats sys)))
-    ~par:(fun p ->
-      timed stats (fun () ->
+               ~stats sys))
+        ~par:(fun p ->
           fst
             (par_explore_core
                ~empty:(Behaviour.Set.singleton [])
                ~union:Behaviour.Set.union ~label:beh_label ~pool:p ~max_states
-               ~local ~stats sys)))
-    ()
+               ~local ~stats sys))
+        ())
 
 let count_states ?(max_states = default_max_states) ?local ?stats ?jobs ?pool
     sys =
-  run_par ?jobs ?pool
-    ~seq:(fun () ->
-      timed stats (fun () ->
+  observed "explorer.count_states" stats (fun stats ->
+      run_par ?jobs ?pool
+        ~seq:(fun () ->
           snd
             (explore_core ~empty:() ~union:(fun () () -> ())
                ~label:(fun _ () -> ())
-               ~max_states ~local ~stats sys)))
-    ~par:(fun p ->
-      timed stats (fun () ->
+               ~max_states ~local ~stats sys))
+        ~par:(fun p ->
           snd
             (par_explore_core ~empty:() ~union:(fun () () -> ())
                ~label:(fun _ () -> ())
-               ~pool:p ~max_states ~local ~stats sys)))
-    ()
+               ~pool:p ~max_states ~local ~stats sys))
+        ())
 
 (* ------------------------------------------------------------------ *)
 (* Streaming executions                                                *)
@@ -614,11 +743,11 @@ let maximal_executions_seq ?(max_steps = 1_000_000) ?stats sys =
   go (initial ctx) []
 
 let maximal_executions ?max_steps ?stats sys =
-  timed stats (fun () ->
+  observed "explorer.executions" stats (fun _ ->
       List.of_seq (maximal_executions_seq ?max_steps ?stats:None sys))
 
 let count_executions ?max_steps ?stats sys =
-  timed stats (fun () ->
+  observed "explorer.executions" stats (fun _ ->
       Seq.fold_left
         (fun n _ -> n + 1)
         0
@@ -628,61 +757,61 @@ let count_executions ?max_steps ?stats sys =
 (* Witness searches                                                    *)
 (* ------------------------------------------------------------------ *)
 
+(* wall time and telemetry are handled by [observed] in the entry point *)
 let seq_find_adjacent_race ~max_states ?stats vol sys =
-  timed stats (fun () ->
-      let s = sink stats in
-      let ctx = make_ctx sys in
-      let visited : (int, unit) Hashtbl.t = Hashtbl.create 997 in
-      (* Each state's enabled set is needed both when the state is
-         visited and for the adjacent-race check on every incoming edge:
-         compute it once and cache it by state id. *)
-      let succ_tbl = Hashtbl.create 997 in
-      let succs_of id st =
-        match Hashtbl.find_opt succ_tbl id with
-        | Some l -> l
-        | None ->
-            let l = enabled ctx st in
-            Hashtbl.add succ_tbl id l;
-            l
-      in
-      let count = ref 0 in
-      let exception Found of Interleaving.t in
-      let rec go id succs rev_path depth =
-        Hashtbl.add visited id ();
-        incr count;
-        s.states <- s.states + 1;
-        if !count > max_states then raise (Too_many_states !count);
-        if depth > s.peak_frontier then s.peak_frontier <- depth;
+  let s = sink stats in
+  let ctx = make_ctx sys in
+  let visited : (int, unit) Hashtbl.t = Hashtbl.create 997 in
+  (* Each state's enabled set is needed both when the state is
+     visited and for the adjacent-race check on every incoming edge:
+     compute it once and cache it by state id. *)
+  let succ_tbl = Hashtbl.create 997 in
+  let succs_of id st =
+    match Hashtbl.find_opt succ_tbl id with
+    | Some l -> l
+    | None ->
+        let l = enabled ctx st in
+        Hashtbl.add succ_tbl id l;
+        l
+  in
+  let count = ref 0 in
+  let exception Found of Interleaving.t in
+  let rec go id succs rev_path depth =
+    Hashtbl.add visited id ();
+    incr count;
+    s.states <- s.states + 1;
+    if !count > max_states then raise (Too_many_states !count);
+    if depth > s.peak_frontier then s.peak_frontier <- depth;
+    List.iter
+      (fun (tid, a, st') ->
+        s.edges <- s.edges + 1;
+        let id', _ = state_id ctx st' in
+        let succs' = succs_of id' st' in
         List.iter
-          (fun (tid, a, st') ->
-            s.edges <- s.edges + 1;
-            let id', _ = state_id ctx st' in
-            let succs' = succs_of id' st' in
-            List.iter
-              (fun (tid', b, _) ->
-                if
-                  (not (Thread_id.equal tid tid'))
-                  && Action.conflicting vol a b
-                then
-                  raise
-                    (Found
-                       (List.rev
-                          (Interleaving.pair tid' b
-                          :: Interleaving.pair tid a
-                          :: rev_path))))
-              succs';
-            if not (Hashtbl.mem visited id') then
-              go id' succs'
-                (Interleaving.pair tid a :: rev_path)
-                (depth + 1))
-          succs
-      in
-      let st0 = initial ctx in
-      let id0, _ = state_id ctx st0 in
-      try
-        go id0 (succs_of id0 st0) [] 1;
-        None
-      with Found i -> Some i)
+          (fun (tid', b, _) ->
+            if
+              (not (Thread_id.equal tid tid'))
+              && Action.conflicting vol a b
+            then
+              raise
+                (Found
+                   (List.rev
+                      (Interleaving.pair tid' b
+                      :: Interleaving.pair tid a
+                      :: rev_path))))
+          succs';
+        if not (Hashtbl.mem visited id') then
+          go id' succs'
+            (Interleaving.pair tid a :: rev_path)
+            (depth + 1))
+      succs
+  in
+  let st0 = initial ctx in
+  let id0, _ = state_id ctx st0 in
+  try
+    go id0 (succs_of id0 st0) [] 1;
+    None
+  with Found i -> Some i
 
 (* Parallel race search: phase-1 discovery records (thread, action)
    edge labels and BFS-tree parents (a fresh state's parent edge is
@@ -693,66 +822,67 @@ let seq_find_adjacent_race ~max_states ?stats vol sys =
    witness interleaving may differ from the sequential engine's (and
    between parallel runs), as any adjacent race is a valid witness. *)
 let par_find_adjacent_race ~pool ~max_states ?stats vol sys =
-  timed stats (fun () ->
-      let s = sink stats in
-      let ctx = make_par_ctx sys in
-      let nw = Par.Pool.size pool in
-      let wstats = Array.init nw (fun _ -> create_stats ()) in
-      let expand _w st =
-        List.map (fun (tid, a, st') -> ((tid, a), st')) (enabled ctx st)
-      in
-      let n, succ, parent, id0 =
-        par_discover ~pool ~max_states ~wstats ~expand
-          ~intern:(fun st -> state_id ctx st)
-          (initial ctx)
-      in
-      Array.iter (fun w -> merge_stats ~into:s w) wstats;
-      s.domains <- max s.domains nw;
-      let path_to u =
-        let rec up id acc =
-          if id = id0 then acc
-          else
-            match parent.(id) with
-            | Some (p, (tid, a)) -> up p (Interleaving.pair tid a :: acc)
-            | None -> acc
-        in
-        up u []
-      in
-      let exception Found of Interleaving.t in
-      try
-        for u = 0 to n - 1 do
+  let s = sink stats in
+  let ctx = make_par_ctx sys in
+  let nw = Par.Pool.size pool in
+  let wstats = Array.init nw (fun _ -> create_stats ()) in
+  let expand _w st =
+    List.map (fun (tid, a, st') -> ((tid, a), st')) (enabled ctx st)
+  in
+  let n, succ, parent, id0 =
+    par_discover ~pool ~max_states ~wstats ~expand
+      ~intern:(fun st -> state_id ctx st)
+      (initial ctx)
+  in
+  Array.iter (fun w -> merge_stats ~into:s w) wstats;
+  s.domains <- max s.domains nw;
+  let path_to u =
+    let rec up id acc =
+      if id = id0 then acc
+      else
+        match parent.(id) with
+        | Some (p, (tid, a)) -> up p (Interleaving.pair tid a :: acc)
+        | None -> acc
+    in
+    up u []
+  in
+  let exception Found of Interleaving.t in
+  try
+    for u = 0 to n - 1 do
+      List.iter
+        (fun ((tid, a), v) ->
           List.iter
-            (fun ((tid, a), v) ->
-              List.iter
-                (fun ((tid', b), _) ->
-                  if
-                    (not (Thread_id.equal tid tid'))
-                    && Action.conflicting vol a b
-                  then
-                    raise
-                      (Found
-                         (path_to u
-                         @ [
-                             Interleaving.pair tid a; Interleaving.pair tid' b;
-                           ])))
-                succ.(v))
-            succ.(u)
-        done;
-        None
-      with Found i -> Some i)
+            (fun ((tid', b), _) ->
+              if
+                (not (Thread_id.equal tid tid'))
+                && Action.conflicting vol a b
+              then
+                raise
+                  (Found
+                     (path_to u
+                     @ [
+                         Interleaving.pair tid a; Interleaving.pair tid' b;
+                       ])))
+            succ.(v))
+        succ.(u)
+    done;
+    None
+  with Found i -> Some i
 
 let find_adjacent_race ?(max_states = default_max_states) ?stats ?jobs ?pool
     vol sys =
-  run_par ?jobs ?pool
-    ~seq:(fun () -> seq_find_adjacent_race ~max_states ?stats vol sys)
-    ~par:(fun p -> par_find_adjacent_race ~pool:p ~max_states ?stats vol sys)
-    ()
+  observed "explorer.race_search" stats (fun stats ->
+      run_par ?jobs ?pool
+        ~seq:(fun () -> seq_find_adjacent_race ~max_states ?stats vol sys)
+        ~par:(fun p ->
+          par_find_adjacent_race ~pool:p ~max_states ?stats vol sys)
+        ())
 
 let is_drf ?max_states ?stats ?jobs ?pool vol sys =
   Option.is_none (find_adjacent_race ?max_states ?stats ?jobs ?pool vol sys)
 
 let find_deadlock ?(max_states = default_max_states) ?stats sys =
-  timed stats (fun () ->
+  observed "explorer.deadlock" stats (fun stats ->
       let s = sink stats in
       let ctx = make_ctx sys in
       let visited : (int, unit) Hashtbl.t = Hashtbl.create 997 in
@@ -816,7 +946,7 @@ let sample_runs ?(max_actions = 10_000) ~seed ~runs sys =
       go (initial ctx) [] 0)
 
 let sample_behaviours ?max_actions ~seed ~runs ?stats sys =
-  timed stats (fun () ->
+  observed "explorer.sample" stats (fun _ ->
       Seq.fold_left
         (fun acc b ->
           Behaviour.Set.union acc
@@ -840,7 +970,7 @@ let graph_label a sub =
   | _ -> sub
 
 let seq_graph_behaviours ~max_states ?stats g =
-  timed stats (fun () ->
+  observed "explorer.graph" stats (fun stats ->
       let s = sink stats in
       let ids : int Itbl.t = Itbl.create 997 in
       let memo : (int, Behaviour.Set.t) Hashtbl.t = Hashtbl.create 997 in
@@ -875,7 +1005,7 @@ let seq_graph_behaviours ~max_states ?stats g =
       go g.graph_initial 1)
 
 let par_graph_behaviours ~pool ~max_states ?stats g =
-  timed stats (fun () ->
+  observed "explorer.graph" stats (fun stats ->
       let s = sink stats in
       let ids = Par.Itbl.create () in
       let nw = Par.Pool.size pool in

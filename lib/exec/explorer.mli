@@ -72,6 +72,16 @@ val stats_to_json : stats -> string
 (** One-line JSON object (states, edges, memo_hits, por_cuts,
     peak_frontier, wall_s, domains, chunks, lock_waits). *)
 
+val publish : into:Safeopt_obs.Metrics.t -> stats -> unit
+(** Record a stats delta into a metrics registry ([explorer.*]
+    counters and gauges).  [pp_stats] and [stats_to_json] render
+    through a fresh one-stripe registry via this, so the registry is
+    the single source of truth for the compatibility views. *)
+
+val of_registry : Safeopt_obs.Metrics.t -> stats
+(** Read the [explorer.*] metrics of a registry back into a stats
+    record (inverse of {!publish} on a fresh registry). *)
+
 (** {1 Independence} *)
 
 val independent : Thread_id.t * Action.t -> Thread_id.t * Action.t -> bool

@@ -74,7 +74,24 @@ module Pool = struct
           Domain.spawn (fun () -> worker t (i + 1)));
     t
 
+  (* When a trace sink is live, each worker's participation in a job
+     becomes a "pool.worker" span on its own domain lane.  Disabled, the
+     job function is returned untouched: no wrapper, no allocation. *)
+  let traced f =
+    if not (Safeopt_obs.Tracer.enabled ()) then f
+    else
+      fun w ->
+        let sp =
+          Safeopt_obs.Tracer.span
+            ~attrs:[ ("worker", Safeopt_obs.Event.Int w) ]
+            "pool.worker"
+        in
+        Fun.protect
+          ~finally:(fun () -> Safeopt_obs.Tracer.close_span sp)
+          (fun () -> f w)
+
   let run t f =
+    let f = traced f in
     if t.size = 1 then f 0
     else begin
       Mutex.lock t.mu;
@@ -200,8 +217,9 @@ module Wq = struct
       else if not (Queue.is_empty t.chunks) then begin
         let c = Queue.pop t.chunks in
         Atomic.decr t.queued;
+        let depth = Atomic.get t.queued in
         Mutex.unlock t.mu;
-        on_chunk ();
+        on_chunk depth;
         Some c
       end
       else if Atomic.get t.in_flight = 0 then begin
@@ -209,8 +227,9 @@ module Wq = struct
         None
       end
       else begin
-        on_wait ();
+        let t0 = Clock.now () in
         Condition.wait t.nonempty t.mu;
+        on_wait (Clock.elapsed t0);
         go ()
       end
     in
@@ -218,7 +237,8 @@ module Wq = struct
 
   let max_local = 64
 
-  let run t ?(on_wait = ignore) ?(on_chunk = ignore) ?(on_peak = ignore) f =
+  let run t ?(on_wait = fun (_ : float) -> ()) ?(on_chunk = fun (_ : int) -> ())
+      ?(on_peak = ignore) f =
     let local = ref [] in
     let nlocal = ref 0 in
     let spill_half () =

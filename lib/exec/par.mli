@@ -45,7 +45,10 @@ module Pool : sig
       (worker 0 is the calling domain) and returns when all have
       finished.  If any worker raises, the first exception is re-raised
       in the caller after the join.  Not reentrant: do not call [run]
-      from inside [f]. *)
+      from inside [f].  When the {!Safeopt_obs.Tracer} sink is live,
+      each worker's participation is recorded as a ["pool.worker"] span
+      on its own domain lane; with tracing disabled the job runs
+      untouched. *)
 
   val map_list : t -> (int -> 'a -> 'b) -> 'a list -> 'b list
   (** Dynamic parallel map: elements are claimed one at a time from an
@@ -86,8 +89,8 @@ module Wq : sig
 
   val run :
     'a t ->
-    ?on_wait:(unit -> unit) ->
-    ?on_chunk:(unit -> unit) ->
+    ?on_wait:(float -> unit) ->
+    ?on_chunk:(int -> unit) ->
     ?on_peak:(int -> unit) ->
     ('a -> ('a -> unit) -> unit) ->
     unit
@@ -95,12 +98,14 @@ module Wq : sig
       where [push] enqueues newly discovered work.  Each worker keeps a
       local LIFO buffer and spills chunks to the shared queue when the
       buffer grows past a threshold or when other workers are starving;
-      [on_chunk] fires per shared chunk taken, [on_wait] per block on
-      the queue's condition variable, [on_peak] with the local buffer
-      length after each push.  Returns when the in-flight counter hits
-      zero (all discovered work processed) or when any worker raised —
-      the exception aborts the queue (waking all waiters) and is
-      re-raised from that worker's [run]. *)
+      [on_chunk] fires per shared chunk taken with the shared queue
+      depth (chunks still queued) observed right after the pop,
+      [on_wait] per block on the queue's condition variable with the
+      measured wait in seconds (monotonic clock), [on_peak] with the
+      local buffer length after each push.  Returns when the in-flight
+      counter hits zero (all discovered work processed) or when any
+      worker raised — the exception aborts the queue (waking all
+      waiters) and is re-raised from that worker's [run]. *)
 end
 
 (** {1 Sharded hash-consing tables} *)

@@ -1,5 +1,7 @@
 open Safeopt_exec
 open Safeopt_lang
+module Tracer = Safeopt_obs.Tracer
+module Ev = Safeopt_obs.Event
 
 type t = {
   name : string;
@@ -23,27 +25,56 @@ let program t = Parser.parse_program t.source
 let make ~name ~descr ?(drf = true) ?(can = []) ?(cannot = []) source =
   { name; descr; source; drf; can; cannot }
 
+(* One span per test; [check_all]'s parallel path calls [check] from
+   pool workers, so corpus runs get per-test spans on each domain's
+   lane without further plumbing. *)
 let check ?fuel ?max_states ?stats t =
-  let p = program t in
-  let drf_actual = Interp.is_drf ?fuel ?max_states ?stats p in
-  let behaviours = Interp.behaviours ?fuel ?max_states ?stats p in
-  let failures = ref [] in
-  let fail fmt = Fmt.kstr (fun s -> failures := s :: !failures) fmt in
-  if drf_actual <> t.drf then
-    fail "expected %s but found %s"
-      (if t.drf then "data race free" else "racy")
-      (if drf_actual then "data race free" else "racy");
-  List.iter
-    (fun b ->
-      if not (Behaviour.Set.mem b behaviours) then
-        fail "expected possible behaviour %a is not observable" Behaviour.pp b)
-    t.can;
-  List.iter
-    (fun b ->
-      if Behaviour.Set.mem b behaviours then
-        fail "forbidden behaviour %a is observable" Behaviour.pp b)
-    t.cannot;
-  { test = t; program = p; drf_actual; behaviours; failures = List.rev !failures }
+  let sp =
+    if Tracer.enabled () then
+      Tracer.span ~attrs:[ ("test", Ev.Str t.name) ] "litmus"
+    else Tracer.none
+  in
+  match
+    let p = program t in
+    let drf_actual = Interp.is_drf ?fuel ?max_states ?stats p in
+    let behaviours = Interp.behaviours ?fuel ?max_states ?stats p in
+    let failures = ref [] in
+    let fail fmt = Fmt.kstr (fun s -> failures := s :: !failures) fmt in
+    if drf_actual <> t.drf then
+      fail "expected %s but found %s"
+        (if t.drf then "data race free" else "racy")
+        (if drf_actual then "data race free" else "racy");
+    List.iter
+      (fun b ->
+        if not (Behaviour.Set.mem b behaviours) then
+          fail "expected possible behaviour %a is not observable" Behaviour.pp
+            b)
+      t.can;
+    List.iter
+      (fun b ->
+        if Behaviour.Set.mem b behaviours then
+          fail "forbidden behaviour %a is observable" Behaviour.pp b)
+      t.cannot;
+    {
+      test = t;
+      program = p;
+      drf_actual;
+      behaviours;
+      failures = List.rev !failures;
+    }
+  with
+  | o ->
+      Tracer.close_span
+        ~attrs:
+          [
+            ("passed", Ev.Bool (o.failures = []));
+            ("drf", Ev.Bool o.drf_actual);
+          ]
+        sp;
+      o
+  | exception e ->
+      Tracer.close_span ~attrs:[ ("error", Ev.Str (Printexc.to_string e)) ] sp;
+      raise e
 
 (* Corpus runs shard one test per pool job (claimed dynamically, so a
    handful of expensive tests do not serialise the rest); each job

@@ -1,0 +1,87 @@
+let us ts = ts *. 1e6
+
+let attr_args attrs = Json.Obj (List.map (fun (k, v) -> (k, Event.value_to_json v)) attrs)
+
+let to_string (events : Event.t list) =
+  (* Spans end with an empty name: recover names (and merge begin-side
+     attrs) from the matching Begin via the span id. *)
+  let begins = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Event.t) ->
+      if e.kind = Event.Begin then Hashtbl.replace begins e.id e)
+    events;
+  let domains = Hashtbl.create 8 in
+  let records =
+    List.filter_map
+      (fun (e : Event.t) ->
+        if not (Hashtbl.mem domains e.domain) then
+          Hashtbl.add domains e.domain ();
+        let base name ph =
+          [
+            ("name", Json.String name);
+            ("ph", Json.String ph);
+            ("ts", Json.Float (us e.ts));
+            ("pid", Json.Int 0);
+            ("tid", Json.Int e.domain);
+          ]
+        in
+        match e.kind with
+        | Event.Begin ->
+            let fields = base e.name "B" in
+            let fields =
+              if e.attrs = [] then fields
+              else fields @ [ ("args", attr_args e.attrs) ]
+            in
+            Some (Json.Obj fields)
+        | Event.End ->
+            let name, tid =
+              match Hashtbl.find_opt begins e.id with
+              | Some b -> (b.Event.name, b.Event.domain)
+              | None -> (Printf.sprintf "span#%d" e.id, e.domain)
+            in
+            (* close on the begin lane: Chrome pairs B/E per tid *)
+            let fields =
+              [
+                ("name", Json.String name);
+                ("ph", Json.String "E");
+                ("ts", Json.Float (us e.ts));
+                ("pid", Json.Int 0);
+                ("tid", Json.Int tid);
+              ]
+            in
+            let fields =
+              if e.attrs = [] then fields
+              else fields @ [ ("args", attr_args e.attrs) ]
+            in
+            Some (Json.Obj fields)
+        | Event.Instant ->
+            Some
+              (Json.Obj
+                 (base e.name "i"
+                 @ [ ("s", Json.String "t") ]
+                 @ if e.attrs = [] then [] else [ ("args", attr_args e.attrs) ]))
+        | Event.Counter ->
+            Some (Json.Obj (base e.name "C" @ [ ("args", attr_args e.attrs) ])))
+      events
+  in
+  let lanes =
+    Hashtbl.fold (fun d () acc -> d :: acc) domains []
+    |> List.sort compare
+    |> List.map (fun d ->
+           Json.Obj
+             [
+               ("name", Json.String "thread_name");
+               ("ph", Json.String "M");
+               ("pid", Json.Int 0);
+               ("tid", Json.Int d);
+               ( "args",
+                 Json.Obj
+                   [
+                     ( "name",
+                       Json.String
+                         (if d = 0 then "main" else Printf.sprintf "domain %d" d)
+                     );
+                   ] );
+             ])
+  in
+  Json.to_string (Json.Obj [ ("traceEvents", Json.List (lanes @ records)) ])

@@ -1,0 +1,10 @@
+(** Chrome [trace_event] export.
+
+    Renders an event list as the JSON object format understood by
+    Perfetto and [chrome://tracing]: [{"traceEvents":[...]}] with one
+    duration pair (ph ["B"]/["E"], timestamps in microseconds) per
+    span, instants as ph ["i"], counters as ph ["C"], and a thread-name
+    metadata record per domain so each domain renders as its own worker
+    lane ([tid] = domain id, [pid] = 0). *)
+
+val to_string : Event.t list -> string

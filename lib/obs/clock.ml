@@ -1,0 +1,3 @@
+external now : unit -> float = "safeopt_clock_monotonic_s"
+
+let elapsed t0 = Float.max 0. (now () -. t0)

@@ -1,0 +1,15 @@
+(** Monotonic clock — the timebase of the telemetry layer.
+
+    Wall-clock time can step backwards under NTP adjustment, corrupting
+    span durations, accumulated statistics and benchmark ratios;
+    [CLOCK_MONOTONIC] only ever moves forward.  {!Safeopt_exec.Clock}
+    re-exports this module so the exploration engine and the telemetry
+    layer share one timebase (span timestamps and [stats.wall] are
+    directly comparable). *)
+
+val now : unit -> float
+(** Seconds on the monotonic clock.  The epoch is unspecified (boot
+    time on Linux); only differences are meaningful. *)
+
+val elapsed : float -> float
+(** [elapsed t0] is [now () - t0], clamped to be non-negative. *)

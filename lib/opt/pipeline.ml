@@ -1,6 +1,9 @@
 open Safeopt_trace
 open Safeopt_lang
 open Safeopt_exec
+module Metrics = Safeopt_obs.Metrics
+module Tracer = Safeopt_obs.Tracer
+module Ev = Safeopt_obs.Event
 
 (* --- The unsafe mutation-control pass ---------------------------------- *)
 
@@ -205,6 +208,34 @@ let run_step ~max_iters { pass; fixpoint } p =
   in
   go p [] 1
 
+(* Telemetry for one finished step: counters into the global registry
+   and the attribute list its "pass" span closes with. *)
+let publish_step ps =
+  if Metrics.enabled () then begin
+    let c name v = Metrics.add (Metrics.counter Metrics.global name) v in
+    c "pipeline.passes" 1;
+    c "pipeline.rewrite_sites" (List.length ps.ps_sites);
+    match ps.ps_validation with
+    | None -> ()
+    | Some r ->
+        c "pipeline.validations" 1;
+        if not (Validate.ok r) then c "pipeline.validation_failures" 1
+  end
+
+let verdict_of ps =
+  match ps.ps_validation with
+  | None -> "skipped"
+  | Some r -> if Validate.ok r then "ok" else "FAILED"
+
+let step_attrs ps =
+  [
+    ("iterations", Ev.Int ps.ps_iterations);
+    ("sites", Ev.Int (List.length ps.ps_sites));
+    ("verdict", Ev.Str (verdict_of ps));
+    ("validation_wall", Ev.Float ps.ps_validation_wall);
+    ("states", Ev.Int ps.ps_explorer.Explorer.states);
+  ]
+
 let run ?fuel ?max_states ?(validate_each = false) ?(max_iters = 16) ?jobs
     ?pool spec p =
   let validate_step stats pin pout =
@@ -219,15 +250,19 @@ let run ?fuel ?max_states ?(validate_each = false) ?(max_iters = 16) ?jobs
     else None
   in
   let mk_ps step iters sites stats validation =
-    {
-      ps_pass = step.pass.Pass.name;
-      ps_iterations = iters;
-      ps_sites = sites;
-      ps_validation = Option.map fst validation;
-      ps_validation_wall =
-        (match validation with Some (_, w) -> w | None -> 0.);
-      ps_explorer = stats;
-    }
+    let ps =
+      {
+        ps_pass = step.pass.Pass.name;
+        ps_iterations = iters;
+        ps_sites = sites;
+        ps_validation = Option.map fst validation;
+        ps_validation_wall =
+          (match validation with Some (_, w) -> w | None -> 0.);
+        ps_explorer = stats;
+      }
+    in
+    publish_step ps;
+    ps
   in
   let failure_of step pin pout r =
     match Validate.witness ~original:pin ~transformed:pout r with
@@ -238,10 +273,19 @@ let run ?fuel ?max_states ?(validate_each = false) ?(max_iters = 16) ?jobs
     let rec go p steps_rev = function
       | [] -> { final = p; steps = List.rev steps_rev; failure = None }
       | step :: rest -> (
+          let sp =
+            if Tracer.enabled () then
+              Tracer.span
+                ~attrs:[ ("pass", Ev.Str step.pass.Pass.name) ]
+                "pass"
+            else Tracer.none
+          in
           let p', sites, iters = run_step ~max_iters step p in
           let stats = Explorer.create_stats () in
           let validation = validate_step stats p p' in
-          let steps_rev = mk_ps step iters sites stats validation :: steps_rev in
+          let ps = mk_ps step iters sites stats validation in
+          Tracer.close_span ~attrs:(step_attrs ps) sp;
+          let steps_rev = ps :: steps_rev in
           match validation with
           | Some (r, _) when not (Validate.ok r) ->
               (* reject the pass's output: the pipeline stops at its input *)
@@ -266,7 +310,23 @@ let run ?fuel ?max_states ?(validate_each = false) ?(max_iters = 16) ?jobs
     let rec transform p acc = function
       | [] -> List.rev acc
       | step :: rest ->
+          (* the "pass" span covers only the syntactic rewrite here; the
+             speculative validations carry their own "validate" spans on
+             the worker lanes, and the verdicts land as instants when
+             the fold below reaches each step *)
+          let sp =
+            if Tracer.enabled () then
+              Tracer.span ~attrs:[ ("pass", Ev.Str step.pass.Pass.name) ] "pass"
+            else Tracer.none
+          in
           let p', sites, iters = run_step ~max_iters step p in
+          Tracer.close_span
+            ~attrs:
+              [
+                ("iterations", Ev.Int iters);
+                ("sites", Ev.Int (List.length sites));
+              ]
+            sp;
           transform p' ((step, p, p', sites, iters) :: acc) rest
     in
     let staged = transform p [] spec in
@@ -284,9 +344,16 @@ let run ?fuel ?max_states ?(validate_each = false) ?(max_iters = 16) ?jobs
           { final; steps = List.rev steps_rev; failure = None }
       | (step, pin, pout, sites, iters) :: staged', validation :: validations'
         -> (
-          let steps_rev =
-            mk_ps step iters sites stats.(i) validation :: steps_rev
-          in
+          let ps = mk_ps step iters sites stats.(i) validation in
+          if Tracer.enabled () then
+            Tracer.instant
+              ~attrs:
+                [
+                  ("pass", Ev.Str step.pass.Pass.name);
+                  ("verdict", Ev.Str (verdict_of ps));
+                ]
+              "pass.verdict";
+          let steps_rev = ps :: steps_rev in
           match validation with
           | Some (r, _) when not (Validate.ok r) ->
               {
@@ -298,7 +365,30 @@ let run ?fuel ?max_states ?(validate_each = false) ?(max_iters = 16) ?jobs
     in
     cut p [] staged validations 0
   in
-  Par.dispatch ?jobs ?pool ~seq ~par ()
+  let sp =
+    if Tracer.enabled () then
+      Tracer.span
+        ~attrs:[ ("spec", Ev.Str (Fmt.str "%a" pp_spec spec)) ]
+        "pipeline"
+    else Tracer.none
+  in
+  match Par.dispatch ?jobs ?pool ~seq ~par () with
+  | o ->
+      Tracer.close_span
+        ~attrs:
+          [
+            ("passes", Ev.Int (List.length o.steps));
+            ( "verdict",
+              Ev.Str
+                (match o.failure with
+                | None -> "ok"
+                | Some (name, _) -> "REJECTED at " ^ name) );
+          ]
+        sp;
+      o
+  | exception e ->
+      Tracer.close_span ~attrs:[ ("error", Ev.Str (Printexc.to_string e)) ] sp;
+      raise e
 
 let pp_trace ppf o =
   Fmt.pf ppf "@[<v>";

@@ -1,6 +1,8 @@
 open Safeopt_trace
 open Safeopt_lang
 open Safeopt_exec
+module Tracer = Safeopt_obs.Tracer
+module Ev = Safeopt_obs.Event
 
 type relation =
   | Unchecked
@@ -60,25 +62,54 @@ let find_race_fast ?fuel ?max_states ?stats ?jobs ?pool p =
 
 let validate_with ?fuel ?max_states ?stats ?jobs ?pool ~relation
     ~relation_check ~original ~transformed () =
-  let b_orig = Interp.behaviours ?fuel ?max_states ?stats ?jobs ?pool original in
-  let b_trans =
-    Interp.behaviours ?fuel ?max_states ?stats ?jobs ?pool transformed
+  (* one span per differential validation; its children are the
+     explorer entry spans of the enumerations below *)
+  let sp =
+    if Tracer.enabled () then
+      Tracer.span
+        ~attrs:[ ("relation", Ev.Str (Fmt.str "%a" pp_relation relation)) ]
+        "validate"
+    else Tracer.none
   in
-  let new_behaviour = Safeopt_core.Safety.behaviour_subset b_trans b_orig in
-  let original_drf = drf_fast ?fuel ?max_states ?stats ?jobs ?pool original in
-  let race_witness =
-    find_race_fast ?fuel ?max_states ?stats ?jobs ?pool transformed
+  let finish r =
+    Tracer.close_span
+      ~attrs:
+        [
+          ("original_drf", Ev.Bool r.original_drf);
+          ("transformed_drf", Ev.Bool r.transformed_drf);
+          ("new_behaviour", Ev.Bool (Option.is_some r.new_behaviour));
+          ("ok", Ev.Bool (ok r));
+        ]
+      sp;
+    r
   in
-  let relation_holds, relation_counterexample = relation_check () in
-  {
-    original_drf;
-    transformed_drf = Option.is_none race_witness;
-    new_behaviour;
-    race_witness;
-    relation;
-    relation_holds;
-    relation_counterexample;
-  }
+  match
+    let b_orig =
+      Interp.behaviours ?fuel ?max_states ?stats ?jobs ?pool original
+    in
+    let b_trans =
+      Interp.behaviours ?fuel ?max_states ?stats ?jobs ?pool transformed
+    in
+    let new_behaviour = Safeopt_core.Safety.behaviour_subset b_trans b_orig in
+    let original_drf = drf_fast ?fuel ?max_states ?stats ?jobs ?pool original in
+    let race_witness =
+      find_race_fast ?fuel ?max_states ?stats ?jobs ?pool transformed
+    in
+    let relation_holds, relation_counterexample = relation_check () in
+    {
+      original_drf;
+      transformed_drf = Option.is_none race_witness;
+      new_behaviour;
+      race_witness;
+      relation;
+      relation_holds;
+      relation_counterexample;
+    }
+  with
+  | r -> finish r
+  | exception e ->
+      Tracer.close_span ~attrs:[ ("error", Ev.Str (Printexc.to_string e)) ] sp;
+      raise e
 
 let validate ?fuel ?max_states ?stats ?jobs ?pool ~original ~transformed () =
   validate_with ?fuel ?max_states ?stats ?jobs ?pool ~relation:Unchecked

@@ -21,7 +21,8 @@
       {!Pipeline}, {!Liveness}, {!Validate};
     - static analysis: {!Cfg}, {!Dataflow}, {!Lockset}, {!Static_race};
     - hardware models: {!Tso}, {!Pso}, {!Robustness};
-    - corpus and generators: {!Litmus}, {!Corpus}, {!Generators}. *)
+    - corpus and generators: {!Litmus}, {!Corpus}, {!Generators};
+    - telemetry: {!Metrics}, {!Tracer}, {!Trace_event}, {!Trace_report}. *)
 
 (* trace *)
 module Value = Safeopt_trace.Value
@@ -88,3 +89,9 @@ module Robustness = Safeopt_tso.Robustness
 module Litmus = Safeopt_litmus.Litmus
 module Corpus = Safeopt_litmus.Corpus
 module Generators = Safeopt_gen.Generators
+
+(* telemetry *)
+module Metrics = Safeopt_obs.Metrics
+module Tracer = Safeopt_obs.Tracer
+module Trace_event = Safeopt_obs.Event
+module Trace_report = Safeopt_obs.Report

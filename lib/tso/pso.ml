@@ -136,22 +136,30 @@ let digest ~tkey ~lkey ~mkey sys st =
   !acc
 
 let behaviours ?max_states ?stats ?jobs ?pool vol sys =
-  let tkey = Par.Intern.create () in
-  let lkey = Par.Intern.create () in
-  let mkey = Par.Intern.create () in
-  Explorer.graph_behaviours ?max_states ?stats ?jobs ?pool
-    {
-      Explorer.graph_initial =
+  let sp =
+    if Safeopt_obs.Tracer.enabled () then
+      Safeopt_obs.Tracer.span "pso.behaviours"
+    else Safeopt_obs.Tracer.none
+  in
+  Fun.protect
+    ~finally:(fun () -> Safeopt_obs.Tracer.close_span sp)
+    (fun () ->
+      let tkey = Par.Intern.create () in
+      let lkey = Par.Intern.create () in
+      let mkey = Par.Intern.create () in
+      Explorer.graph_behaviours ?max_states ?stats ?jobs ?pool
         {
-          threads = Array.of_list sys.System.initial;
-          buffers =
-            Array.make (List.length sys.System.initial) Location.Map.empty;
-          mem = Location.Map.empty;
-          locks = Monitor.Map.empty;
-        };
-      graph_transitions = (fun st -> transitions vol sys st);
-      graph_digest = (fun st -> digest ~tkey ~lkey ~mkey sys st);
-    }
+          Explorer.graph_initial =
+            {
+              threads = Array.of_list sys.System.initial;
+              buffers =
+                Array.make (List.length sys.System.initial) Location.Map.empty;
+              mem = Location.Map.empty;
+              locks = Monitor.Map.empty;
+            };
+          graph_transitions = (fun st -> transitions vol sys st);
+          graph_digest = (fun st -> digest ~tkey ~lkey ~mkey sys st);
+        })
 
 let program_behaviours ?fuel ?max_states ?stats ?jobs ?pool (p : Ast.program)
     =

@@ -279,3 +279,91 @@ interleaving of the transformed program):
   }
   2 rewrite sites across 1 pass
   REJECTED at pass unsafe-store-release
+
+Structured tracing: a traced pipeline run, its offline report and the
+Chrome export.  Timings are redacted; the counter totals, span counts
+and per-pass verdicts are deterministic (the wall_s and states_per_s
+rate metrics are not, so they are filtered out):
+
+  $ cat > seqopt.lit <<'PROG'
+  > thread {
+  >   x := 1;
+  >   r1 := x;
+  >   r2 := x;
+  >   x := 2;
+  >   x := 3;
+  >   print r1;
+  > }
+  > PROG
+
+  $ drfopt optimize seqopt.lit --pipeline 'cse;dse' --validate-each --trace-out t.jsonl
+  --- optimised ---
+  thread {
+    rt0 := 1;
+    skip;
+    r1 := rt0;
+    r2 := r1;
+    rt1 := 2;
+    skip;
+    rt2 := 3;
+    x := rt2;
+    print r1;
+  }
+  4 rewrite sites across 2 passes
+
+  $ drfopt report t.jsonl | sed -E 's/[0-9]+\.[0-9]{3}ms/_ms/g' | grep -vE 'wall_s|states_per_s'
+  trace: 31 events, 9 spans (9 closed), wall _ms
+  
+  phases:
+    phase                        count        total         mean
+    pipeline                         1      _ms      _ms
+    pass                             2      _ms      _ms
+    validate                         2      _ms      _ms
+    explorer.behaviours              4      _ms      _ms
+  
+  passes:
+    pass         iters sites  verdict   validation         wall
+    redundancy       1     2       ok      _ms      _ms
+    dead-stores      1     2       ok      _ms      _ms
+  
+  counters:
+    explorer.states              24
+    explorer.edges               20
+    explorer.memo_hits           0
+    explorer.por_cuts            0
+    explorer.chunks              0
+    explorer.lock_waits          0
+    explorer.peak_frontier       6
+    explorer.domains             0
+    pipeline.passes              2
+    pipeline.rewrite_sites       4
+    pipeline.validations         2
+  
+
+The Chrome trace_event export is one JSON object Perfetto can load:
+
+  $ drfopt run seqopt.lit --trace-out c.json --trace-format chrome > /dev/null
+  $ grep -c traceEvents c.json
+  1
+
+The report rendering, pinned exactly on a committed trace with fixed
+timestamps:
+
+  $ drfopt report trace_small.jsonl
+  trace: 10 events, 4 spans (4 closed), wall 1.700ms
+  
+  phases:
+    phase                        count        total         mean
+    pipeline                         1      1.590ms      1.590ms
+    pass                             2      1.380ms      0.690ms
+    validate                         1      0.800ms      0.800ms
+  
+  passes:
+    pass         iters sites  verdict   validation         wall
+    cse              1     2       ok      0.800ms      0.880ms
+    dse              1     1       ok      0.300ms      0.500ms
+  
+  counters:
+    explorer.states              36
+    pipeline.passes              2
+  

@@ -1,0 +1,309 @@
+(* The lib/obs telemetry layer: histogram bucketing, sharded-merge
+   equality, counter exactness under real domains, event JSON
+   round-trips, span-log well-formedness over random corpus runs at
+   --jobs 1 and --jobs 2, and report aggregation. *)
+
+open Safeopt_exec
+open Safeopt_lang
+open Safeopt_gen
+module Metrics = Safeopt_obs.Metrics
+module Tracer = Safeopt_obs.Tracer
+module Event = Safeopt_obs.Event
+module Report = Safeopt_obs.Report
+module Json = Safeopt_obs.Json
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+(* --- histograms --------------------------------------------------- *)
+
+let test_bucket_roundtrip () =
+  List.iter
+    (fun s ->
+      let b = Metrics.bucket_of s in
+      let lo, hi = Metrics.bucket_bounds b in
+      check_b (Printf.sprintf "%g lands in [%g, %g)" s lo hi) true
+        (lo <= s && s < hi))
+    [ 0.; 1e-10; 5e-10; 1e-9; 1.5e-9; 2e-9; 1e-6; 3.2e-4; 0.5; 1.; 60.; 1e5 ];
+  (* bucket edges: 2^(i-1) ns lands in bucket i, just under in i-1 *)
+  List.iter
+    (fun i ->
+      let lo, _ = Metrics.bucket_bounds i in
+      check_i (Printf.sprintf "lower edge of bucket %d" i) i
+        (Metrics.bucket_of lo);
+      check_i
+        (Printf.sprintf "just under the edge of bucket %d" i)
+        (i - 1)
+        (Metrics.bucket_of (lo *. (1. -. epsilon_float))))
+    [ 2; 3; 10; 30 ]
+
+let test_histogram_counts () =
+  let r = Metrics.create ~stripes:1 () in
+  let h = Metrics.histogram r "h" in
+  let samples = [ 1e-9; 2e-9; 1e-6; 1e-3; 1e-3; 2. ] in
+  List.iter (Metrics.observe h) samples;
+  check_i "count" (List.length samples) (Metrics.histogram_count h);
+  (* the sum is approximated at bucket centres: within 2x of the truth *)
+  let truth = List.fold_left ( +. ) 0. samples in
+  let approx = Metrics.histogram_sum h in
+  check_b "sum within bucket resolution" true
+    (approx >= truth /. 2. && approx <= truth *. 2.);
+  check_b "q=1 bound covers the max" true
+    (match Metrics.quantile h 1.0 with Some hi -> hi >= 2. | None -> false);
+  check_b "q=0 bound is tiny" true
+    (match Metrics.quantile h 0.0 with
+    | Some hi -> hi <= 2e-9
+    | None -> false)
+
+(* --- sharded merge equality --------------------------------------- *)
+
+let test_merge_equality () =
+  (* per-worker registries merged into an accumulator equal a
+     sequential registry fed the same stream: counter for counter,
+     bucket for bucket *)
+  let seq = Metrics.create ~stripes:1 () in
+  let workers = Array.init 4 (fun _ -> Metrics.create ~stripes:1 ()) in
+  let rnd = Random.State.make [| 0x0b5 |] in
+  for i = 0 to 999 do
+    let w = workers.(i mod 4) in
+    let n = Random.State.int rnd 5 in
+    Metrics.add (Metrics.counter seq "c") n;
+    Metrics.add (Metrics.counter w "c") n;
+    let s = Random.State.float rnd 1e-3 in
+    Metrics.observe (Metrics.histogram seq "h") s;
+    Metrics.observe (Metrics.histogram w "h") s
+  done;
+  let acc = Metrics.create ~stripes:1 () in
+  Array.iter (fun w -> Metrics.merge ~into:acc w) workers;
+  check_i "counter totals equal"
+    (Metrics.counter_value (Metrics.counter seq "c"))
+    (Metrics.counter_value (Metrics.counter acc "c"));
+  Alcotest.(check (list (pair int int)))
+    "histogram buckets equal"
+    (Metrics.histogram_buckets (Metrics.histogram seq "h"))
+    (Metrics.histogram_buckets (Metrics.histogram acc "h"));
+  check_i "histogram counts equal"
+    (Metrics.histogram_count (Metrics.histogram seq "h"))
+    (Metrics.histogram_count (Metrics.histogram acc "h"))
+
+let test_counter_exact_parallel () =
+  (* counters are atomic per stripe, so totals are exact at any level
+     of parallelism *)
+  let r = Metrics.create () in
+  let c = Metrics.counter r "c" in
+  let ds =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              Metrics.incr c
+            done))
+  in
+  Array.iter Domain.join ds;
+  check_i "4 domains x 10k increments" 40_000 (Metrics.counter_value c)
+
+(* --- event JSON round-trips --------------------------------------- *)
+
+let rand () = Random.State.make [| 0x0b5e; 7 |]
+let to_alcotest t = QCheck_alcotest.to_alcotest ~rand:(rand ()) t
+
+(* Floats constrained to integer values so the %.12g writer is exact
+   and structural equality is the right round-trip check. *)
+let event_gen =
+  let open QCheck2.Gen in
+  let name_g = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+  let value_g =
+    oneof
+      [
+        map (fun s -> Event.Str s) name_g;
+        map (fun i -> Event.Int i) (int_range (-1000) 1000);
+        map (fun i -> Event.Float (float_of_int i)) (int_range 0 1_000_000);
+        map (fun b -> Event.Bool b) bool;
+      ]
+  in
+  map
+    (fun ((kind, name, id, parent), (domain, ts, attrs)) ->
+      let name = if kind = Event.End then "" else name in
+      let id =
+        match kind with Event.Begin | Event.End -> abs id | _ -> -1
+      in
+      {
+        Event.kind;
+        name;
+        id;
+        parent = (if kind = Event.Begin then parent else -1);
+        domain;
+        ts = float_of_int ts;
+        attrs;
+      })
+    (pair
+       (quad
+          (oneofl [ Event.Begin; Event.End; Event.Instant; Event.Counter ])
+          name_g (int_range 0 10_000) (int_range (-1) 50))
+       (triple (int_range 0 8) (int_range 0 1_000_000)
+          (small_list (pair name_g value_g))))
+
+let print_event e = Json.to_string (Event.to_json e)
+
+let event_roundtrip =
+  to_alcotest
+    (QCheck2.Test.make ~name:"event JSON round-trips" ~count:500
+       ~print:print_event event_gen (fun e ->
+         match Json.of_string (print_event e) with
+         | Error _ -> false
+         | Ok j -> (
+             match Event.of_json j with Ok e' -> e = e' | Error _ -> false)))
+
+(* --- span-log well-formedness over random corpus runs ------------- *)
+
+(* The three structural invariants [drfopt report] relies on: every
+   [End] matches an earlier [Begin] (at most once), every recorded
+   parent is a span that began no later, and each domain's timestamps
+   are monotone in emission order. *)
+let wellformed (events : Event.t list) =
+  let begins = Hashtbl.create 64 and ended = Hashtbl.create 64 in
+  let doms : (int, float) Hashtbl.t = Hashtbl.create 8 in
+  List.for_all
+    (fun (e : Event.t) ->
+      let monotone =
+        match Hashtbl.find_opt doms e.domain with
+        | Some prev when e.ts < prev -> false
+        | _ ->
+            Hashtbl.replace doms e.domain e.ts;
+            true
+      in
+      monotone
+      &&
+      match e.kind with
+      | Event.Begin ->
+          Hashtbl.replace begins e.id e.ts;
+          (match Hashtbl.find_opt begins e.parent with
+          | _ when e.parent = -1 -> true
+          | Some pts -> pts <= e.ts
+          | None -> false)
+      | Event.End ->
+          if Hashtbl.mem ended e.id then false
+          else begin
+            Hashtbl.replace ended e.id ();
+            match Hashtbl.find_opt begins e.id with
+            | Some bts -> bts <= e.ts
+            | None -> false
+          end
+      | Event.Instant | Event.Counter -> true)
+    events
+
+let traced_events jobs p =
+  Tracer.start Tracer.Memory;
+  match
+    ignore (Interp.behaviours ~fuel:24 ~jobs p);
+    ignore (Interp.is_drf ~fuel:24 ~jobs p)
+  with
+  | () -> Tracer.stop ()
+  | exception e ->
+      ignore (Tracer.stop () : Event.t list);
+      raise e
+
+let span_log_wellformed jobs =
+  to_alcotest
+    (QCheck2.Test.make
+       ~name:(Printf.sprintf "span logs well-formed at jobs %d" jobs)
+       ~count:15 ~print:Generators.print_program Generators.program (fun p ->
+         let evs = traced_events jobs p in
+         evs <> [] && wellformed evs))
+
+(* --- report aggregation ------------------------------------------- *)
+
+let ev ?(name = "") ?(id = -1) ?(parent = -1) ?(domain = 0) ?(attrs = []) kind
+    ts =
+  { Event.kind; name; id; parent; domain; ts; attrs }
+
+let test_report_aggregate () =
+  let events =
+    [
+      ev Event.Begin ~name:"pipeline" ~id:0 0.0;
+      ev Event.Begin ~name:"pass" ~id:1 ~parent:0
+        ~attrs:[ ("pass", Event.Str "cse") ]
+        0.001;
+      ev Event.End ~id:1
+        ~attrs:[ ("sites", Event.Int 2); ("verdict", Event.Str "ok") ]
+        0.004;
+      ev Event.Begin ~name:"pass" ~id:2 ~parent:0 0.005;
+      ev Event.End ~id:2 0.006;
+      ev Event.Begin ~name:"orphan" ~id:3 0.007;
+      ev Event.End ~id:0 0.008;
+      ev Event.Counter ~name:"explorer.states"
+        ~attrs:[ ("v", Event.Float 10.) ]
+        0.009;
+      ev Event.Counter ~name:"explorer.states"
+        ~attrs:[ ("v", Event.Float 24.) ]
+        0.010;
+    ]
+  in
+  let t = Report.aggregate events in
+  check_i "events" 9 t.Report.events;
+  check_i "spans" 4 (List.length t.Report.spans);
+  check_b "wall is the last ts" true (abs_float (t.Report.wall -. 0.010) < 1e-9);
+  (* the orphan span (no end) is excluded from phase walls *)
+  let walls = Report.phase_walls t in
+  check_b "pipeline wall" true
+    (match List.find_opt (fun (n, _, _) -> n = "pipeline") walls with
+    | Some (_, 1, w) -> abs_float (w -. 0.008) < 1e-9
+    | _ -> false);
+  check_b "pass wall folds both spans" true
+    (match List.find_opt (fun (n, _, _) -> n = "pass") walls with
+    | Some (_, 2, w) -> abs_float (w -. 0.004) < 1e-9
+    | _ -> false);
+  check_b "orphan excluded" true
+    (not (List.exists (fun (n, _, _) -> n = "orphan") walls));
+  (* end-side attributes shadow begin-side; counters keep the last value *)
+  let pass1 = List.nth t.Report.spans 1 in
+  check_b "merged attrs" true
+    (Report.span_attr pass1 "verdict" = Some (Event.Str "ok")
+    && Report.span_attr pass1 "pass" = Some (Event.Str "cse"));
+  check_b "counter final value" true
+    (t.Report.counters = [ ("explorer.states", 24.) ])
+
+(* --- stats-as-view equality --------------------------------------- *)
+
+let test_stats_registry_roundtrip () =
+  (* Explorer stats published into a registry and read back are the
+     same stats: the compatibility view [--stats] renders through *)
+  let s = Explorer.create_stats () in
+  s.Explorer.states <- 1234;
+  s.Explorer.edges <- 5678;
+  s.Explorer.memo_hits <- 42;
+  s.Explorer.por_cuts <- 7;
+  s.Explorer.peak_frontier <- 99;
+  s.Explorer.wall <- 0.5;
+  s.Explorer.domains <- 2;
+  let r = Metrics.create ~stripes:1 () in
+  Explorer.publish ~into:r s;
+  let s' = Explorer.of_registry r in
+  check_b "round-trips through a registry" true
+    (s'.Explorer.states = s.Explorer.states
+    && s'.Explorer.edges = s.Explorer.edges
+    && s'.Explorer.memo_hits = s.Explorer.memo_hits
+    && s'.Explorer.por_cuts = s.Explorer.por_cuts
+    && s'.Explorer.peak_frontier = s.Explorer.peak_frontier
+    && s'.Explorer.domains = s.Explorer.domains
+    && abs_float (s'.Explorer.wall -. s.Explorer.wall) < 1e-9)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "bucket round-trip" `Quick test_bucket_roundtrip;
+          Alcotest.test_case "histogram counts" `Quick test_histogram_counts;
+          Alcotest.test_case "sharded merge equality" `Quick
+            test_merge_equality;
+          Alcotest.test_case "parallel counter exactness" `Quick
+            test_counter_exact_parallel;
+          Alcotest.test_case "stats registry round-trip" `Quick
+            test_stats_registry_roundtrip;
+        ] );
+      ("events", [ event_roundtrip ]);
+      ( "spans",
+        [ span_log_wellformed 1; span_log_wellformed 2 ] );
+      ( "report",
+        [ Alcotest.test_case "aggregation" `Quick test_report_aggregate ] );
+    ]
