@@ -849,6 +849,206 @@ let parallel_bench ?(quick = false) ~jobs () =
       Fmt.pr "  wrote BENCH_parallel.json@.")
 
 (* ------------------------------------------------------------------ *)
+(* P6: thread-local refinement validator -> BENCH_refine.json          *)
+(* ------------------------------------------------------------------ *)
+
+(* n threads, each reading a thread-private location twice and printing
+   the second read — E-RAR's redundant read, once per thread.  All
+   locations are private, so the per-thread tracesets stay constant as
+   n grows while the interleaving count (the exhaustive validator's
+   cost) explodes: the separation the refinement validator exploits. *)
+let redundant_read_program n =
+  {
+    Ast.threads =
+      List.init n (fun i ->
+          let x = Printf.sprintf "x%d" i in
+          [ Ast.Load ("r1", x); Ast.Load ("r2", x); Ast.Print "r2" ]);
+    volatile = Location.Volatile.none;
+  }
+
+(* Two halves, both feeding BENCH_refine.json:
+
+   1. Differential over the litmus corpus: the default safe pipeline
+      with per-pass validation under [Auto] must agree, pass for pass,
+      with the same run under [Exhaustive] (the refine rung escalates
+      instead of rejecting, so this agreement is exact, not
+      approximate).  The metrics registry is enabled only around the
+      [Auto] sweep, so the validate.* counters give a clean fast-path
+      hit rate; the acceptance criterion is that a majority of
+      validations are decided without enumerating one interleaving.
+
+   2. Scaling: validate cse on [redundant_read_program n] for growing
+      n, by refinement and by exhaustive enumeration under a state
+      budget.  At n = 8 the exhaustive validator must exceed the
+      budget while refinement still answers (and its per-thread
+      verdicts carry completeness, so the answer is sound).
+
+   [quick] trims the corpus sweep — the CI smoke mode. *)
+let refine_bench ?(quick = false) () =
+  let open Safeopt_opt in
+  hr "P6: thread-local refinement validator -> BENCH_refine.json";
+  let corpus =
+    if quick then List.filteri (fun i _ -> i < 6) Corpus.all else Corpus.all
+  in
+  let spec =
+    match Pipeline.parse "constprop;copyprop;cse*;dead-moves;dse;normalise"
+    with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let sweep validator =
+    List.map
+      (fun (l : Litmus.t) ->
+        (l.Litmus.name, Pipeline.run ~validate_each:true ~validator spec
+                          (Litmus.program l)))
+      corpus
+  in
+  (* metrics on only around the Auto sweep: clean fast-path counters *)
+  Obs.Metrics.reset_global ();
+  Obs.Metrics.set_enabled true;
+  let auto_runs, auto_wall = time (fun () -> sweep Validate.Auto) in
+  Obs.Metrics.set_enabled false;
+  let counter n =
+    Option.value ~default:0 Obs.Metrics.(find_counter global n)
+  in
+  let outcomes = counter "validate.outcomes" in
+  let static_hits = counter "validate.static_hits" in
+  let refine_hits = counter "validate.refine_hits" in
+  let refine_misses = counter "validate.refine_misses" in
+  let exhaustive_runs = counter "validate.exhaustive_runs" in
+  let exh_runs, exh_wall = time (fun () -> sweep Validate.Exhaustive) in
+  let verdict (o : Pipeline.outcome) =
+    match o.Pipeline.failure with
+    | None -> "ok"
+    | Some (pass, _) -> "REJECTED at " ^ pass
+  in
+  let agreements =
+    List.map2
+      (fun (name, (a : Pipeline.outcome)) (_, (e : Pipeline.outcome)) ->
+        let agree =
+          verdict a = verdict e && Ast.equal_program a.final e.final
+        in
+        (name, verdict a, agree))
+      auto_runs exh_runs
+  in
+  let all_agree = List.for_all (fun (_, _, a) -> a) agreements in
+  List.iter
+    (fun (name, v, agree) ->
+      Fmt.pr "  %-24s auto: %-10s agree with exhaustive: %b@." name v agree)
+    agreements;
+  let decided_fast = static_hits + refine_hits in
+  Fmt.pr
+    "  validations: %d  static: %d  refine: %d  escalated: %d  exhaustive \
+     runs: %d@."
+    outcomes static_hits refine_hits refine_misses exhaustive_runs;
+  Fmt.pr "  auto sweep: %.2f ms; exhaustive sweep: %.2f ms@."
+    (auto_wall *. 1000.) (exh_wall *. 1000.);
+  claim "auto and exhaustive pipeline verdicts agree on the corpus" true
+    all_agree;
+  claim "majority of validations decided without interleavings" true
+    (2 * decided_fast > outcomes);
+  (* scaling: refinement answers where enumeration exceeds its budget *)
+  let state_budget = 200_000 in
+  Fmt.pr "  %-8s %-14s %-12s %-22s@." "threads" "refine (ms)" "verdict"
+    "exhaustive (budget)";
+  let scaling =
+    List.map
+      (fun n ->
+        let p = redundant_read_program n in
+        let p' =
+          match Passes.run_pipeline [ "redundancy" ] p with
+          | Ok p' -> p'
+          | Error e -> failwith e
+        in
+        let r, rwall =
+          time (fun () -> Safeopt_analysis.Refine.check ~original:p
+                            ~transformed:p' ())
+        in
+        let safe = Safeopt_analysis.Refine.verdict r = Safeopt_analysis.Refine.Safe in
+        let exh, ewall =
+          time (fun () ->
+              try
+                let rep =
+                  Validate.validate ~max_states:state_budget ~original:p
+                    ~transformed:p' ()
+                in
+                if Validate.ok rep then `Ok else `Failed
+              with Explorer.Too_many_states s -> `Budget s)
+        in
+        let exh_str =
+          match exh with
+          | `Ok -> "ok"
+          | `Failed -> "FAILED"
+          | `Budget s -> Printf.sprintf "exceeded budget (%d states)" s
+        in
+        Fmt.pr "  %-8d %-14.2f %-12s %-22s@." n (rwall *. 1000.)
+          (if safe then "safe" else "NOT SAFE")
+          exh_str;
+        (n, safe, rwall, exh, ewall))
+      [ 2; 4; 8 ]
+  in
+  claim "refinement validates every scaling point" true
+    (List.for_all (fun (_, safe, _, _, _) -> safe) scaling);
+  claim "exhaustive exceeds its state budget at 8 threads" true
+    (List.exists
+       (fun (n, _, _, exh, _) ->
+         n = 8 && match exh with `Budget _ -> true | _ -> false)
+       scaling);
+  let scaling_rows =
+    List.map
+      (fun (n, safe, rwall, exh, ewall) ->
+        Printf.sprintf
+          "    {\"threads\": %d, \"refine_safe\": %b, \"refine_wall_s\": \
+           %.6f, \"exhaustive\": %S, \"exhaustive_wall_s\": %.6f}"
+          n safe rwall
+          (match exh with
+          | `Ok -> "ok"
+          | `Failed -> "failed"
+          | `Budget s -> Printf.sprintf "budget_exceeded:%d" s)
+          ewall)
+      scaling
+  in
+  let corpus_rows =
+    List.map
+      (fun (name, v, agree) ->
+        Printf.sprintf "    {\"name\": %S, \"verdict\": %S, \"agree\": %b}"
+          name v agree)
+      agreements
+  in
+  let json =
+    String.concat "\n"
+      ([
+         "{";
+         "  \"schema\": \"bench_refine/v1\",";
+         Printf.sprintf "  \"quick\": %b," quick;
+         "  \"pipeline\": \"constprop;copyprop;cse*;dead-moves;dse;normalise\",";
+         Printf.sprintf "  \"programs\": %d," (List.length corpus);
+         Printf.sprintf "  \"validations\": %d," outcomes;
+         Printf.sprintf "  \"static_hits\": %d," static_hits;
+         Printf.sprintf "  \"refine_hits\": %d," refine_hits;
+         Printf.sprintf "  \"refine_misses\": %d," refine_misses;
+         Printf.sprintf "  \"exhaustive_runs\": %d," exhaustive_runs;
+         Printf.sprintf "  \"fast_path_rate\": %.3f,"
+           (if outcomes = 0 then 0.
+            else float_of_int decided_fast /. float_of_int outcomes);
+         Printf.sprintf "  \"auto_wall_s\": %.4f," auto_wall;
+         Printf.sprintf "  \"exhaustive_wall_s\": %.4f," exh_wall;
+         Printf.sprintf "  \"all_verdicts_agree\": %b," all_agree;
+         Printf.sprintf "  \"state_budget\": %d," state_budget;
+         "  \"corpus\": [";
+       ]
+      @ [ String.concat ",\n" corpus_rows ]
+      @ [ "  ],"; "  \"scaling\": [" ]
+      @ [ String.concat ",\n" scaling_rows ]
+      @ [ "  ]"; "}" ])
+  in
+  let oc = open_out "BENCH_refine.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "  wrote BENCH_refine.json@."
+
+(* ------------------------------------------------------------------ *)
 (* obs-overhead: the disabled-telemetry cost guard                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1027,7 +1227,9 @@ let () =
      `pipeline-quick`, the CI smoke mode) just the pass-manager one
      (BENCH_pipeline.json); `-- parallel [jobs]` (or `parallel-quick
      [jobs]`) the sequential-vs-parallel comparison
-     (BENCH_parallel.json); `-- obs-overhead` the disabled-telemetry
+     (BENCH_parallel.json); `-- refine` (or `refine-quick`) the
+     validator-ladder differential and scaling comparison
+     (BENCH_refine.json); `-- obs-overhead` the disabled-telemetry
      cost guard (exits 1 when the guards are not free); the default
      runs the full reproduction suite. *)
   match Sys.argv with
@@ -1040,6 +1242,8 @@ let () =
   | [| _; "parallel-quick" |] -> parallel_bench ~quick:true ~jobs:2 ()
   | [| _; "parallel-quick"; j |] ->
       parallel_bench ~quick:true ~jobs:(int_of_string j) ()
+  | [| _; "refine" |] -> refine_bench ()
+  | [| _; "refine-quick" |] -> refine_bench ~quick:true ()
   | _ ->
       e1 ();
       e2 ();
@@ -1060,5 +1264,6 @@ let () =
       explore_bench ();
       pipeline_bench ();
       parallel_bench ~jobs:4 ();
+      refine_bench ();
       run_bechamel ();
       Fmt.pr "@.done.@."

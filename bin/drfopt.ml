@@ -308,6 +308,31 @@ let opt_cmd =
              guarantee")
     Term.(const run $ obs_term $ file_arg $ fuel_arg $ passes_arg)
 
+(* --- the validator ladder flag (optimize + validate) --- *)
+
+let validator_arg =
+  let mode_conv =
+    Arg.enum
+      [
+        ("static", Safeopt_opt.Validate.Static);
+        ("refine", Safeopt_opt.Validate.Refinement);
+        ("exhaustive", Safeopt_opt.Validate.Exhaustive);
+        ("auto", Safeopt_opt.Validate.Auto);
+      ]
+  in
+  Arg.(
+    value
+    & opt mode_conv Safeopt_opt.Validate.Auto
+    & info [ "validator" ] ~docv:"MODE"
+        ~doc:"How to decide the DRF guarantee for a program pair: \
+              $(b,static) (syntactic equality only), $(b,refine) \
+              (thread-local refinement — per-thread traceset matching, no \
+              interleaving enumeration), $(b,exhaustive) (full \
+              interleaving enumeration) or $(b,auto) (default: climb the \
+              ladder and stop at the first rung that decides; refine \
+              counterexamples escalate rather than reject, so the verdict \
+              always equals $(b,exhaustive)'s).")
+
 (* --- optimize (pass-manager pipeline) --- *)
 
 let optimize_cmd =
@@ -326,9 +351,10 @@ let optimize_cmd =
       value & flag
       & info [ "validate-each" ]
           ~doc:"Differentially validate every pass's output against its \
-                input (static DRF certificate first, exhaustive \
-                enumeration as fallback); stop at the first failing pass \
-                with a counterexample witness.")
+                input under $(b,--validator) (default auto: syntactic \
+                equality, then thread-local refinement, then exhaustive \
+                enumeration); stop at the first failing pass with a \
+                counterexample witness.")
   in
   let trace_arg =
     Arg.(
@@ -350,7 +376,8 @@ let optimize_cmd =
       & info [] ~docv:"FILE"
           ~doc:"Program in the concrete syntax (omit with $(b,--list)).")
   in
-  let run () file fuel pipeline validate_each trace list_passes jobs =
+  let run () file fuel pipeline validate_each trace list_passes jobs validator
+      =
     let jobs = check_jobs jobs in
     let open Safeopt_opt in
     if list_passes then (
@@ -365,7 +392,7 @@ let optimize_cmd =
     in
     let p = or_die (load file) in
     let spec = or_die (Pipeline.parse pipeline) in
-    let o = Pipeline.run ~fuel ~validate_each ~jobs spec p in
+    let o = Pipeline.run ~fuel ~validate_each ~jobs ~validator spec p in
     if trace then Fmt.pr "%a" Pipeline.pp_trace o;
     Fmt.pr "--- optimised ---@.%a@." Pp.program o.final;
     let sites =
@@ -394,7 +421,7 @@ let optimize_cmd =
              differential validation")
     Term.(
       const run $ obs_term $ opt_file_arg $ fuel_arg $ pipeline_arg
-      $ validate_each_arg $ trace_arg $ list_arg $ jobs_arg)
+      $ validate_each_arg $ trace_arg $ list_arg $ jobs_arg $ validator_arg)
 
 (* --- validate --- *)
 
@@ -425,33 +452,47 @@ let validate_cmd =
   let max_len_arg =
     Arg.(
       value & opt int 10
-      & info [ "max-len" ] ~doc:"Trace length bound for the relation check.")
+      & info [ "max-len" ]
+          ~doc:"Trace length bound for the refine rung's per-thread \
+                enumerations and for the $(b,--relation) check.")
   in
-  let run () orig_file trans_file relation max_len fuel stats jobs =
+  let run () orig_file trans_file relation validator max_len fuel stats jobs =
     let jobs = check_jobs jobs in
     let original = or_die (load orig_file) in
     let transformed = or_die (load trans_file) in
+    let open Safeopt_opt in
     with_stats stats (fun stats ->
-        let report =
-          match relation with
-          | Safeopt_opt.Validate.Unchecked ->
-              Safeopt_opt.Validate.validate ~fuel ?stats ~jobs ~original
-                ~transformed ()
-          | r ->
-              Safeopt_opt.Validate.validate_semantic ~fuel ?stats ~jobs
-                ~max_len ~relation:r ~original ~transformed ()
-        in
-        Fmt.pr "%a@." Safeopt_opt.Validate.pp_report report;
-        Fmt.pr "DRF guarantee: %s@."
-          (if Safeopt_opt.Validate.ok report then "HOLDS" else "VIOLATED");
-        if Safeopt_opt.Validate.ok report then 0 else 1)
+        match relation with
+        | Validate.Unchecked ->
+            let o =
+              Validate.run_validator ~fuel ?stats ~jobs ~max_len validator
+                ~original ~transformed ()
+            in
+            Fmt.pr "%a@." Validate.pp_outcome o;
+            Fmt.pr "DRF guarantee: %s@."
+              (if Validate.outcome_ok o then "HOLDS"
+               else if Validate.method_tag o = "inconclusive" then "UNDECIDED"
+               else "VIOLATED");
+            if Validate.outcome_ok o then 0 else 1
+        | r ->
+            let report =
+              Validate.validate_semantic ~fuel ?stats ~jobs ~max_len
+                ~relation:r ~original ~transformed ()
+            in
+            Fmt.pr "%a@." Validate.pp_report report;
+            Fmt.pr "DRF guarantee: %s@."
+              (if Validate.ok report then "HOLDS" else "VIOLATED");
+            if Validate.ok report then 0 else 1)
   in
   Cmd.v
     (Cmd.info "validate"
-       ~doc:"Check a transformation against the DRF guarantee (Theorems 1-4)")
+       ~doc:"Check a transformation against the DRF guarantee (Theorems 1-4). \
+             Without $(b,--relation), the pair is decided under \
+             $(b,--validator) (default auto); with it, the claimed semantic \
+             traceset relation is checked by the legacy exhaustive path")
     Term.(
       const run $ obs_term $ file_arg $ transformed_arg $ relation_arg
-      $ max_len_arg $ fuel_arg $ stats_arg $ jobs_arg)
+      $ validator_arg $ max_len_arg $ fuel_arg $ stats_arg $ jobs_arg)
 
 (* --- denote --- *)
 

@@ -22,20 +22,32 @@ let candidate (a : Lockset.access) (b : Lockset.access) =
   && (a.kind = Lockset.Write || b.kind = Lockset.Write)
   && Monitor.Set.is_empty (Monitor.Set.inter a.locked b.locked)
 
+(* One report per unordered candidate pair: orient each pair so the
+   earlier source window comes first ((tid, site) lexicographic, the
+   order the program text lists the accesses) and collapse duplicates,
+   so a race never shows up both as (a, b) and as (b, a). *)
+let access_key (a : Lockset.access) = (a.Lockset.tid, a.Lockset.site)
+
+let canonical a b =
+  if access_key a <= access_key b then { fst_access = a; snd_access = b }
+  else { fst_access = b; snd_access = a }
+
+let pair_key pr = (access_key pr.fst_access, access_key pr.snd_access)
+
 let analyse (p : Ast.program) =
   let accesses = Lockset.program_accesses p in
-  let races =
-    List.concat_map
-      (fun a ->
+  let rec pairs = function
+    | [] -> []
+    | a :: rest ->
         List.filter_map
-          (fun b ->
-            if
-              (a.Lockset.tid, a.Lockset.site) < (b.Lockset.tid, b.Lockset.site)
-              && candidate a b
-            then Some { fst_access = a; snd_access = b }
-            else None)
-          accesses)
-      accesses
+          (fun b -> if candidate a b then Some (canonical a b) else None)
+          rest
+        @ pairs rest
+  in
+  let races =
+    List.sort_uniq
+      (fun p q -> compare (pair_key p) (pair_key q))
+      (pairs accesses)
   in
   { accesses; races }
 

@@ -26,8 +26,10 @@ type report = { accesses : Lockset.access list; races : pair list }
 
 val analyse : Ast.program -> report
 (** All reachable accesses with locksets, plus every unprotected
-    conflicting cross-thread pair (each unordered pair reported
-    once). *)
+    conflicting cross-thread pair.  Each unordered pair is reported
+    exactly once — never both as [(a, b)] and [(b, a)] — oriented so
+    the access with the earlier source window (lexicographic on
+    (thread, site)) comes first, and sorted in that order. *)
 
 val certified_drf : Ast.program -> bool
 (** [true] iff {!analyse} reports no potential race: a sound static

@@ -95,3 +95,19 @@ val is_member :
     oracle when checking syntactic reorderings (Lemma 5: syntactic
     reordering = semantic elimination followed by semantic
     reordering). *)
+
+val memoised_member :
+  ?proper:bool ->
+  Location.Volatile.t ->
+  original:Traceset.t ->
+  universe:Value.t list ->
+  Trace.t ->
+  bool
+(** A memoising elimination-closure membership oracle over a fixed
+    [original] traceset, equivalent to {!is_member} query by query.
+    Partially applying the named arguments yields a closure whose memo
+    tables (membership verdicts and the belongs-to checks beneath them)
+    are shared across queries — the shape every Lemma-5 reordering
+    search wants, since [Reorder.find] probes the same intermediate
+    traces over and over.  Used by the differential validator and the
+    per-thread refinement checker. *)

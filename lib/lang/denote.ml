@@ -22,31 +22,50 @@ let issues_program ?tau_fuel p t =
 let belongs_to ?tau_fuel ~universe p w =
   Seq.for_all (issues_program ?tau_fuel p) (Wildcard.instances ~universe w)
 
-let traceset ?tau_fuel ~universe ~max_len p =
-  (* Enumerate each thread's traces by DFS over [Semantics.next], reads
-     drawn from the universe.  All prefixes are collected. *)
+let thread_traces ?tau_fuel ?(max_traces = max_int) ~universe ~max_len ~tid
+    thread =
+  (* Enumerate one thread's traces by DFS over [Semantics.next], reads
+     drawn from the universe.  All prefixes are collected.  The flag
+     reports whether the enumeration is the thread's {e entire} bounded
+     denotation: it turns false exactly when a trace reaches [max_len]
+     with the thread still able to issue an action, or when the trace
+     budget [max_traces] is exhausted. *)
   let acc = ref Traceset.empty in
-  let add t = acc := Traceset.add t !acc in
+  let count = ref 0 in
+  let complete = ref true in
+  let exception Budget in
+  let add t =
+    incr count;
+    if !count > max_traces then begin
+      complete := false;
+      raise Budget
+    end;
+    acc := Traceset.add t !acc
+  in
+  let rec go c rev_trace len =
+    add (List.rev rev_trace);
+    match Semantics.next ?tau_fuel c with
+    | Semantics.Done | Semantics.Diverged -> ()
+    | _ when len >= max_len -> complete := false
+    | Semantics.Write (l, v, c') ->
+        go c' (Action.Write (l, v) :: rev_trace) (len + 1)
+    | Semantics.Read (l, k) ->
+        List.iter
+          (fun v -> go (k v) (Action.Read (l, v) :: rev_trace) (len + 1))
+          universe
+    | Semantics.Lock (m, c') -> go c' (Action.Lock m :: rev_trace) (len + 1)
+    | Semantics.Unlock (m, c') -> go c' (Action.Unlock m :: rev_trace) (len + 1)
+    | Semantics.Output (v, c') -> go c' (Action.External v :: rev_trace) (len + 1)
+  in
+  (try go (Semantics.initial thread) [ Action.Start tid ] 1
+   with Budget -> ());
+  (!acc, !complete)
+
+let traceset ?tau_fuel ~universe ~max_len p =
+  let acc = ref Traceset.empty in
   List.iteri
     (fun tid thread ->
-      let rec go c rev_trace len =
-        add (List.rev rev_trace);
-        if len < max_len then
-          match Semantics.next ?tau_fuel c with
-          | Semantics.Done | Semantics.Diverged -> ()
-          | Semantics.Write (l, v, c') ->
-              go c' (Action.Write (l, v) :: rev_trace) (len + 1)
-          | Semantics.Read (l, k) ->
-              List.iter
-                (fun v -> go (k v) (Action.Read (l, v) :: rev_trace) (len + 1))
-                universe
-          | Semantics.Lock (m, c') ->
-              go c' (Action.Lock m :: rev_trace) (len + 1)
-          | Semantics.Unlock (m, c') ->
-              go c' (Action.Unlock m :: rev_trace) (len + 1)
-          | Semantics.Output (v, c') ->
-              go c' (Action.External v :: rev_trace) (len + 1)
-      in
-      go (Semantics.initial thread) [ Action.Start tid ] 1)
+      let ts, _ = thread_traces ?tau_fuel ~universe ~max_len ~tid thread in
+      acc := Traceset.union ts !acc)
     p.Ast.threads;
   !acc

@@ -39,3 +39,23 @@ val traceset :
   ?tau_fuel:int -> universe:Value.t list -> max_len:int -> Ast.program -> Traceset.t
 (** All traces of [[P]] of length at most [max_len] whose read values
     are drawn from [universe].  Prefix-closed by construction. *)
+
+val thread_traces :
+  ?tau_fuel:int ->
+  ?max_traces:int ->
+  universe:Value.t list ->
+  max_len:int ->
+  tid:Thread_id.t ->
+  Ast.thread ->
+  Traceset.t * bool
+(** The single-thread slice of the denotation: all traces
+    [S(tid) :: t] of length at most [max_len] the thread may issue
+    (reads drawn from [universe]), prefix-closed.  The boolean is a
+    {e completeness} certificate: [true] means every enumerated maximal
+    trace ends because the thread finished (or silently diverged), so
+    the traceset is the thread's entire denotation over [universe] —
+    the precondition for the thread-local refinement checker to trust a
+    positive verdict.  It is [false] when some trace hit [max_len] with
+    an action still issuable, or when more than [max_traces] traces
+    (default unbounded) were generated.  [traceset] is the union of
+    [thread_traces] over all threads. *)

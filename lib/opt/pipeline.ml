@@ -167,7 +167,7 @@ type pass_stats = {
   ps_pass : string;
   ps_iterations : int;
   ps_sites : Pass.site list;
-  ps_validation : Validate.report option;
+  ps_validation : Validate.outcome option;
   ps_validation_wall : float;
   ps_explorer : Explorer.stats;
 }
@@ -181,10 +181,10 @@ let pp_pass_stats ppf ps =
   List.iter (fun s -> Fmt.pf ppf "  %a@," Pass.pp_site s) ps.ps_sites;
   (match ps.ps_validation with
   | None -> Fmt.pf ppf "  validation: skipped"
-  | Some r ->
-      Fmt.pf ppf "  validation: %s (states %d, %.1f ms)"
-        (if Validate.ok r then "ok" else "FAILED")
-        ps.ps_explorer.Explorer.states
+  | Some o ->
+      Fmt.pf ppf "  validation: %s [%s] (states %d, %.1f ms)"
+        (if Validate.outcome_ok o then "ok" else "FAILED")
+        (Validate.method_tag o) ps.ps_explorer.Explorer.states
         (ps.ps_validation_wall *. 1000.));
   Fmt.pf ppf "@]"
 
@@ -217,35 +217,40 @@ let publish_step ps =
     c "pipeline.rewrite_sites" (List.length ps.ps_sites);
     match ps.ps_validation with
     | None -> ()
-    | Some r ->
+    | Some o ->
         c "pipeline.validations" 1;
-        if not (Validate.ok r) then c "pipeline.validation_failures" 1
+        if not (Validate.outcome_ok o) then c "pipeline.validation_failures" 1
   end
 
 let verdict_of ps =
   match ps.ps_validation with
   | None -> "skipped"
-  | Some r -> if Validate.ok r then "ok" else "FAILED"
+  | Some o -> if Validate.outcome_ok o then "ok" else "FAILED"
 
 let step_attrs ps =
   [
     ("iterations", Ev.Int ps.ps_iterations);
     ("sites", Ev.Int (List.length ps.ps_sites));
     ("verdict", Ev.Str (verdict_of ps));
+    ( "method",
+      Ev.Str
+        (match ps.ps_validation with
+        | None -> "skipped"
+        | Some o -> Validate.method_tag o) );
     ("validation_wall", Ev.Float ps.ps_validation_wall);
     ("states", Ev.Int ps.ps_explorer.Explorer.states);
   ]
 
 let run ?fuel ?max_states ?(validate_each = false) ?(max_iters = 16) ?jobs
-    ?pool spec p =
+    ?pool ?(validator = Validate.Exhaustive) spec p =
   let validate_step stats pin pout =
     if validate_each && not (Ast.equal_program pout pin) then begin
       let t0 = Clock.now () in
-      let r =
-        Validate.validate ?fuel ?max_states ~stats ~original:pin
-          ~transformed:pout ()
+      let o =
+        Validate.run_validator ?fuel ?max_states ~stats validator
+          ~original:pin ~transformed:pout ()
       in
-      Some (r, Clock.elapsed t0)
+      Some (o, Clock.elapsed t0)
     end
     else None
   in
@@ -264,8 +269,8 @@ let run ?fuel ?max_states ?(validate_each = false) ?(max_iters = 16) ?jobs
     publish_step ps;
     ps
   in
-  let failure_of step pin pout r =
-    match Validate.witness ~original:pin ~transformed:pout r with
+  let failure_of step pin pout o =
+    match Validate.outcome_witness ~original:pin ~transformed:pout o with
     | Some w -> Some (step.pass.Pass.name, w)
     | None -> None
   in
@@ -287,12 +292,12 @@ let run ?fuel ?max_states ?(validate_each = false) ?(max_iters = 16) ?jobs
           Tracer.close_span ~attrs:(step_attrs ps) sp;
           let steps_rev = ps :: steps_rev in
           match validation with
-          | Some (r, _) when not (Validate.ok r) ->
+          | Some (o, _) when not (Validate.outcome_ok o) ->
               (* reject the pass's output: the pipeline stops at its input *)
               {
                 final = p;
                 steps = List.rev steps_rev;
-                failure = failure_of step p p' r;
+                failure = failure_of step p p' o;
               }
           | _ -> go p' steps_rev rest)
     in
@@ -355,11 +360,11 @@ let run ?fuel ?max_states ?(validate_each = false) ?(max_iters = 16) ?jobs
               "pass.verdict";
           let steps_rev = ps :: steps_rev in
           match validation with
-          | Some (r, _) when not (Validate.ok r) ->
+          | Some (o, _) when not (Validate.outcome_ok o) ->
               {
                 final = pin;
                 steps = List.rev steps_rev;
-                failure = failure_of step pin pout r;
+                failure = failure_of step pin pout o;
               }
           | _ -> cut pout steps_rev staged' validations' (i + 1))
     in

@@ -51,8 +51,10 @@ type pass_stats = {
   ps_pass : string;  (** pass name *)
   ps_iterations : int;  (** runs performed (>1 only for [*] steps) *)
   ps_sites : Pass.site list;  (** provenance: every rewrite performed *)
-  ps_validation : Validate.report option;
-      (** differential report vs. this pass's input, when validating *)
+  ps_validation : Validate.outcome option;
+      (** differential outcome vs. this pass's input, when validating:
+          carries the deciding rung ({!Validate.method_tag}), the
+          refinement analysis and/or the exhaustive report *)
   ps_validation_wall : float;  (** seconds spent validating this pass *)
   ps_explorer : Explorer.stats;
       (** exploration work done by this pass's validation *)
@@ -76,15 +78,19 @@ val run :
   ?max_iters:int ->
   ?jobs:int ->
   ?pool:Par.Pool.t ->
+  ?validator:Validate.validator ->
   spec ->
   Ast.program ->
   outcome
 (** Run the spec left to right.  A [*] step re-runs its pass until the
     program stops changing (or [max_iters], default 16, is hit).  With
     [validate_each] (default [false]), every pass's output is validated
-    against its input using the static-certificate fast path; the first
-    failing pass aborts the pipeline with a witness.  A pass whose
-    output equals its input is never validated (nothing to check).
+    against its input under [validator] (default
+    {!Validate.Exhaustive}; {!Validate.Auto} climbs the
+    static/refine/exhaustive ladder and records the deciding rung in
+    {!pass_stats.ps_validation}); the first failing pass aborts the
+    pipeline with a witness.  A pass whose output equals its input is
+    never validated (nothing to check).
 
     [jobs]/[pool] parallelise the validations: the (cheap, inherently
     sequential) rewrites run first, then every changed step's

@@ -160,18 +160,9 @@ let validate_semantic ?fuel ?max_states ?stats ?jobs ?pool ?(max_len = 12)
                 ~mem:(fun t -> Traceset.mem t ts_orig)
                 ~transformed:ts_trans
           | Elimination_then_reordering ->
-              let memo = Hashtbl.create 97 in
-              let mem t =
-                let k = Trace.to_string t in
-                match Hashtbl.find_opt memo k with
-                | Some b -> b
-                | None ->
-                    let b =
-                      Safeopt_core.Elimination.is_member vol
-                        ~original:ts_orig ~universe t
-                    in
-                    Hashtbl.add memo k b;
-                    b
+              let mem =
+                Safeopt_core.Elimination.memoised_member vol
+                  ~original:ts_orig ~universe
               in
               Safeopt_core.Reorder.find_undepermutable vol ~mem
                 ~transformed:ts_trans
@@ -212,6 +203,133 @@ let validate_batch ?fuel ?max_states ?stats ?jobs ?pool pairs =
     (fun stats (original, transformed) ->
       validate ?fuel ?max_states ?stats ~original ~transformed ())
     pairs
+
+(* --- The validator escalation ladder ----------------------------------- *)
+
+module Refine = Safeopt_analysis.Refine
+module Metrics = Safeopt_obs.Metrics
+
+type validator = Static | Refinement | Exhaustive | Auto
+
+let pp_validator ppf = function
+  | Static -> Fmt.string ppf "static"
+  | Refinement -> Fmt.string ppf "refine"
+  | Exhaustive -> Fmt.string ppf "exhaustive"
+  | Auto -> Fmt.string ppf "auto"
+
+type method_ = Equal_programs | Refined | Enumerated | Inconclusive
+
+type outcome = {
+  out_validator : validator;
+  out_method : method_;
+  out_ok : bool;
+  out_refine : Refine.t option;
+  out_report : report option;
+  out_note : string option;
+}
+
+let method_tag o =
+  match o.out_method with
+  | Equal_programs -> "static"
+  | Refined -> "refine"
+  | Enumerated -> "exhaustive"
+  | Inconclusive -> "inconclusive"
+
+let outcome_ok o = o.out_ok
+
+let outcome_witness ~original ~transformed o =
+  if o.out_ok then None
+  else
+    match (o.out_report, o.out_refine) with
+    | Some r, _ -> witness ~original ~transformed r
+    | None, Some r -> Refine.witness ~original ~transformed r
+    | None, None -> None
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "@[<v>validator: %a; decided by: %s; verdict: %s" pp_validator
+    o.out_validator (method_tag o)
+    (if o.out_ok then "ok"
+     else
+       match o.out_method with
+       | Inconclusive -> "UNDECIDED"
+       | _ -> "FAILED");
+  Option.iter (fun n -> Fmt.pf ppf "@ note: %s" n) o.out_note;
+  Option.iter (fun r -> Fmt.pf ppf "@ %a" Refine.pp r) o.out_refine;
+  Option.iter (fun r -> Fmt.pf ppf "@ %a" pp_report r) o.out_report;
+  Fmt.pf ppf "@]"
+
+let vcount name =
+  if Metrics.enabled () then Metrics.add (Metrics.counter Metrics.global name) 1
+
+(* The ladder.  Rung 1 (static): syntactic program equality — trivially
+   ok, no semantics consulted.  Rung 2 (refine): the thread-local
+   refinement analysis; a [Safe] verdict establishes Lemma 5's relation
+   on the bounded denotations, which implies the DRF guarantee for any
+   original (Theorems 3-5) — ok without enumerating one interleaving.
+   Rung 3 (exhaustive): the interpreter-level differential validation
+   (itself using the static lockset certificate for its two DRF legs).
+
+   The relation of rung 2 is sufficient but not necessary, so in [Auto]
+   a refine counterexample escalates to rung 3 rather than rejecting:
+   [Auto]'s verdict always equals [Exhaustive]'s.  Forcing a single
+   rung ([Static]/[Refinement]) reports [Inconclusive] (not ok, no
+   witness) when that rung cannot decide. *)
+let run_validator ?fuel ?max_states ?stats ?jobs ?pool ?max_len ?max_traces
+    validator ~original ~transformed () =
+  vcount "validate.outcomes";
+  let outcome out_method out_ok out_refine out_report out_note =
+    { out_validator = validator; out_method; out_ok; out_refine; out_report;
+      out_note }
+  in
+  let exhaustive ?refine ?note () =
+    vcount "validate.exhaustive_runs";
+    let r =
+      validate ?fuel ?max_states ?stats ?jobs ?pool ~original ~transformed ()
+    in
+    outcome Enumerated (ok r) refine (Some r) note
+  in
+  if Ast.equal_program original transformed then begin
+    vcount "validate.static_hits";
+    outcome Equal_programs true None None
+      (Some "programs syntactically equal")
+  end
+  else
+    match validator with
+    | Static ->
+        outcome Inconclusive false None None
+          (Some
+             "programs differ: the static rung cannot relate distinct \
+              programs (use refine, exhaustive or auto)")
+    | Exhaustive -> exhaustive ()
+    | Refinement -> (
+        let r = Refine.check ?max_len ?max_traces ~original ~transformed () in
+        match Refine.verdict r with
+        | Refine.Safe ->
+            vcount "validate.refine_hits";
+            outcome Refined true (Some r) None None
+        | Refine.Counterexample _ ->
+            outcome Refined false (Some r) None
+              (Some "a transformed thread trace has no \
+                     elimination/reordering witness")
+        | Refine.Unknown reason ->
+            outcome Inconclusive false (Some r) None (Some reason))
+    | Auto -> (
+        let r = Refine.check ?max_len ?max_traces ~original ~transformed () in
+        match Refine.verdict r with
+        | Refine.Safe ->
+            vcount "validate.refine_hits";
+            outcome Refined true (Some r) None None
+        | Refine.Counterexample _ ->
+            vcount "validate.refine_misses";
+            exhaustive ~refine:r
+              ~note:"refinement found an unwitnessed trace; escalated to \
+                     exhaustive enumeration"
+              ()
+        | Refine.Unknown reason ->
+            vcount "validate.refine_misses";
+            exhaustive ~refine:r
+              ~note:(reason ^ "; escalated to exhaustive enumeration")
+              ())
 
 type chain_report = { pairwise : report list; end_to_end : report }
 

@@ -117,6 +117,87 @@ val witness :
     degenerate case where it fails but records no concrete evidence
     (e.g. a racy original, where the DRF guarantee is vacuous). *)
 
+(** {1 The validator escalation ladder}
+
+    Three ways to decide the DRF guarantee for a program pair, ordered
+    by cost:
+
+    - {e static}: syntactic program equality (and, inside the
+      exhaustive rung, the lockset certificate for the DRF legs) — no
+      semantics at all;
+    - {e refine}: the thread-local refinement analysis
+      ({!Safeopt_analysis.Refine}) — per-thread traceset matching,
+      no interleavings;
+    - {e exhaustive}: the interpreter-level differential validation
+      ({!validate}) — the full interleaving enumeration.
+
+    [Auto] climbs the ladder and stops at the first rung that decides.
+    A refine counterexample does {e not} reject in [Auto] — the
+    traceset relation is sufficient for safety but not necessary — it
+    escalates, so [Auto]'s verdict always equals [Exhaustive]'s.
+    Forcing a single rung reports inconclusive when it cannot decide. *)
+
+type validator = Static | Refinement | Exhaustive | Auto
+
+val pp_validator : validator Fmt.t
+
+type method_ =
+  | Equal_programs  (** decided by syntactic equality (static rung) *)
+  | Refined  (** decided by per-thread refinement *)
+  | Enumerated  (** decided by exhaustive enumeration *)
+  | Inconclusive  (** a forced rung could not decide *)
+
+type outcome = {
+  out_validator : validator;  (** the mode that was requested *)
+  out_method : method_;  (** the rung that produced the verdict *)
+  out_ok : bool;
+      (** the DRF guarantee holds ([Inconclusive] is never ok) *)
+  out_refine : Safeopt_analysis.Refine.t option;
+      (** the refinement analysis, whenever it ran *)
+  out_report : report option;
+      (** the exhaustive report, iff the enumeration ran *)
+  out_note : string option;  (** why a rung was skipped or escalated *)
+}
+
+val method_tag : outcome -> string
+(** Short provenance tag: ["static"], ["refine"], ["exhaustive"] or
+    ["inconclusive"]. *)
+
+val outcome_ok : outcome -> bool
+
+val outcome_witness :
+  original:Ast.program ->
+  transformed:Ast.program ->
+  outcome ->
+  Ast.program Safeopt_core.Witness.t option
+(** Structured counterexample for a failed outcome: from the
+    exhaustive report when the enumeration ran ({!witness}), otherwise
+    from the refine counterexample
+    ({!Safeopt_analysis.Refine.witness}). *)
+
+val pp_outcome : outcome Fmt.t
+
+val run_validator :
+  ?fuel:int ->
+  ?max_states:int ->
+  ?stats:Explorer.stats ->
+  ?jobs:int ->
+  ?pool:Par.Pool.t ->
+  ?max_len:int ->
+  ?max_traces:int ->
+  validator ->
+  original:Ast.program ->
+  transformed:Ast.program ->
+  unit ->
+  outcome
+(** Decide the pair under the given mode.  [max_len]/[max_traces]
+    bound the refine rung's per-thread enumerations; [fuel],
+    [max_states], [stats], [jobs], [pool] parameterise the exhaustive
+    rung exactly as in {!validate}.  When the {!Safeopt_obs.Metrics}
+    registry is enabled, publishes the fast-path hit-rate counters
+    [validate.outcomes], [validate.static_hits], [validate.refine_hits],
+    [validate.refine_misses] and [validate.exhaustive_runs]. *)
+
 type chain_report = {
   pairwise : report list;  (** adjacent pairs, in order *)
   end_to_end : report;  (** first program vs last *)

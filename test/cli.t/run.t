@@ -172,9 +172,21 @@ running the exhaustive enumeration:
   $ drfopt analyze ../../examples/racy_counter.lit --stats | grep 'verdict:'
   verdict: RACY (exhaustive enumeration); witness:
 
+The exit code is the CI gate: 0 on a static DRF certificate, nonzero on
+potential races, so `drfopt analyze` can guard a pipeline directly:
+
+  $ drfopt analyze ../../examples/locked_counter.lit > /dev/null && echo certified
+  certified
+  $ drfopt analyze ../../examples/racy_counter.lit > /dev/null || echo "gate closed: $?"
+  gate closed: 1
+
 The pass manager: a pipeline spec of first-class passes with per-pass
 provenance sites and differential validation after every pass
-(validation wall time varies between runs, so it is masked):
+(validation wall time varies between runs, so it is masked).  The
+bracketed tag on each verdict is the validator rung that decided it:
+under the default auto ladder these single-thread rewrites are decided
+by the thread-local refinement analysis — per-thread traceset
+witnesses, zero interleavings explored (states 0):
 
   $ cat > dse.lit <<'PROG'
   > thread {
@@ -187,16 +199,16 @@ provenance sites and differential validation after every pass
   $ drfopt optimize dse.lit --pipeline "constprop;cse*;dse;normalise" --validate-each --trace-passes | sed -E 's/[0-9]+\.[0-9]+ ms/_ ms/'
   pass constprop: 1 site in 1 iteration
     constprop @ thread 0: if (r1 == 1) { x := r1; } else { x := r1; } ~> if (1 == 1) { x := r1; } else { x := r1; }
-    validation: ok (states 8, _ ms)
+    validation: ok [refine] (states 0, _ ms)
   pass redundancy: 0 sites in 1 iteration
     validation: skipped
   pass dead-stores: 2 sites in 1 iteration
     E-WBW/cfg @ 1.0.0 @ thread 0: x := r1; ~> skip;
     E-WBW/cfg @ 1.1.0 @ thread 0: x := r1; ~> skip;
-    validation: ok (states 7, _ ms)
+    validation: ok [refine] (states 0, _ ms)
   pass normalise: 1 site in 1 iteration
     normalise @ thread 0: if (1 == 1) { skip; } else { skip; } ~> if (1 == 1) skip; else skip;
-    validation: ok (states 6, _ ms)
+    validation: ok [refine] (states 0, _ ms)
   pipeline ok: 4 passes run
   --- optimised ---
   thread {
@@ -233,7 +245,7 @@ interleaving of the transformed program):
   pass unsafe-store-release: 2 sites in 1 iteration
     unsafe-store-release @ thread 0: data := r0; ~> unlock m;
     unsafe-store-release @ thread 0: unlock m; ~> data := r0;
-    validation: FAILED (states 71, _ ms)
+    validation: FAILED [exhaustive] (states 71, _ ms)
   pipeline REJECTED at pass unsafe-store-release:
   original:
     thread {
@@ -280,10 +292,46 @@ interleaving of the transformed program):
   2 rewrite sites across 1 pass
   REJECTED at pass unsafe-store-release
 
+The validator ladder, standalone: --validator picks how a program pair
+is decided.  The refine rung matches per-thread tracesets against the
+original's via elimination/reordering witnesses — no scheduler, no
+interleavings — and reports how many transformed traces it witnessed:
+
+  $ cat > rr.lit <<'PROG'
+  > thread {
+  >   r1 := x0;
+  >   r2 := x0;
+  >   print r2;
+  > }
+  > PROG
+  $ drfopt transform rr.lit --rule E-RAR > rr_opt.lit
+  $ drfopt validate rr.lit rr_opt.lit --validator refine
+  validator: refine; decided by: refine; verdict: ok
+  thread 0: refines (8 traces witnessed)
+  DRF guarantee: HOLDS
+
+Forcing the static rung on distinct programs is inconclusive (exit 1):
+syntactic equality is all it can decide, and behaviour inclusion is
+undecidable statically,
+
+  $ drfopt validate rr.lit rr_opt.lit --validator static
+  validator: static; decided by: inconclusive; verdict: UNDECIDED
+  note: programs differ: the static rung cannot relate distinct programs (use refine, exhaustive or auto)
+  DRF guarantee: UNDECIDED
+  [1]
+
+while identical programs are decided there, whatever the mode:
+
+  $ drfopt validate rr.lit rr.lit --validator refine
+  validator: refine; decided by: static; verdict: ok
+  note: programs syntactically equal
+  DRF guarantee: HOLDS
+
 Structured tracing: a traced pipeline run, its offline report and the
 Chrome export.  Timings are redacted; the counter totals, span counts
 and per-pass verdicts are deterministic (the wall_s and states_per_s
-rate metrics are not, so they are filtered out):
+rate metrics are not, so they are filtered out).  The exhaustive rung
+is forced so the report shows the exploration counters:
 
   $ cat > seqopt.lit <<'PROG'
   > thread {
@@ -296,7 +344,7 @@ rate metrics are not, so they are filtered out):
   > }
   > PROG
 
-  $ drfopt optimize seqopt.lit --pipeline 'cse;dse' --validate-each --trace-out t.jsonl
+  $ drfopt optimize seqopt.lit --pipeline 'cse;dse' --validate-each --validator exhaustive --trace-out t.jsonl
   --- optimised ---
   thread {
     rt0 := 1;
@@ -312,7 +360,7 @@ rate metrics are not, so they are filtered out):
   4 rewrite sites across 2 passes
 
   $ drfopt report t.jsonl | sed -E 's/[0-9]+\.[0-9]{3}ms/_ms/g' | grep -vE 'wall_s|states_per_s'
-  trace: 31 events, 9 spans (9 closed), wall _ms
+  trace: 33 events, 9 spans (9 closed), wall _ms
   
   phases:
     phase                        count        total         mean
@@ -327,6 +375,8 @@ rate metrics are not, so they are filtered out):
     dead-stores      1     2       ok      _ms      _ms
   
   counters:
+    validate.outcomes            2
+    validate.exhaustive_runs     2
     explorer.states              24
     explorer.edges               20
     explorer.memo_hits           0

@@ -175,6 +175,32 @@ let test_store_store_race () =
     (Thread_id.equal pr.Static_race.fst_access.Lockset.tid
        pr.Static_race.snd_access.Lockset.tid)
 
+let test_race_pairs_deduped_oriented () =
+  (* many conflicting accesses across three threads: each unordered
+     pair reported exactly once (never both (a,b) and (b,a)), oriented
+     with the earlier source window first, in source order *)
+  let p =
+    parse
+      "thread { x := r1; r2 := x; }\n\
+       thread { x := r3; }\n\
+       thread { r4 := x; x := r5; }"
+  in
+  let r = Static_race.analyse p in
+  let key (a : Lockset.access) = (a.Lockset.tid, a.Lockset.site) in
+  let pkey pr =
+    (key pr.Static_race.fst_access, key pr.Static_race.snd_access)
+  in
+  let keys = List.map pkey r.Static_race.races in
+  check_i "seven candidate pairs" 7 (List.length keys);
+  check_i "no duplicate pairs" (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  check_b "no pair reported in both orientations" true
+    (List.for_all (fun (a, b) -> not (List.mem (b, a) keys)) keys);
+  check_b "earlier source window first in every pair" true
+    (List.for_all (fun (a, b) -> a < b) keys);
+  check_b "pairs sorted in source order" true
+    (List.sort compare keys = keys)
+
 let test_volatile_only_certified () =
   let p =
     parse "volatile v;\nthread { v := r1; }\nthread { r2 := v; v := r2; }"
@@ -299,6 +325,8 @@ let () =
             test_locked_counter_certified;
           Alcotest.test_case "store/store race reported" `Quick
             test_store_store_race;
+          Alcotest.test_case "race pairs deduped and oriented" `Quick
+            test_race_pairs_deduped_oriented;
           Alcotest.test_case "volatile-only certified" `Quick
             test_volatile_only_certified;
           Alcotest.test_case "read/read no race" `Quick test_read_read_not_race;
