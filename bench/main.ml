@@ -1049,6 +1049,153 @@ let refine_bench ?(quick = false) () =
   Fmt.pr "  wrote BENCH_refine.json@."
 
 (* ------------------------------------------------------------------ *)
+(* P7: the lock-free atomic pack -> BENCH_rmw.json                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The RMW acceptance gates, timed: (1) every lock-free scenario passes
+   its exhaustive litmus validation; (2) the store-buffer machines give
+   SB-with-xchg no relaxed outcome (RMWs flush); (3) the default
+   pipeline over the pack, per-pass-validated under [Auto], agrees with
+   [Exhaustive] — atomic threads make the refine rung return Bounded,
+   so the metrics show how often the ladder escalates on this
+   atomic-heavy corpus (contrast BENCH_refine.json's fast-path rate on
+   the full corpus). *)
+let lock_free_pack =
+  [
+    Corpus.atomic_faa_counter;
+    Corpus.atomic_ticket_lock;
+    Corpus.atomic_treiber;
+    Corpus.atomic_sense_barrier;
+    Corpus.atomic_spin_then_block;
+    Corpus.atomic_sb_xchg;
+  ]
+
+let rmw_bench () =
+  let open Safeopt_opt in
+  hr "P7: lock-free atomic pack -> BENCH_rmw.json";
+  Fmt.pr "  %-24s %-8s %12s@." "scenario" "litmus" "wall (ms)";
+  let walls =
+    List.map
+      (fun (l : Litmus.t) ->
+        let o, wall = time (fun () -> Litmus.check l) in
+        let ok = Litmus.passed o in
+        Fmt.pr "  %-24s %-8s %12.2f@." l.Litmus.name
+          (if ok then "ok" else "FAILED")
+          (wall *. 1000.);
+        (l.Litmus.name, ok, wall))
+      lock_free_pack
+  in
+  claim "every lock-free scenario passes its expectations" true
+    (List.for_all (fun (_, ok, _) -> ok) walls);
+  let sb_x = Litmus.program Corpus.atomic_sb_xchg in
+  let tso_flush =
+    Behaviour.Set.is_empty (Safeopt_tso.Machine.weak_behaviours sb_x)
+  in
+  let pso_flush =
+    Behaviour.Set.is_empty (Safeopt_tso.Pso.weak_behaviours sb_x)
+  in
+  claim "SB-with-xchg has no relaxed TSO outcome (buffer flushed)" true
+    tso_flush;
+  claim "nor under PSO (all per-location buffers flushed)" true pso_flush;
+  let spec =
+    match Pipeline.parse "constprop;copyprop;cse*;dead-moves;dse;normalise"
+    with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let sweep validator =
+    List.map
+      (fun (l : Litmus.t) ->
+        ( l.Litmus.name,
+          Pipeline.run ~validate_each:true ~validator spec
+            (Litmus.program l) ))
+      lock_free_pack
+  in
+  Obs.Metrics.reset_global ();
+  Obs.Metrics.set_enabled true;
+  let auto_runs, auto_wall = time (fun () -> sweep Validate.Auto) in
+  Obs.Metrics.set_enabled false;
+  let counter n =
+    Option.value ~default:0 Obs.Metrics.(find_counter global n)
+  in
+  let outcomes = counter "validate.outcomes" in
+  let static_hits = counter "validate.static_hits" in
+  let refine_hits = counter "validate.refine_hits" in
+  let refine_misses = counter "validate.refine_misses" in
+  let exhaustive_runs = counter "validate.exhaustive_runs" in
+  let exh_runs, exh_wall = time (fun () -> sweep Validate.Exhaustive) in
+  let verdict (o : Pipeline.outcome) =
+    match o.Pipeline.failure with
+    | None -> "ok"
+    | Some (pass, _) -> "REJECTED at " ^ pass
+  in
+  let agreements =
+    List.map2
+      (fun (name, (a : Pipeline.outcome)) (_, (e : Pipeline.outcome)) ->
+        let agree =
+          verdict a = verdict e && Ast.equal_program a.final e.final
+        in
+        (name, verdict a, agree))
+      auto_runs exh_runs
+  in
+  let all_agree = List.for_all (fun (_, _, a) -> a) agreements in
+  List.iter
+    (fun (name, v, agree) ->
+      Fmt.pr "  %-24s auto: %-10s agree with exhaustive: %b@." name v agree)
+    agreements;
+  Fmt.pr
+    "  validations: %d  static: %d  refine: %d  escalated: %d  exhaustive \
+     runs: %d@."
+    outcomes static_hits refine_hits refine_misses exhaustive_runs;
+  Fmt.pr "  auto sweep: %.2f ms; exhaustive sweep: %.2f ms@."
+    (auto_wall *. 1000.) (exh_wall *. 1000.);
+  claim "auto and exhaustive pipeline verdicts agree on the pack" true
+    all_agree;
+  claim "no atomic-bearing rewrite is decided by the refine rung" true
+    (refine_hits = 0 || outcomes > refine_hits);
+  let scenario_rows =
+    List.map2
+      (fun (name, ok, wall) (_, v, agree) ->
+        Printf.sprintf
+          "    {\"name\": %S, \"litmus_ok\": %b, \"litmus_wall_s\": %.6f, \
+           \"pipeline_verdict\": %S, \"ladder_agrees\": %b}"
+          name ok wall v agree)
+      walls agreements
+  in
+  let json =
+    String.concat "\n"
+      ([
+         "{";
+         "  \"schema\": \"bench_rmw/v1\",";
+         "  \"pipeline\": \"constprop;copyprop;cse*;dead-moves;dse;normalise\",";
+         Printf.sprintf "  \"scenarios\": %d," (List.length lock_free_pack);
+         Printf.sprintf "  \"tso_flush\": %b," tso_flush;
+         Printf.sprintf "  \"pso_flush\": %b," pso_flush;
+         Printf.sprintf "  \"validations\": %d," outcomes;
+         Printf.sprintf "  \"static_hits\": %d," static_hits;
+         Printf.sprintf "  \"refine_hits\": %d," refine_hits;
+         Printf.sprintf "  \"refine_misses\": %d," refine_misses;
+         Printf.sprintf "  \"exhaustive_runs\": %d," exhaustive_runs;
+         Printf.sprintf "  \"fast_path_rate\": %.3f,"
+           (if outcomes = 0 then 0.
+            else
+              float_of_int (static_hits + refine_hits)
+              /. float_of_int outcomes);
+         Printf.sprintf "  \"auto_wall_s\": %.4f," auto_wall;
+         Printf.sprintf "  \"exhaustive_wall_s\": %.4f," exh_wall;
+         Printf.sprintf "  \"all_verdicts_agree\": %b," all_agree;
+         "  \"scenarios_detail\": [";
+       ]
+      @ [ String.concat ",\n" scenario_rows ]
+      @ [ "  ]"; "}" ])
+  in
+  let oc = open_out "BENCH_rmw.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "  wrote BENCH_rmw.json@."
+
+(* ------------------------------------------------------------------ *)
 (* obs-overhead: the disabled-telemetry cost guard                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1229,7 +1376,8 @@ let () =
      [jobs]`) the sequential-vs-parallel comparison
      (BENCH_parallel.json); `-- refine` (or `refine-quick`) the
      validator-ladder differential and scaling comparison
-     (BENCH_refine.json); `-- obs-overhead` the disabled-telemetry
+     (BENCH_refine.json); `-- rmw` the lock-free atomic pack gates
+     (BENCH_rmw.json); `-- obs-overhead` the disabled-telemetry
      cost guard (exits 1 when the guards are not free); the default
      runs the full reproduction suite. *)
   match Sys.argv with
@@ -1244,6 +1392,7 @@ let () =
       parallel_bench ~quick:true ~jobs:(int_of_string j) ()
   | [| _; "refine" |] -> refine_bench ()
   | [| _; "refine-quick" |] -> refine_bench ~quick:true ()
+  | [| _; "rmw" |] -> rmw_bench ()
   | _ ->
       e1 ();
       e2 ();
@@ -1265,5 +1414,6 @@ let () =
       pipeline_bench ();
       parallel_bench ~jobs:4 ();
       refine_bench ();
+      rmw_bench ();
       run_bechamel ();
       Fmt.pr "@.done.@."

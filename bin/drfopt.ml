@@ -529,17 +529,40 @@ let litmus_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"NAME" ~doc:"Run a single test by name.")
   in
-  let run () name stats jobs =
+  let filter_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "filter" ] ~docv:"SUBSTR"
+          ~doc:"Run only the tests whose name contains $(docv).")
+  in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  let run () name filter stats jobs =
     let jobs = check_jobs jobs in
     let tests =
-      match name with
-      | None -> Safeopt_litmus.Corpus.all
-      | Some n -> (
+      match (name, filter) with
+      | Some n, _ -> (
           match Safeopt_litmus.Corpus.by_name n with
           | Some t -> [ t ]
           | None ->
               Fmt.epr "unknown litmus test %S@." n;
               exit 2)
+      | None, Some sub -> (
+          match
+            List.filter
+              (fun (t : Safeopt_litmus.Litmus.t) ->
+                contains t.Safeopt_litmus.Litmus.name sub)
+              Safeopt_litmus.Corpus.all
+          with
+          | [] ->
+              Fmt.epr "no litmus test name contains %S@." sub;
+              exit 2
+          | ts -> ts)
+      | None, None -> Safeopt_litmus.Corpus.all
     in
     with_stats stats (fun stats ->
         let outcomes = Safeopt_litmus.Litmus.check_all ?stats ~jobs tests in
@@ -551,9 +574,12 @@ let litmus_cmd =
   Cmd.v
     (Cmd.info "litmus"
        ~doc:"Run the built-in litmus corpus, sharded across $(b,--jobs) \
-             domains.  With $(b,--stats), print the exploration statistics \
+             domains.  A positional $(b,NAME) runs one test; \
+             $(b,--filter) runs the subset whose names contain a \
+             substring (e.g. $(b,--filter atomic) for the lock-free \
+             pack).  With $(b,--stats), print the exploration statistics \
              accumulated across the whole corpus")
-    Term.(const run $ obs_term $ name_arg $ stats_arg $ jobs_arg)
+    Term.(const run $ obs_term $ name_arg $ filter_arg $ stats_arg $ jobs_arg)
 
 (* --- eliminable --- *)
 

@@ -10,6 +10,7 @@ type instr =
   | Store of Location.t * Reg.t
   | Load of Reg.t * Location.t
   | Move of Reg.t * Ast.operand
+  | Atomic of Reg.t * Location.t * Ast.rmw
   | Lock of Monitor.t
   | Unlock of Monitor.t
   | Print of Reg.t
@@ -28,6 +29,13 @@ let pp_instr ppf = function
   | Store (l, r) -> Fmt.pf ppf "%a := %a" Location.pp l Reg.pp r
   | Load (r, l) -> Fmt.pf ppf "%a := %a" Reg.pp r Location.pp l
   | Move (r, o) -> Fmt.pf ppf "%a := %a" Reg.pp r pp_operand o
+  | Atomic (r, l, Ast.Cas (e, d)) ->
+      Fmt.pf ppf "%a := cas(%a, %a, %a)" Reg.pp r Location.pp l pp_operand e
+        pp_operand d
+  | Atomic (r, l, Ast.Faa o) ->
+      Fmt.pf ppf "%a := faa(%a, %a)" Reg.pp r Location.pp l pp_operand o
+  | Atomic (r, l, Ast.Xchg o) ->
+      Fmt.pf ppf "%a := xchg(%a, %a)" Reg.pp r Location.pp l pp_operand o
   | Lock m -> Fmt.pf ppf "lock %a" Monitor.pp m
   | Unlock m -> Fmt.pf ppf "unlock %a" Monitor.pp m
   | Print r -> Fmt.pf ppf "print %a" Reg.pp r
@@ -84,6 +92,10 @@ let rec build_stmt b path src = function
   | Ast.Print r ->
       let d = fresh b in
       add b { src; dst = d; instr = Print r; path };
+      d
+  | Ast.Atomic (r, l, k) ->
+      let d = fresh b in
+      add b { src; dst = d; instr = Atomic (r, l, k); path };
       d
   | Ast.Skip ->
       let d = fresh b in

@@ -29,6 +29,8 @@ type instr =
   | Store of Location.t * Reg.t
   | Load of Reg.t * Location.t
   | Move of Reg.t * Ast.operand
+  | Atomic of Reg.t * Location.t * Ast.rmw
+      (** one atomic RMW edge: reads and writes its location *)
   | Lock of Monitor.t
   | Unlock of Monitor.t
   | Print of Reg.t

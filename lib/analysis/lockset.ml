@@ -15,17 +15,18 @@ let transfer (e : Cfg.edge) held =
   match e.Cfg.instr with
   | Cfg.Lock m -> Monitor.Set.add m held
   | Cfg.Unlock m -> Monitor.Set.remove m held
-  | Cfg.Store _ | Cfg.Load _ | Cfg.Move _ | Cfg.Print _ | Cfg.Assume _
-  | Cfg.Nop ->
+  | Cfg.Store _ | Cfg.Load _ | Cfg.Move _ | Cfg.Atomic _ | Cfg.Print _
+  | Cfg.Assume _ | Cfg.Nop ->
       held
 
 let held_at g = Must.forward g ~init:Monitor.Set.empty ~transfer
 
-type kind = Read | Write
+type kind = Read | Write | Update
 
 let pp_kind ppf = function
   | Read -> Fmt.string ppf "read"
   | Write -> Fmt.string ppf "write"
+  | Update -> Fmt.string ppf "update"
 
 type access = {
   tid : Thread_id.t;
@@ -75,6 +76,7 @@ let thread_accesses vol tid (thread : Ast.thread) =
       match e.Cfg.instr with
       | Cfg.Store (l, _) -> mk Write l
       | Cfg.Load (_, l) -> mk Read l
+      | Cfg.Atomic (_, l, _) -> mk Update l
       | Cfg.Move _ | Cfg.Lock _ | Cfg.Unlock _ | Cfg.Print _ | Cfg.Assume _
       | Cfg.Nop ->
           None)
@@ -99,7 +101,13 @@ let summarise (p : Ast.program) =
         (fun s a ->
           match a.kind with
           | Read -> { s with reads = Location.Set.add a.loc s.reads }
-          | Write -> { s with writes = Location.Set.add a.loc s.writes })
+          | Write -> { s with writes = Location.Set.add a.loc s.writes }
+          | Update ->
+              {
+                s with
+                reads = Location.Set.add a.loc s.reads;
+                writes = Location.Set.add a.loc s.writes;
+              })
         { s_tid = tid; reads = Location.Set.empty; writes = Location.Set.empty }
         accs)
     p.threads
@@ -120,7 +128,7 @@ let rec stmt_lines path indent s =
   let prim txt = [ (Some path, pad ^ txt) ] in
   match s with
   | Ast.Store _ | Ast.Load _ | Ast.Move _ | Ast.Lock _ | Ast.Unlock _
-  | Ast.Skip | Ast.Print _ ->
+  | Ast.Skip | Ast.Print _ | Ast.Atomic _ ->
       prim (Pp.stmt_compact s)
   | Ast.Block l ->
       [ (None, pad ^ "{") ]

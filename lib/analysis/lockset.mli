@@ -38,7 +38,7 @@ end
 val held_at : Cfg.t -> Must.fact array
 (** Monitors definitely held at each node ([None] = unreachable). *)
 
-type kind = Read | Write
+type kind = Read | Write | Update  (** [Update]: an atomic RMW, both *)
 
 val pp_kind : kind Fmt.t
 

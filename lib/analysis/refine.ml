@@ -78,8 +78,27 @@ let count name v =
    longer trace could be unwitnessed; a negative verdict needs the
    original enumeration to be complete — otherwise the witness might
    live past the truncation. *)
+let rec has_atomic_stmt = function
+  | Ast.Atomic _ -> true
+  | Ast.Block l -> List.exists has_atomic_stmt l
+  | Ast.If (_, s1, s2) -> has_atomic_stmt s1 || has_atomic_stmt s2
+  | Ast.While (_, s) -> has_atomic_stmt s
+  | Ast.Store _ | Ast.Load _ | Ast.Move _ | Ast.Lock _ | Ast.Unlock _
+  | Ast.Skip | Ast.Print _ ->
+      false
+
 let check_thread ~vol ~universe ~max_len ~max_traces tid torig ttrans =
   if Ast.equal_thread torig ttrans then Identical
+  else if
+    List.exists has_atomic_stmt torig || List.exists has_atomic_stmt ttrans
+  then
+    (* An RMW's written value is a function of the value read (e.g.
+       [faa] adds), so tracesets over the literal-derived universe are
+       not closed under updates and a per-thread comparison could be
+       read-incomplete.  Escalate instead of guessing: [Bounded] makes
+       the auto ladder fall through to the exhaustive product check,
+       which needs no value universe. *)
+    Bounded "thread performs atomic updates; universe not update-closed"
   else
     let ts_trans, trans_complete =
       Denote.thread_traces ~max_traces ~universe ~max_len ~tid ttrans

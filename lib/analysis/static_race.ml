@@ -14,12 +14,19 @@ type report = { accesses : Lockset.access list; races : pair list }
    the paper's adjacent conflicting pair in some interleaving: distinct
    threads, same non-volatile location, at least one write — unless a
    common monitor is definitely held around both, in which case mutual
-   exclusion keeps them apart in every execution. *)
+   exclusion keeps them apart in every execution.  An atomic update
+   counts as a write against plain accesses, but two updates of the
+   same location never race: atomicity totally orders them. *)
+let write_like = function
+  | Lockset.Write | Lockset.Update -> true
+  | Lockset.Read -> false
+
 let candidate (a : Lockset.access) (b : Lockset.access) =
   (not (Thread_id.equal a.tid b.tid))
   && Location.equal a.loc b.loc
   && (not a.volatile)
-  && (a.kind = Lockset.Write || b.kind = Lockset.Write)
+  && (write_like a.kind || write_like b.kind)
+  && (not (a.kind = Lockset.Update && b.kind = Lockset.Update))
   && Monitor.Set.is_empty (Monitor.Set.inter a.locked b.locked)
 
 (* One report per unordered candidate pair: orient each pair so the

@@ -55,6 +55,12 @@ let classify vol (t : Wildcard.t) i =
   if i < 0 || i >= n then None
   else
     let ei = elt t i in
+    if Wildcard.is_rmw ei then None
+      (* An RMW is never eliminable: it is both an acquire and a
+         release (so clauses 7-8 must not treat a trailing RMW as a
+         redundant release), and its write is globally visible to the
+         other threads' RMWs ordering through it. *)
+    else
     let non_volatile l = not (Location.Volatile.mem vol l) in
     let clause1 () =
       match ei with

@@ -27,7 +27,12 @@
     + {e redundant release}: [t_i] a release with no later
       synchronisation or external action;
     + {e redundant external action}: [t_i] external, with no later
-      synchronisation or external action. *)
+      synchronisation or external action.
+
+    An atomic RMW ([U\[l:r→w\]]) is {e never} eliminable: it acquires
+    and releases in one action, so the release clauses would otherwise
+    wrongly admit a trailing RMW, and its write orders every other
+    thread's update of the same location. *)
 
 open Safeopt_trace
 

@@ -104,7 +104,7 @@ let is_reordering vol ~original ~transformed =
 
 (* --- The reorderability matrix --- *)
 
-let matrix_headers = [ "W"; "R"; "Acq"; "Rel"; "Ext" ]
+let matrix_headers = [ "W"; "R"; "Acq"; "Rel"; "Ext"; "U" ]
 
 let representative ~same_location ~first =
   let loc = if first || same_location then "x" else "y" in
@@ -114,12 +114,14 @@ let representative ~same_location ~first =
   | 2 -> Action.Lock "m"
   | 3 -> Action.Unlock "m"
   | 4 -> Action.External 1
+  | 5 -> Action.Rmw (loc, 0, 1)
   | _ -> invalid_arg "representative"
 
 let matrix ~same_location =
   let vol = Location.Volatile.none in
-  Array.init 5 (fun i ->
-      Array.init 5 (fun j ->
+  let n = List.length matrix_headers in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
           let a = representative ~same_location ~first:true i
           and b = representative ~same_location ~first:false j in
           Action.reorderable vol a b))

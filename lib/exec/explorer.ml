@@ -359,6 +359,17 @@ let enabled ctx st =
                     (tid, Action.Read (l, v), { st with threads; tkeys })
                     :: !out
               | None -> ())
+          | System.Rmw (l, k) ->
+              let v = read_value st l in
+              List.iter
+                (fun (w, ts') ->
+                  let mem = Location.Map.add l w st.mem in
+                  let st' = { st with mem; mem_id = intern_mem ctx mem } in
+                  let threads, tkeys = set_thread ctx st' tid ts' in
+                  out :=
+                    (tid, Action.Rmw (l, v, w), { st' with threads; tkeys })
+                    :: !out)
+                (k v)
           | System.Emit (a, ts') -> (
               let commit st' =
                 let threads, tkeys = set_thread ctx st' tid ts' in
@@ -367,6 +378,8 @@ let enabled ctx st =
               match a with
               | Action.Read _ ->
                   invalid_arg "Explorer: reads must use System.Read steps"
+              | Action.Rmw _ ->
+                  invalid_arg "Explorer: RMWs must use System.Rmw steps"
               | Action.Write (l, v) ->
                   let mem = Location.Map.add l v st.mem in
                   commit { st with mem; mem_id = intern_mem ctx mem }
@@ -405,10 +418,20 @@ let enabled ctx st =
    volatility is irrelevant for commutation, so the conflict test runs
    with an empty volatile set), do not touch the same monitor, and are
    not both external (external actions are the observable behaviour, so
-   their relative order must be preserved). *)
+   their relative order must be preserved).  Two RMWs of the same
+   location do not {e conflict} (they never race — atomicity orders
+   them), but they do not commute either: each one's read sees the
+   other's write, so their order changes values.  They are therefore
+   dependent here even though [Action.conflicting] excuses them. *)
 let independent (t1, a1) (t2, a2) =
+  let same_loc_rmw =
+    match (a1, a2) with
+    | Action.Rmw (l1, _, _), Action.Rmw (l2, _, _) -> Location.equal l1 l2
+    | _ -> false
+  in
   (not (Thread_id.equal t1 t2))
   && (not (Action.conflicting Location.Volatile.none a1 a2))
+  && (not same_loc_rmw)
   && (match (Action.monitor a1, Action.monitor a2) with
      | Some m1, Some m2 -> not (Monitor.equal m1 m2)
      | _ -> true)

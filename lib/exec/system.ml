@@ -3,6 +3,7 @@ open Safeopt_trace
 type 'ts step =
   | Emit of Action.t * 'ts
   | Read of Location.t * (Value.t -> 'ts option)
+  | Rmw of Location.t * (Value.t -> (Value.t * 'ts) list)
 
 type 'ts t = {
   initial : 'ts list;

@@ -21,6 +21,14 @@ type 'ts step =
   | Read of Location.t * (Value.t -> 'ts option)
       (** A read of the given location; the continuation receives the
           value supplied by the scheduler and declines it with [None]. *)
+  | Rmw of Location.t * (Value.t -> (Value.t * 'ts) list)
+      (** An atomic read-modify-write of the given location: the
+          continuation receives the current value and returns the
+          possible (written value, successor state) outcomes — [[]] to
+          decline, a list to allow nondeterministic systems (explicit
+          tracesets) to offer several.  The scheduler performs the read
+          and the write in one indivisible transition, emitting
+          [Action.Rmw (l, read, written)]. *)
 
 type 'ts t = {
   initial : 'ts list;  (** One state per thread; index = thread id. *)

@@ -43,15 +43,38 @@ let make ts =
                 if Traceset.mem ext ts then Some (tid, ext) else None ))
         read_locs
     in
+    let rmw_locs =
+      List.filter_map
+        (function Action.Rmw (l, _, _) -> Some l | _ -> None)
+        succ
+      |> List.sort_uniq Location.compare
+    in
+    let rmws =
+      List.map
+        (fun l ->
+          System.Rmw
+            ( l,
+              fun v ->
+                (* Offer every successor RMW of [l] whose read value is
+                   the one the scheduler supplies. *)
+                List.filter_map
+                  (function
+                    | Action.Rmw (l', r, w)
+                      when Location.equal l l' && Value.equal r v ->
+                        Some (w, (tid, prefix @ [ Action.Rmw (l, v, w) ]))
+                    | _ -> None)
+                  succ ))
+        rmw_locs
+    in
     let others =
       List.filter_map
         (fun a ->
           match a with
-          | Action.Read _ -> None
+          | Action.Read _ | Action.Rmw _ -> None
           | _ -> Some (System.Emit (a, (tid, prefix @ [ a ]))))
         succ
     in
-    reads @ others
+    reads @ rmws @ others
   in
   let key (tid, prefix) =
     Printf.sprintf "%d:%s" tid (Trace.to_string prefix)

@@ -21,6 +21,7 @@ let action =
       G.map (fun m -> Action.Lock m) monitor;
       G.map (fun m -> Action.Unlock m) monitor;
       G.map (fun v -> Action.External v) value;
+      G.map3 (fun l r w -> Action.Rmw (l, r, w)) location value value;
     ]
 
 (* Close pending locks so the trace is well-locked; unlocks of un-held
@@ -74,6 +75,20 @@ let test_gen =
       G.map2 (fun a b -> Ast.Ne (a, b)) operand operand;
     ]
 
+let rmw_op =
+  G.oneof
+    [
+      G.map2 (fun e d -> Ast.Cas (e, d)) operand operand;
+      G.map (fun o -> Ast.Faa o) operand;
+      G.map (fun o -> Ast.Xchg o) operand;
+    ]
+
+(* Atomic statements need no balancing (unlike lock/unlock), so they
+   can appear anywhere a plain statement can; shrinking a compound
+   statement away never strands one half of an RMW. *)
+let atomic_stmt =
+  G.map3 (fun r l k -> Ast.Atomic (r, l, k)) register location rmw_op
+
 let simple_stmt =
   G.oneof
     [
@@ -82,6 +97,7 @@ let simple_stmt =
       G.map2 (fun r o -> Ast.Move (r, o)) register operand;
       G.return Ast.Skip;
       G.map (fun r -> Ast.Print r) register;
+      atomic_stmt;
     ]
 
 let stmt =

@@ -15,7 +15,7 @@ val volatile_candidate : Location.t
     half of the time. *)
 
 val action : Action.t QCheck2.Gen.t
-(** An arbitrary action (not start). *)
+(** An arbitrary action (not start), atomic RMWs included. *)
 
 val trace : Trace.t QCheck2.Gen.t
 (** A properly-started, well-locked trace of length <= ~8 for thread 0
@@ -24,8 +24,11 @@ val trace : Trace.t QCheck2.Gen.t
 val wildcard_trace : Wildcard.t QCheck2.Gen.t
 (** As {!trace}, with some reads generalised to wildcards. *)
 
+val atomic_stmt : Ast.stmt QCheck2.Gen.t
+(** An [Ast.Atomic] (cas/faa/xchg) with small operands. *)
+
 val stmt : Ast.stmt QCheck2.Gen.t
-(** A loop-free statement (depth <= 2). *)
+(** A loop-free statement (depth <= 2); may contain atomic RMWs. *)
 
 val thread : Ast.thread QCheck2.Gen.t
 (** A lock-balanced, loop-free thread of <= ~6 statements. *)

@@ -3,6 +3,11 @@ open Safeopt_trace
 type operand = Reg of Reg.t | Nat of int
 type test = Eq of operand * operand | Ne of operand * operand
 
+type rmw =
+  | Cas of operand * operand
+  | Faa of operand
+  | Xchg of operand
+
 type stmt =
   | Store of Location.t * Reg.t
   | Load of Reg.t * Location.t
@@ -11,6 +16,7 @@ type stmt =
   | Unlock of Monitor.t
   | Skip
   | Print of Reg.t
+  | Atomic of Reg.t * Location.t * rmw
   | Block of stmt list
   | If of test * stmt * stmt
   | While of test * stmt
@@ -33,6 +39,12 @@ let equal_test a b =
       equal_operand x x' && equal_operand y y'
   | (Eq _ | Ne _), _ -> false
 
+let equal_rmw a b =
+  match (a, b) with
+  | Cas (e, d), Cas (e', d') -> equal_operand e e' && equal_operand d d'
+  | Faa o, Faa o' | Xchg o, Xchg o' -> equal_operand o o'
+  | (Cas _ | Faa _ | Xchg _), _ -> false
+
 let rec equal_stmt a b =
   match (a, b) with
   | Store (l, r), Store (l', r') -> Location.equal l l' && Reg.equal r r'
@@ -41,12 +53,14 @@ let rec equal_stmt a b =
   | Lock m, Lock m' | Unlock m, Unlock m' -> Monitor.equal m m'
   | Skip, Skip -> true
   | Print r, Print r' -> Reg.equal r r'
+  | Atomic (r, l, k), Atomic (r', l', k') ->
+      Reg.equal r r' && Location.equal l l' && equal_rmw k k'
   | Block l, Block l' -> equal_thread l l'
   | If (t, s1, s2), If (t', s1', s2') ->
       equal_test t t' && equal_stmt s1 s1' && equal_stmt s2 s2'
   | While (t, s), While (t', s') -> equal_test t t' && equal_stmt s s'
   | ( ( Store _ | Load _ | Move _ | Lock _ | Unlock _ | Skip | Print _
-      | Block _ | If _ | While _ ),
+      | Atomic _ | Block _ | If _ | While _ ),
       _ ) ->
       false
 
@@ -59,7 +73,7 @@ let equal_program a b =
 let compare_stmt a b = Stdlib.compare a b
 
 let rec fv_stmt = function
-  | Store (l, _) | Load (_, l) -> Location.Set.singleton l
+  | Store (l, _) | Load (_, l) | Atomic (_, l, _) -> Location.Set.singleton l
   | Move _ | Lock _ | Unlock _ | Skip | Print _ -> Location.Set.empty
   | Block l -> fv_thread l
   | If (_, s1, s2) -> Location.Set.union (fv_stmt s1) (fv_stmt s2)
@@ -80,9 +94,14 @@ let regs_operand = function Reg r -> Reg.Set.singleton r | Nat _ -> Reg.Set.empt
 let regs_test = function
   | Eq (a, b) | Ne (a, b) -> Reg.Set.union (regs_operand a) (regs_operand b)
 
+let regs_rmw = function
+  | Cas (e, d) -> Reg.Set.union (regs_operand e) (regs_operand d)
+  | Faa o | Xchg o -> regs_operand o
+
 let rec regs_stmt = function
   | Store (_, r) | Load (r, _) | Print r -> Reg.Set.singleton r
   | Move (r, o) -> Reg.Set.add r (regs_operand o)
+  | Atomic (r, _, k) -> Reg.Set.add r (regs_rmw k)
   | Lock _ | Unlock _ | Skip -> Reg.Set.empty
   | Block l -> regs_thread l
   | If (t, s1, s2) ->
@@ -95,6 +114,8 @@ and regs_thread l =
 let rec sync_free_stmt vol = function
   | Store (l, _) | Load (_, l) -> not (Location.Volatile.mem vol l)
   | Move _ | Skip | Print _ -> true
+  (* An RMW synchronises whatever its location's volatility. *)
+  | Atomic _ -> false
   | Lock _ | Unlock _ -> false
   | Block l -> sync_free_thread vol l
   | If (_, s1, s2) -> sync_free_stmt vol s1 && sync_free_stmt vol s2
@@ -102,8 +123,16 @@ let rec sync_free_stmt vol = function
 
 and sync_free_thread vol l = List.for_all (sync_free_stmt vol) l
 
+let consts_operand = function Nat i -> [ i ] | Reg _ -> []
+
+let consts_rmw = function
+  | Cas (e, d) -> consts_operand e @ consts_operand d
+  | Faa o | Xchg o -> consts_operand o
+
 let rec constants_stmt = function
   | Move (_, Nat i) -> [ i ]
+  (* literals an RMW can write to (or compare against) memory *)
+  | Atomic (_, _, k) -> consts_rmw k
   | Move (_, Reg _) | Store _ | Load _ | Lock _ | Unlock _ | Skip | Print _ ->
       []
   | Block l -> constants_thread l
@@ -115,13 +144,12 @@ and constants_thread l = List.concat_map constants_stmt l
 let constants_program p =
   List.concat_map constants_thread p.threads |> List.sort_uniq Int.compare
 
-let consts_operand = function Nat i -> [ i ] | Reg _ -> []
-
 let consts_test = function
   | Eq (a, b) | Ne (a, b) -> consts_operand a @ consts_operand b
 
 let rec all_constants_stmt = function
   | Move (_, o) -> consts_operand o
+  | Atomic (_, _, k) -> consts_rmw k
   | Store _ | Load _ | Lock _ | Unlock _ | Skip | Print _ -> []
   | Block l -> List.concat_map all_constants_stmt l
   | If (t, s1, s2) ->
@@ -134,7 +162,7 @@ let all_constants_program p =
 
 let rec monitors_stmt = function
   | Lock m | Unlock m -> [ m ]
-  | Store _ | Load _ | Move _ | Skip | Print _ -> []
+  | Store _ | Load _ | Move _ | Skip | Print _ | Atomic _ -> []
   | Block l -> List.concat_map monitors_stmt l
   | If (_, s1, s2) -> monitors_stmt s1 @ monitors_stmt s2
   | While (_, s) -> monitors_stmt s
@@ -144,7 +172,9 @@ let monitors_program p =
   |> List.sort_uniq Monitor.compare
 
 let rec stmt_size = function
-  | Store _ | Load _ | Move _ | Lock _ | Unlock _ | Skip | Print _ -> 1
+  | Store _ | Load _ | Move _ | Lock _ | Unlock _ | Skip | Print _ | Atomic _
+    ->
+      1
   | Block l -> 1 + thread_size l
   | If (_, s1, s2) -> 1 + stmt_size s1 + stmt_size s2
   | While (_, s) -> 1 + stmt_size s

@@ -53,6 +53,15 @@ let thread_traces ?tau_fuel ?(max_traces = max_int) ~universe ~max_len ~tid
         List.iter
           (fun v -> go (k v) (Action.Read (l, v) :: rev_trace) (len + 1))
           universe
+    | Semantics.Rmw (l, k) ->
+        (* The written value [w] is a function of the read value, so it
+           may fall outside the universe (e.g. faa); the denotation is
+           still read-complete over the universe. *)
+        List.iter
+          (fun v ->
+            let w, c' = k v in
+            go c' (Action.Rmw (l, v, w) :: rev_trace) (len + 1))
+          universe
     | Semantics.Lock (m, c') -> go c' (Action.Lock m :: rev_trace) (len + 1)
     | Semantics.Unlock (m, c') -> go c' (Action.Unlock m :: rev_trace) (len + 1)
     | Semantics.Output (v, c') -> go c' (Action.External v :: rev_trace) (len + 1)

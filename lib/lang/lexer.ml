@@ -7,6 +7,9 @@ type token =
   | UNLOCK
   | SKIP
   | PRINT
+  | CAS
+  | FAA
+  | XCHG
   | IF
   | ELSE
   | WHILE
@@ -34,6 +37,9 @@ let pp_token ppf = function
   | UNLOCK -> Fmt.string ppf "'unlock'"
   | SKIP -> Fmt.string ppf "'skip'"
   | PRINT -> Fmt.string ppf "'print'"
+  | CAS -> Fmt.string ppf "'cas'"
+  | FAA -> Fmt.string ppf "'faa'"
+  | XCHG -> Fmt.string ppf "'xchg'"
   | IF -> Fmt.string ppf "'if'"
   | ELSE -> Fmt.string ppf "'else'"
   | WHILE -> Fmt.string ppf "'while'"
@@ -55,6 +61,9 @@ let keyword = function
   | "unlock" -> Some UNLOCK
   | "skip" -> Some SKIP
   | "print" -> Some PRINT
+  | "cas" -> Some CAS
+  | "faa" -> Some FAA
+  | "xchg" -> Some XCHG
   | "if" -> Some IF
   | "else" -> Some ELSE
   | "while" -> Some WHILE

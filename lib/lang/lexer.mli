@@ -1,8 +1,8 @@
 (** Hand-written lexer for the concrete syntax.
 
     Tokens: identifiers, natural-number literals, keywords ([thread],
-    [volatile], [lock], [unlock], [skip], [print], [if], [else],
-    [while]), and the punctuation [:=], [==], [!=], [;], [,], [(], [)],
+    [volatile], [lock], [unlock], [skip], [print], [cas], [faa],
+    [xchg], [if], [else], [while]), and the punctuation [:=], [==], [!=], [;], [,], [(], [)],
     [{], [}].  Line comments start with [//]; [/* ... */] block comments
     are supported.  Menhir is deliberately not used: the grammar is
     LL(1) and the substrate stays dependency-free (see DESIGN.md). *)
@@ -16,6 +16,9 @@ type token =
   | UNLOCK
   | SKIP
   | PRINT
+  | CAS
+  | FAA
+  | XCHG
   | IF
   | ELSE
   | WHILE

@@ -10,8 +10,11 @@ type sarg = SReg of Reg.t | SLoc of Location.t | SNat of int
 
 type scond = sarg * bool * sarg (* lhs, is_eq, rhs *)
 
+type srmw = SCas of sarg * sarg | SFaa of sarg | SXchg of sarg
+
 type sstmt =
   | SAssign of string * sarg * pos
+  | SAtomic of string * Location.t * srmw * pos
   | SLock of Monitor.t
   | SUnlock of Monitor.t
   | SSkip
@@ -112,12 +115,37 @@ let rec stmt st : sstmt =
       let c = cond st in
       expect st Lexer.RPAREN "')'";
       SWhile (c, stmt st)
-  | Lexer.IDENT x, p ->
+  | Lexer.IDENT x, p -> (
       advance st;
       expect st Lexer.ASSIGN "':='";
-      let rhs = arg st in
-      expect st Lexer.SEMI "';'";
-      SAssign (x, rhs, p)
+      match peek st with
+      | ((Lexer.CAS | Lexer.FAA | Lexer.XCHG) as tok), kp ->
+          advance st;
+          expect st Lexer.LPAREN "'('";
+          let l = ident st "a location name" in
+          if Reg.is_register_name l then
+            err kp
+              "atomic update of register '%s': the first argument must be a \
+               shared location"
+              l;
+          expect st Lexer.COMMA "','";
+          let op =
+            match tok with
+            | Lexer.CAS ->
+                let e = arg st in
+                expect st Lexer.COMMA "','";
+                let d = arg st in
+                SCas (e, d)
+            | Lexer.FAA -> SFaa (arg st)
+            | _ -> SXchg (arg st)
+          in
+          expect st Lexer.RPAREN "')'";
+          expect st Lexer.SEMI "';'";
+          SAtomic (x, l, op, p)
+      | _ ->
+          let rhs = arg st in
+          expect st Lexer.SEMI "';'";
+          SAssign (x, rhs, p))
   | t, p -> err p "expected a statement, found %a" Lexer.pp_token t
 
 and stmts st : sstmt list =
@@ -145,6 +173,15 @@ let rec used_regs_sstmt = function
       Reg.Set.union
         (if Reg.is_register_name x then Reg.Set.singleton x else Reg.Set.empty)
         (from_arg a)
+  | SAtomic (x, _, op, _) ->
+      let from_arg = function SReg r -> Reg.Set.singleton r | _ -> Reg.Set.empty in
+      let args =
+        match op with SCas (e, d) -> [ e; d ] | SFaa o | SXchg o -> [ o ]
+      in
+      List.fold_left
+        (fun acc a -> Reg.Set.union acc (from_arg a))
+        (if Reg.is_register_name x then Reg.Set.singleton x else Reg.Set.empty)
+        args
   | SLock _ | SUnlock _ | SSkip -> Reg.Set.empty
   | SPrint (SReg r) -> Reg.Set.singleton r
   | SPrint _ -> Reg.Set.empty
@@ -210,6 +247,26 @@ let rec desugar_stmt f (s : sstmt) : Ast.stmt list =
               let r = fresh_reg f in
               [ Ast.Load (r, l); Ast.Store (x, r) ]
       end
+  | SAtomic (x, l, op, pos) ->
+      if not (Reg.is_register_name x) then
+        err pos
+          "atomic result must go to a register, '%s' names a location" x;
+      (* Location operands are hoisted to plain loads {e before} the
+         atomic statement; only the update itself is one RMW action. *)
+      let core =
+        match op with
+        | SCas (e, d) ->
+            let pe, oe = desugar_arg f e in
+            let pd, od = desugar_arg f d in
+            pe @ pd @ [ Ast.Atomic (x, l, Ast.Cas (oe, od)) ]
+        | SFaa o ->
+            let p, oo = desugar_arg f o in
+            p @ [ Ast.Atomic (x, l, Ast.Faa oo) ]
+        | SXchg o ->
+            let p, oo = desugar_arg f o in
+            p @ [ Ast.Atomic (x, l, Ast.Xchg oo) ]
+      in
+      core
   | SBlock l -> [ Ast.Block (desugar_stmts f l) ]
   | SIf (c, s1, s2) ->
       let pre, t = desugar_cond f c in

@@ -4,6 +4,9 @@
     program  ::= ("volatile" ident ("," ident)* ";")*  thread+
     thread   ::= "thread" "{" stmt* "}"
     stmt     ::= ident ":=" arg ";"
+               | ident ":=" "cas" "(" ident "," arg "," arg ")" ";"
+               | ident ":=" "faa" "(" ident "," arg ")" ";"
+               | ident ":=" "xchg" "(" ident "," arg ")" ";"
                | "lock" ident ";" | "unlock" ident ";"
                | "skip" ";" | "print" arg ";"
                | "{" stmt* "}"
@@ -25,7 +28,10 @@
     [x := 1] becomes [rt0 := 1; x := rt0], [print x] becomes
     [rt0 := x; print rt0], and a location operand in a condition is
     hoisted to a load before the conditional.  A missing [else] is
-    filled with [skip;].  The desugaring makes the intended memory
+    filled with [skip;].  In the atomic forms the first parenthesised
+    argument must be a location and the destination a register;
+    location operands are hoisted to loads before the atomic statement,
+    so the update itself is always a single RMW action.  The desugaring makes the intended memory
     accesses of the informal examples explicit; figure reproductions
     that depend on exact traces write core syntax directly. *)
 

@@ -16,6 +16,13 @@ let rec stmt ppf = function
   | Ast.Unlock m -> Fmt.pf ppf "unlock %a;" Monitor.pp m
   | Ast.Skip -> Fmt.pf ppf "skip;"
   | Ast.Print r -> Fmt.pf ppf "print %a;" Reg.pp r
+  | Ast.Atomic (r, l, Ast.Cas (e, d)) ->
+      Fmt.pf ppf "%a := cas(%a, %a, %a);" Reg.pp r Location.pp l operand e
+        operand d
+  | Ast.Atomic (r, l, Ast.Faa o) ->
+      Fmt.pf ppf "%a := faa(%a, %a);" Reg.pp r Location.pp l operand o
+  | Ast.Atomic (r, l, Ast.Xchg o) ->
+      Fmt.pf ppf "%a := xchg(%a, %a);" Reg.pp r Location.pp l operand o
   | Ast.Block l -> Fmt.pf ppf "{@;<1 2>@[<v>%a@]@ }" thread l
   | Ast.If (t, s1, s2) ->
       Fmt.pf ppf "@[<v>if (%a)@;<1 2>%a@ else@;<1 2>%a@]" test t stmt s1 stmt

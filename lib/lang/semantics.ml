@@ -35,6 +35,7 @@ type outcome =
   | Diverged
   | Write of Location.t * Value.t * config
   | Read of Location.t * (Value.t -> config)
+  | Rmw of Location.t * (Value.t -> Value.t * config)
   | Lock of Monitor.t * config
   | Unlock of Monitor.t * config
   | Output of Value.t * config
@@ -76,7 +77,25 @@ let rec next ?(tau_fuel = 100_000) c =
               Unlock
                 (m, { c with mons = Monitor.Map.add m (d - 1) c.mons; code = k })
             else tau k (* E-ULK: unlock of an un-held monitor is silent *)
-        | Ast.Print r -> Output (value_of c (Ast.Reg r), { c with code = k }))
+        | Ast.Print r -> Output (value_of c (Ast.Reg r), { c with code = k })
+        | Ast.Atomic (r, l, op) ->
+            (* One indivisible step: the scheduler supplies the current
+               value; the thread answers with the value to write and the
+               continuation.  A failed CAS writes the read value back, so
+               every atomic statement performs exactly one RMW action.
+               The destination register receives the old value. *)
+            Rmw
+              ( l,
+                fun v ->
+                  let w =
+                    match op with
+                    | Ast.Cas (e, d) ->
+                        if Value.equal v (value_of c e) then value_of c d
+                        else v
+                    | Ast.Faa o -> v + value_of c o
+                    | Ast.Xchg o -> value_of c o
+                  in
+                  (w, { c with regs = Reg.Map.add r v c.regs; code = k }) ))
 
 let issues ?tau_fuel c t =
   let rec go c = function
@@ -87,11 +106,17 @@ let issues ?tau_fuel c t =
             Location.equal l l' && Value.equal v v' && go c' rest
         | Read (l, k), Action.Read (l', v) ->
             Location.equal l l' && go (k v) rest
+        | Rmw (l, k), Action.Rmw (l', r, w) ->
+            Location.equal l l'
+            &&
+            let w', c' = k r in
+            Value.equal w w' && go c' rest
         | Lock (m, c'), Action.Lock m' -> Monitor.equal m m' && go c' rest
         | Unlock (m, c'), Action.Unlock m' -> Monitor.equal m m' && go c' rest
         | Output (v, c'), Action.External v' -> Value.equal v v' && go c' rest
-        | (Done | Diverged | Write _ | Read _ | Lock _ | Unlock _ | Output _), _
-          ->
+        | ( ( Done | Diverged | Write _ | Read _ | Rmw _ | Lock _ | Unlock _
+            | Output _ ),
+            _ ) ->
             false)
   in
   go c t
@@ -108,6 +133,11 @@ let run_sequential ?tau_fuel ?(max_actions = 100_000) c ~read ~write =
       | Read (l, k) ->
           let v = read l in
           go (k v) (n + 1) (Action.Read (l, v) :: acc)
+      | Rmw (l, k) ->
+          let v = read l in
+          let w, c' = k v in
+          write l w;
+          go c' (n + 1) (Action.Rmw (l, v, w) :: acc)
       | Lock (m, c') -> go c' (n + 1) (Action.Lock m :: acc)
       | Unlock (m, c') -> go c' (n + 1) (Action.Unlock m :: acc)
       | Output (v, c') -> go c' (n + 1) (Action.External v :: acc)

@@ -39,6 +39,10 @@ type outcome =
   | Diverged  (** [tau]-fuel exhausted: silent loop *)
   | Write of Location.t * Value.t * config
   | Read of Location.t * (Value.t -> config)
+  | Rmw of Location.t * (Value.t -> Value.t * config)
+      (** an atomic RMW of the location: given the current value, the
+          value written and the continuation configuration (the
+          destination register holds the value read) *)
   | Lock of Monitor.t * config
   | Unlock of Monitor.t * config
   | Output of Value.t * config

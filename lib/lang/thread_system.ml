@@ -13,7 +13,7 @@ let rec stmt_has_loop = function
   | Ast.Block l -> List.exists stmt_has_loop l
   | Ast.If (_, s1, s2) -> stmt_has_loop s1 || stmt_has_loop s2
   | Ast.Store _ | Ast.Load _ | Ast.Move _ | Ast.Lock _ | Ast.Unlock _
-  | Ast.Skip | Ast.Print _ ->
+  | Ast.Skip | Ast.Print _ | Ast.Atomic _ ->
       false
 
 let has_loop p = List.exists (List.exists stmt_has_loop) p.Ast.threads
@@ -40,6 +40,12 @@ let make ?(fuel = 64) p =
       | Semantics.Read (l, k) ->
           [ System.Read
               (l, fun v -> Some { st with config = k v; fuel = spend st }) ]
+      | Semantics.Rmw (l, k) ->
+          [ System.Rmw
+              ( l,
+                fun v ->
+                  let w, c = k v in
+                  [ (w, { st with config = c; fuel = spend st }) ] ) ]
       | Semantics.Lock (m, c) ->
           [ System.Emit
               (Action.Lock m, { st with config = c; fuel = spend st }) ]

@@ -509,6 +509,162 @@ thread {
 }
 |}
 
+(* --- Lock-free atomics ------------------------------------------------ *)
+
+let atomic_faa_counter =
+  make ~name:"atomic_faa_counter"
+    ~descr:"two threads fetch-and-add a shared counter: DRF, each sees a \
+            distinct ticket"
+    ~drf:true
+    ~can:[ [ 0; 1 ]; [ 1; 0 ] ]
+    ~cannot:[ [ 0; 0 ]; [ 1; 1 ] ]
+    {|
+thread {
+  r1 := faa(c, 1);
+  print r1;
+}
+thread {
+  r2 := faa(c, 1);
+  print r2;
+}
+|}
+
+let atomic_ticket_lock =
+  make ~name:"atomic_ticket_lock"
+    ~descr:"ticket lock from faa tickets and a volatile serving counter: \
+            DRF, critical sections never interleave"
+    ~drf:true
+    ~can:[ [ 1; 2 ]; [ 2; 1 ] ]
+    ~cannot:[ [ 1; 1 ]; [ 2; 2 ] ]
+    {|
+volatile serving;
+thread {
+  r1 := faa(next, 1);
+  r2 := serving;
+  while (r2 != r1) r2 := serving;
+  x := 1;
+  r3 := x;
+  print r3;
+  r4 := faa(serving, 1);
+}
+thread {
+  r5 := faa(next, 1);
+  r6 := serving;
+  while (r6 != r5) r6 := serving;
+  x := 2;
+  r7 := x;
+  print r7;
+  r8 := faa(serving, 1);
+}
+|}
+
+let atomic_treiber =
+  make ~name:"atomic_treiber"
+    ~descr:"Treiber-style push/pop on a volatile top with cas retry loops: \
+            DRF, pop returns the pushed cell or empty"
+    ~drf:true
+    ~can:[ [ 0 ]; [ 1 ] ]
+    ~cannot:[ [ 2 ]; [ 0; 1 ]; [ 1; 0 ] ]
+    {|
+volatile top;
+thread {
+  r1 := top;
+  r2 := cas(top, r1, 1);
+  while (r2 != r1) {
+    r1 := top;
+    r2 := cas(top, r1, 1);
+  }
+}
+thread {
+  r3 := top;
+  r4 := cas(top, r3, 0);
+  while (r4 != r3) {
+    r3 := top;
+    r4 := cas(top, r3, 0);
+  }
+  print r3;
+}
+|}
+
+let atomic_sense_barrier =
+  make ~name:"atomic_sense_barrier"
+    ~descr:"sense-reversing barrier (faa arrival count, volatile sense): \
+            DRF, post-barrier reads see all pre-barrier writes"
+    ~drf:true
+    ~can:[ [ 1; 1 ]; [ 1 ] ]
+    ~cannot:[ [ 0 ]; [ 0; 0 ]; [ 0; 1 ]; [ 1; 0 ] ]
+    {|
+volatile sense;
+thread {
+  x := 1;
+  r1 := faa(count, 1);
+  if (r1 == 1) sense := 1;
+  r2 := sense;
+  while (r2 != 1) r2 := sense;
+  r3 := y;
+  print r3;
+}
+thread {
+  y := 1;
+  r4 := faa(count, 1);
+  if (r4 == 1) sense := 1;
+  r5 := sense;
+  while (r5 != 1) r5 := sense;
+  r6 := x;
+  print r6;
+}
+|}
+
+let atomic_spin_then_block =
+  make ~name:"atomic_spin_then_block"
+    ~descr:"bounded spin on a volatile flag, then block on the lock (faa \
+            registers the waiter): DRF, never reads stale data"
+    ~drf:true
+    ~can:[ [ 1 ]; [] ]
+    ~cannot:[ [ 0 ] ]
+    {|
+volatile flag;
+thread {
+  data := 1;
+  lock m;
+  done := 1;
+  flag := 1;
+  unlock m;
+}
+thread {
+  r1 := flag;
+  if (r1 == 0) r1 := flag;
+  if (r1 == 1) { r2 := data; print r2; }
+  else {
+    r6 := faa(waiters, 1);
+    lock m;
+    r3 := done;
+    unlock m;
+    if (r3 == 1) { r4 := data; print r4; }
+  }
+}
+|}
+
+let atomic_sb_xchg =
+  make ~name:"atomic_sb_xchg"
+    ~descr:"store buffering with xchg stores: racy (update vs plain read), \
+            but even TSO cannot show 0,0 because RMWs flush the buffer"
+    ~drf:false
+    ~can:[ [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ]
+    ~cannot:[ [ 0; 0 ] ]
+    {|
+thread {
+  r1 := xchg(x, 1);
+  r2 := y;
+  print r2;
+}
+thread {
+  r3 := xchg(y, 1);
+  r4 := x;
+  print r4;
+}
+|}
+
 let all =
   [
     intro_racy;
@@ -537,6 +693,12 @@ let all =
     sb_volatile;
     peterson_once;
     co_ww_rr;
+    atomic_faa_counter;
+    atomic_ticket_lock;
+    atomic_treiber;
+    atomic_sense_barrier;
+    atomic_spin_then_block;
+    atomic_sb_xchg;
   ]
 
 let by_name n = List.find_opt (fun (t : Litmus.t) -> t.Litmus.name = n) all

@@ -80,5 +80,26 @@ val peterson_once : Litmus.t
 val co_ww_rr : Litmus.t
 (** Write-write coherence as seen by a two-read observer. *)
 
+val atomic_faa_counter : Litmus.t
+(** Two threads fetch-and-add a shared counter: DRF, distinct tickets. *)
+
+val atomic_ticket_lock : Litmus.t
+(** Ticket lock built from [faa] tickets and a volatile serving
+    counter: DRF, mutual exclusion of the critical sections. *)
+
+val atomic_treiber : Litmus.t
+(** Treiber-style push/pop on a volatile top with [cas] retry loops. *)
+
+val atomic_sense_barrier : Litmus.t
+(** Sense-reversing barrier ([faa] arrival count, volatile sense):
+    post-barrier reads see all pre-barrier writes. *)
+
+val atomic_spin_then_block : Litmus.t
+(** Bounded spin on a volatile flag, then blocking on the lock. *)
+
+val atomic_sb_xchg : Litmus.t
+(** Store buffering with [xchg] stores: racy, but even TSO cannot show
+    0,0 because RMWs flush the store buffer. *)
+
 val all : Litmus.t list
 val by_name : string -> Litmus.t option

@@ -31,6 +31,11 @@ let transfer (e : Cfg.edge) live =
   | Cfg.Store (_, r) | Cfg.Print r -> Reg.Set.add r live
   | Cfg.Load (r, _) -> Reg.Set.remove r live
   | Cfg.Move (r, o) -> use_operand (Reg.Set.remove r live) o
+  | Cfg.Atomic (r, _, k) ->
+      let live = Reg.Set.remove r live in
+      (match k with
+      | Ast.Cas (e, d) -> use_operand (use_operand live e) d
+      | Ast.Faa o | Ast.Xchg o -> use_operand live o)
   | Cfg.Assume (t, _) -> use_test live t
   | Cfg.Lock _ | Cfg.Unlock _ | Cfg.Nop -> live
 

@@ -17,7 +17,8 @@ module Cenv = struct
 end
 
 let rec assigned_regs_stmt = function
-  | Ast.Load (r, _) | Ast.Move (r, _) -> Reg.Set.singleton r
+  | Ast.Load (r, _) | Ast.Move (r, _) | Ast.Atomic (r, _, _) ->
+      Reg.Set.singleton r
   | Ast.Store _ | Ast.Lock _ | Ast.Unlock _ | Ast.Skip | Ast.Print _ ->
       Reg.Set.empty
   | Ast.Block l -> assigned_regs_thread l
@@ -47,6 +48,17 @@ let rec cp_stmt env (s : Ast.stmt) : Ast.stmt * Cenv.t =
       | Ast.Nat i -> (Ast.Move (r, o), Reg.Map.add r i env)
       | Ast.Reg _ -> (Ast.Move (r, o), Reg.Map.remove r env))
   | Ast.Load (r, l) -> (Ast.Load (r, l), Reg.Map.remove r env)
+  | Ast.Atomic (r, l, k) ->
+      (* Substituting a known-constant operand never changes the values
+         the RMW writes; the destination register takes a memory value,
+         so it leaves the constant environment. *)
+      let k =
+        match k with
+        | Ast.Cas (e, d) -> Ast.Cas (cp_operand env e, cp_operand env d)
+        | Ast.Faa o -> Ast.Faa (cp_operand env o)
+        | Ast.Xchg o -> Ast.Xchg (cp_operand env o)
+      in
+      (Ast.Atomic (r, l, k), Reg.Map.remove r env)
   | Ast.Store _ | Ast.Lock _ | Ast.Unlock _ | Ast.Skip | Ast.Print _ ->
       (s, env)
   | Ast.Block l ->
@@ -117,6 +129,14 @@ let rec cpy_stmt env (s : Ast.stmt) : Ast.stmt * Penv.t =
       else (Ast.Move (r, Ast.Reg src), Reg.Map.add r src env)
   | Ast.Move (r, (Ast.Nat _ as o)) -> (Ast.Move (r, o), Penv.kill r env)
   | Ast.Load (r, l) -> (Ast.Load (r, l), Penv.kill r env)
+  | Ast.Atomic (r, l, k) ->
+      let k =
+        match k with
+        | Ast.Cas (e, d) -> Ast.Cas (pp_operand env e, pp_operand env d)
+        | Ast.Faa o -> Ast.Faa (pp_operand env o)
+        | Ast.Xchg o -> Ast.Xchg (pp_operand env o)
+      in
+      (Ast.Atomic (r, l, k), Penv.kill r env)
   | Ast.Store (l, r) -> (Ast.Store (l, Penv.resolve env r), env)
   | Ast.Print r -> (Ast.Print (Penv.resolve env r), env)
   | Ast.Lock _ | Ast.Unlock _ | Ast.Skip -> (s, env)
@@ -205,6 +225,9 @@ let rec stmt_summary vol = function
       { empty_summary with has_acq = true }
   | Ast.Store (l, _) when Location.Volatile.mem vol l ->
       { empty_summary with has_rel = true }
+  (* An RMW acquires and releases in one action, so a window containing
+     one always has a release "followed by" an acquire. *)
+  | Ast.Atomic _ -> { has_acq = true; has_rel = true; rel_then_acq = true }
   | Ast.Load _ | Ast.Store _ | Ast.Move _ | Ast.Skip | Ast.Print _ ->
       empty_summary
   | Ast.Block l -> thread_summary vol l
@@ -341,7 +364,7 @@ let overwritten_ahead vol (e : Safeopt_analysis.Cfg.edge) dead =
   | Cfg.Load (_, x) ->
       if Location.Volatile.mem vol x then Location.Set.empty
       else Location.Set.remove x dead
-  | Cfg.Lock _ | Cfg.Unlock _ -> Location.Set.empty
+  | Cfg.Lock _ | Cfg.Unlock _ | Cfg.Atomic _ -> Location.Set.empty
   | Cfg.Move _ | Cfg.Print _ | Cfg.Assume _ | Cfg.Nop -> dead
 
 let dead_store_paths vol thread =

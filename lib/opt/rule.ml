@@ -235,6 +235,7 @@ let move_mentions r = function
   | Ast.Move (r', o) ->
       Reg.equal r r' || (match o with Ast.Reg r'' -> Reg.equal r r'' | _ -> false)
   | Ast.Lock _ | Ast.Unlock _ | Ast.Skip -> false
+  | Ast.Atomic _ -> true (* conservative: never commute a move past an RMW *)
   | Ast.Block _ | Ast.If _ | Ast.While _ -> true (* conservative *)
 
 let move_assigns = function
@@ -267,8 +268,10 @@ let moves = [ m_fwd; m_bwd ]
 
 let rec read_locations_stmt = function
   | Ast.Load (_, l) -> Location.Set.singleton l
+  (* An RMW's read is not eligible for irrelevant-read introduction:
+     deliberately excluded, so report no read locations for it. *)
   | Ast.Store _ | Ast.Move _ | Ast.Lock _ | Ast.Unlock _ | Ast.Skip
-  | Ast.Print _ ->
+  | Ast.Print _ | Ast.Atomic _ ->
       Location.Set.empty
   | Ast.Block body ->
       List.fold_left

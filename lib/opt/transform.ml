@@ -51,7 +51,7 @@ and stmt_rewrites rule vol ~ctx (s : Ast.stmt) : Ast.stmt list =
       stmt_rewrites rule vol ~ctx body
       |> List.map (fun body' -> Ast.While (t, body'))
   | Ast.Store _ | Ast.Load _ | Ast.Move _ | Ast.Lock _ | Ast.Unlock _
-  | Ast.Skip | Ast.Print _ ->
+  | Ast.Skip | Ast.Print _ | Ast.Atomic _ ->
       []
 
 let thread_rewrites rule vol thread =

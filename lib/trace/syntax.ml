@@ -56,7 +56,18 @@ let number st =
   if st.pos = start then err st "expected a number"
   else int_of_string (String.sub st.src start (st.pos - start))
 
-(* R[x=1] or R[x=*], W[x=1], L[m], U[m], X(1), S(0) *)
+(* The arrow of the RMW form: the UTF-8 rightwards arrow or ASCII "->". *)
+let arrow st =
+  skip_ws st;
+  let has s =
+    let n = String.length s in
+    st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+  in
+  if has "\xE2\x86\x92" then st.pos <- st.pos + 3
+  else if has "->" then st.pos <- st.pos + 2
+  else err st "expected an arrow (\xE2\x86\x92 or ->)"
+
+(* R[x=1] or R[x=*], W[x=1], L[m], U[m], U[l:r→w], X(1), S(0) *)
 let element st : Wildcard.elt =
   skip_ws st;
   match peek st with
@@ -93,8 +104,20 @@ let element st : Wildcard.elt =
       advance st;
       expect st '[';
       let m = ident st in
+      (* U[m] is an unlock; U[l:r→w] is an RMW (update) of l. *)
+      skip_ws st;
+      let e =
+        match peek st with
+        | Some ':' ->
+            advance st;
+            let r = number st in
+            arrow st;
+            let w = number st in
+            Wildcard.Concrete (Action.Rmw (m, r, w))
+        | _ -> Wildcard.Concrete (Action.Unlock m)
+      in
       expect st ']';
-      Wildcard.Concrete (Action.Unlock m)
+      e
   | Some ('X' | 'x') ->
       advance st;
       expect st '(';

@@ -1,9 +1,11 @@
 (** Parser for the paper's trace notation.
 
     Accepts the exact notation the library prints:
-    {v S(0); R[x=1]; W[y=0]; L[m]; U[m]; X(2); R[z=*] v}
+    {v S(0); R[x=1]; W[y=0]; L[m]; U[m]; U[x:0→1]; X(2); R[z=*] v}
     with [;] or [,] separators and optional surrounding brackets.
-    [R\[l=*\]] denotes a wildcard read.  Inverse of {!Wildcard.pp} /
+    [R\[l=*\]] denotes a wildcard read.  [U\[l:r→w\]] is an atomic RMW
+    of [l] (the arrow may also be written as ASCII [->]); a plain
+    [U\[m\]] remains an unlock.  Inverse of {!Wildcard.pp} /
     {!Trace.pp} (round-trip tested). *)
 
 type pos = int

@@ -97,6 +97,6 @@ let final_values t =
   List.fold_left
     (fun m a ->
       match a with
-      | Action.Write (l, v) -> Location.Map.add l v m
+      | Action.Write (l, v) | Action.Rmw (l, _, v) -> Location.Map.add l v m
       | _ -> m)
     Location.Map.empty t

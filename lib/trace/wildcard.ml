@@ -94,6 +94,7 @@ let is_read = function
   | Wild_read _ -> true
 
 let is_write = function Concrete a -> Action.is_write a | Wild_read _ -> false
+let is_rmw = function Concrete a -> Action.is_rmw a | Wild_read _ -> false
 
 let is_access = function
   | Concrete a -> Action.is_access a
@@ -129,6 +130,7 @@ let conflicting vol a b =
       Location.equal la lb
       && (not (Location.Volatile.mem vol la))
       && (is_write a || is_write b)
+      && not (is_rmw a && is_rmw b)
   | _ -> false
 
 let has_release_acquire_pair_between vol t lo hi =

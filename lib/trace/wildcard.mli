@@ -65,6 +65,10 @@ val restrict : t -> int list -> t
 
 val is_read : elt -> bool
 val is_write : elt -> bool
+
+val is_rmw : elt -> bool
+(** A concrete RMW element; a wildcard read never is. *)
+
 val is_access : elt -> bool
 val location : elt -> Location.t option
 val is_acquire : Location.Volatile.t -> elt -> bool
@@ -77,7 +81,7 @@ val is_normal_access : Location.Volatile.t -> elt -> bool
 val conflicting : Location.Volatile.t -> elt -> elt -> bool
 (** Conflict between wildcard elements: value-independent, so defined
     exactly as on actions (same non-volatile location, at least one
-    write). *)
+    write, not two RMWs). *)
 
 val has_release_acquire_pair_between :
   Location.Volatile.t -> t -> int -> int -> bool

@@ -48,6 +48,26 @@ let transitions vol sys st =
                   threads.(tid) <- ts';
                   out := (Some (Action.Read (l, v)), { st with threads }) :: !out
               | None -> ())
+          | System.Rmw (l, k) ->
+              (* An RMW fences (x86 LOCK prefix): it requires the
+                 thread's own store buffer to be empty and reads and
+                 writes memory directly, so it can neither see nor
+                 leave behind a buffered value. *)
+              if buffer_empty then
+                let v =
+                  Option.value ~default:Value.default
+                    (Location.Map.find_opt l st.mem)
+                in
+                List.iter
+                  (fun (w, ts') ->
+                    let threads = Array.copy st.threads in
+                    threads.(tid) <- ts';
+                    out :=
+                      ( Some (Action.Rmw (l, v, w)),
+                        { st with threads; mem = Location.Map.add l w st.mem }
+                      )
+                      :: !out)
+                  (k v)
           | System.Emit (a, ts') -> (
               let commit st' =
                 let threads = Array.copy st'.threads in
@@ -57,6 +77,8 @@ let transitions vol sys st =
               match a with
               | Action.Read _ ->
                   invalid_arg "Tso: reads must use System.Read steps"
+              | Action.Rmw _ ->
+                  invalid_arg "Tso: RMWs must use System.Rmw steps"
               | Action.Write (l, v) ->
                   if Location.Volatile.mem vol l then begin
                     (* Fencing write: needs an empty buffer, goes

@@ -54,6 +54,24 @@ let transitions vol sys st =
                   threads.(tid) <- ts';
                   out := (Some (Action.Read (l, v)), { st with threads }) :: !out
               | None -> ())
+          | System.Rmw (l, k) ->
+              (* Fence-like, as under TSO: all the thread's per-location
+                 buffers must have drained before the RMW hits memory. *)
+              if buffers_empty st tid then
+                let v =
+                  Option.value ~default:Value.default
+                    (Location.Map.find_opt l st.mem)
+                in
+                List.iter
+                  (fun (w, ts') ->
+                    let threads = Array.copy st.threads in
+                    threads.(tid) <- ts';
+                    out :=
+                      ( Some (Action.Rmw (l, v, w)),
+                        { st with threads; mem = Location.Map.add l w st.mem }
+                      )
+                      :: !out)
+                  (k v)
           | System.Emit (a, ts') -> (
               let commit st' =
                 let threads = Array.copy st'.threads in
@@ -63,6 +81,8 @@ let transitions vol sys st =
               match a with
               | Action.Read _ ->
                   invalid_arg "Pso: reads must use System.Read steps"
+              | Action.Rmw _ ->
+                  invalid_arg "Pso: RMWs must use System.Rmw steps"
               | Action.Write (l, v) ->
                   if Location.Volatile.mem vol l then begin
                     if buffers_empty st tid then

@@ -2,19 +2,21 @@ The reorderability matrix of section 4:
 
   $ drfopt matrix
   distinct locations (x <> y):
-     a \ b     W     R   Acq   Rel   Ext
-         W   yes   yes   yes     x   yes
-         R   yes   yes   yes     x   yes
-       Acq     x     x     x     x     x
-       Rel   yes   yes     x     x     x
-       Ext   yes   yes     x     x     x
+     a \ b     W     R   Acq   Rel   Ext     U
+         W   yes   yes   yes     x   yes     x
+         R   yes   yes   yes     x   yes     x
+       Acq     x     x     x     x     x     x
+       Rel   yes   yes     x     x     x     x
+       Ext   yes   yes     x     x     x     x
+         U     x     x     x     x     x     x
   same location (x = y):
-     a \ b     W     R   Acq   Rel   Ext
-         W     x     x   yes     x   yes
-         R     x   yes   yes     x   yes
-       Acq     x     x     x     x     x
-       Rel   yes   yes     x     x     x
-       Ext   yes   yes     x     x     x
+     a \ b     W     R   Acq   Rel   Ext     U
+         W     x     x   yes     x   yes     x
+         R     x   yes   yes     x   yes     x
+       Acq     x     x     x     x     x     x
+       Rel   yes   yes     x     x     x     x
+       Ext   yes   yes     x     x     x     x
+         U     x     x     x     x     x     x
 
 Definition 1 on the paper's worked trace:
 
@@ -76,6 +78,70 @@ A single litmus test:
 
   $ drfopt litmus sb
   sb                 ok
+
+The lock-free pack, selected by name substring:
+
+  $ drfopt litmus --filter atomic
+  atomic_faa_counter ok
+  atomic_ticket_lock ok
+  atomic_treiber     ok
+  atomic_sense_barrier ok
+  atomic_spin_then_block ok
+  atomic_sb_xchg     ok
+
+  $ drfopt litmus --filter nosuch
+  no litmus test name contains "nosuch"
+  [2]
+
+Atomic read-modify-writes: cas/faa/xchg are one-step actions, so two
+unsynchronised faa increments are data race free and each thread gets
+a distinct ticket:
+
+  $ cat > faa.lit <<'PROG'
+  > thread { r1 := faa(c, 1); print r1; }
+  > thread { r2 := faa(c, 1); print r2; }
+  > PROG
+
+  $ drfopt run faa.lit | tail -4
+  behaviours (5, showing maximal):
+  print 0; print 1
+  print 1; print 0
+  data race free: true
+
+In trace notation an RMW is U[l:r->w] (printed with an arrow), and it
+is never eliminable — it acquires and releases in one action:
+
+  $ drfopt eliminable "S(0); W[x=1]; U[x:1->2]; R[x=2]; W[x=3]"
+  [S(0); W[x=1]; U[x:1→2]; R[x=2]; W[x=3]]
+     0 S(0)       -
+     1 W[x=1]     -
+     2 U[x:1→2] -
+     3 R[x=2]     -
+     4 W[x=3]     eliminable: redundant last write  (not composable: last-action clause)
+
+The refine rung cannot bound a thread that performs atomic updates
+(the written values escape the literal-derived universe), so the auto
+ladder escalates to the exhaustive rung instead of guessing:
+
+  $ cat > rmw_rar.lit <<'PROG'
+  > thread { r1 := faa(c, 1); r2 := x; r3 := x; print r1; }
+  > PROG
+  $ drfopt transform rmw_rar.lit --rule E-RAR > rmw_rar_opt.lit
+  $ drfopt validate rmw_rar.lit rmw_rar_opt.lit --validator refine
+  validator: refine; decided by: inconclusive; verdict: UNDECIDED
+  note: thread 0: thread performs atomic updates; universe not update-closed
+  thread 0: inconclusive (thread performs atomic updates; universe not update-closed)
+  DRF guarantee: UNDECIDED
+  [1]
+  $ drfopt validate rmw_rar.lit rmw_rar_opt.lit --validator auto
+  validator: auto; decided by: exhaustive; verdict: ok
+  note: thread 0: thread performs atomic updates; universe not update-closed; escalated to exhaustive enumeration
+  thread 0: inconclusive (thread performs atomic updates; universe not update-closed)
+  original DRF: true
+  transformed DRF: true
+  new behaviour: none
+  relation (unchecked): n/a
+  DRF guarantee: HOLDS
 
 Deadlock detection:
 

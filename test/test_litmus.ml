@@ -1,4 +1,6 @@
 open Safeopt_litmus
+module Validate = Safeopt_opt.Validate
+module Pipeline = Safeopt_opt.Pipeline
 
 let test_corpus () =
   List.iter
@@ -11,7 +13,7 @@ let test_corpus () =
 let test_by_name () =
   Alcotest.(check bool) "sb found" true (Corpus.by_name "sb" <> None);
   Alcotest.(check bool) "unknown" true (Corpus.by_name "nope" = None);
-  Alcotest.(check int) "corpus size" 26 (List.length Corpus.all)
+  Alcotest.(check int) "corpus size" 32 (List.length Corpus.all)
 
 let test_expect_machinery () =
   (* a deliberately wrong expectation is reported, not crashed *)
@@ -37,6 +39,50 @@ let test_sources_parse_and_print () =
         Alcotest.failf "%s does not round-trip" t.Litmus.name)
     Corpus.all
 
+(* The lock-free pack through the whole validator ladder: optimise each
+   scenario with the default pipeline, then check that the auto ladder
+   (static -> refine -> exhaustive, escalating on the atomic-update
+   Bounded verdict) agrees with the pure exhaustive validator, on one
+   domain and on a 2-domain pool. *)
+let lock_free_pack =
+  [
+    Corpus.atomic_faa_counter;
+    Corpus.atomic_ticket_lock;
+    Corpus.atomic_treiber;
+    Corpus.atomic_sense_barrier;
+    Corpus.atomic_spin_then_block;
+  ]
+
+let test_lock_free_ladder () =
+  let spec =
+    match Pipeline.parse "constprop;copyprop;cse*;dead-moves;dse;normalise" with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let pool2 = Safeopt_exec.Par.Pool.create 2 in
+  List.iter
+    (fun (t : Litmus.t) ->
+      let original = Litmus.program t in
+      let transformed = (Pipeline.run spec original).Pipeline.final in
+      List.iter
+        (fun pool ->
+          let auto =
+            Validate.run_validator ?pool Validate.Auto ~original ~transformed
+              ()
+          in
+          let exh =
+            Validate.run_validator ?pool Validate.Exhaustive ~original
+              ~transformed ()
+          in
+          if not (Validate.outcome_ok auto) then
+            Alcotest.failf "%s: auto rejects the optimised program"
+              t.Litmus.name;
+          if Validate.outcome_ok auto <> Validate.outcome_ok exh then
+            Alcotest.failf "%s: auto and exhaustive verdicts differ"
+              t.Litmus.name)
+        [ None; Some pool2 ])
+    lock_free_pack
+
 let () =
   Alcotest.run "litmus"
     [
@@ -47,5 +93,7 @@ let () =
           Alcotest.test_case "failure reporting" `Quick test_expect_machinery;
           Alcotest.test_case "sources round-trip" `Quick
             test_sources_parse_and_print;
+          Alcotest.test_case "lock-free pack through the ladder" `Slow
+            test_lock_free_ladder;
         ] );
     ]

@@ -40,6 +40,20 @@ let test_local_predicate () =
   check_b "external is not local" false (local (ext 1));
   check_b "lock is not local" false (local (lk "m"))
 
+let test_same_location_rmws_dependent () =
+  (* regression: Action.conflicting excuses the rmw-rmw pair (atomicity
+     orders them, so they never race), but the explorer must still treat
+     same-location RMWs as dependent — their order decides which faa
+     ticket each thread gets.  If POR wrongly commuted them, one of the
+     two print orders would disappear from the reduced exploration. *)
+  let p = Litmus.program Corpus.atomic_faa_counter in
+  let full = Interp.behaviours p in
+  let reduced = Interp.behaviours ~por:true p in
+  Alcotest.check behaviour_set "reduced = full on the faa counter" full
+    reduced;
+  check_b "both ticket orders survive POR" true
+    (Behaviour.Set.mem [ 0; 1 ] reduced && Behaviour.Set.mem [ 1; 0 ] reduced)
+
 let test_all_shared () =
   (* when every location is shared, only the start actions (which
      always commute) are reduced; behaviours are untouched *)
@@ -58,6 +72,8 @@ let () =
           Alcotest.test_case "behaviour equivalence" `Slow test_equivalence;
           Alcotest.test_case "state reduction" `Quick test_reduction;
           Alcotest.test_case "local predicate" `Quick test_local_predicate;
+          Alcotest.test_case "same-location RMWs stay dependent" `Quick
+            test_same_location_rmws_dependent;
           Alcotest.test_case "all-shared case" `Quick test_all_shared;
         ] );
     ]

@@ -56,6 +56,22 @@ let test_fences () =
     (Behaviour.Set.is_empty
        (Pso.weak_behaviours (Litmus.program Corpus.sb_volatile)))
 
+let test_rmw_flushes_buffers () =
+  (* an RMW waits until every per-location buffer of its thread has
+     drained, so even PSO (which breaks plain MP) keeps MP with an
+     xchg-published flag: the data write is in memory before the flag
+     update is *)
+  let p =
+    parse
+      "thread { data := 1; r0 := xchg(flag, 1); }\n\
+       thread { r1 := flag; if (r1 == 1) { r2 := data; print r2; } }"
+  in
+  check_b "xchg-published mp not weak" true
+    (Behaviour.Set.is_empty (Pso.weak_behaviours p));
+  check_b "sb-with-xchg not weak" true
+    (Behaviour.Set.is_empty
+       (Pso.weak_behaviours (Litmus.program Corpus.atomic_sb_xchg)))
+
 let test_drf_no_weakness () =
   List.iter
     (fun t ->
@@ -86,6 +102,8 @@ let () =
           Alcotest.test_case "SC <= TSO <= PSO" `Quick test_inclusions;
           Alcotest.test_case "per-location FIFO" `Quick test_per_location_fifo;
           Alcotest.test_case "fences" `Quick test_fences;
+          Alcotest.test_case "RMWs flush the buffers" `Quick
+            test_rmw_flushes_buffers;
           Alcotest.test_case "DRF implies no weakness" `Slow
             test_drf_no_weakness;
           Alcotest.test_case "explained by transformations" `Slow

@@ -120,6 +120,38 @@ let test_counterexample_replays () =
   | v ->
       Alcotest.failf "expected a counterexample, got %a" Refine.pp_verdict v
 
+let test_atomic_escalates_not_rejects () =
+  (* an RMW's written value (faa adds) can fall outside the
+     literal-derived universe, so the per-thread comparison must return
+     Bounded — escalating the auto ladder to exhaustive — and never a
+     Counterexample for this perfectly safe E-RAR rewrite *)
+  let original =
+    parse "thread { r1 := faa(c, 1); r2 := x; r3 := x; print r1; }"
+  in
+  let transformed =
+    parse "thread { r1 := faa(c, 1); r2 := x; r3 := r2; print r1; }"
+  in
+  let r = Refine.check ~original ~transformed () in
+  (match List.assoc 0 r.Refine.threads with
+  | Refine.Bounded _ -> ()
+  | v ->
+      Alcotest.failf "expected Bounded on the atomic thread, got %a"
+        Refine.pp_thread_verdict v);
+  check_b "unknown, not counterexample" true
+    (match Refine.verdict r with Refine.Unknown _ -> true | _ -> false);
+  let auto = Validate.run_validator Validate.Auto ~original ~transformed () in
+  let exh =
+    Validate.run_validator Validate.Exhaustive ~original ~transformed ()
+  in
+  check_b "auto accepts via escalation" true (Validate.outcome_ok auto);
+  check_b "auto decided by the exhaustive rung" true
+    (Validate.method_tag auto = "exhaustive");
+  check_b "agrees with exhaustive" true (Validate.outcome_ok exh);
+  (* identical atomic threads still take the static fast path *)
+  let r_id = Refine.check ~original ~transformed:original () in
+  check_b "identical atomic thread stays Identical" true
+    (List.assoc 0 r_id.Refine.threads = Refine.Identical)
+
 let test_truncation_is_unknown_not_safe () =
   (* both sides loop forever writing x: the transformed enumeration hits
      max_len, so the thread is Bounded and the verdict Unknown — a
@@ -207,6 +239,8 @@ let () =
             test_volatile_change_blocked;
           Alcotest.test_case "counterexample replays as witness" `Quick
             test_counterexample_replays;
+          Alcotest.test_case "atomic updates escalate, never reject" `Quick
+            test_atomic_escalates_not_rejects;
           Alcotest.test_case "truncation is Unknown, never Safe" `Quick
             test_truncation_is_unknown_not_safe;
         ] );

@@ -63,6 +63,30 @@ let test_roundtrip () =
   Alcotest.check trace "trace roundtrip" t
     (Syntax.parse_trace (Trace.to_string t))
 
+let test_rmw () =
+  (* the stable notation is U[l:r→w]; the parser also accepts the
+     ASCII arrow, and the colon keeps it distinct from unlock U[m] *)
+  Alcotest.check action "utf-8 arrow"
+    (Action.Rmw ("x", 0, 1))
+    (Syntax.parse_action "U[x:0\xE2\x86\x921]");
+  Alcotest.check action "ascii arrow"
+    (Action.Rmw ("x", 0, 1))
+    (Syntax.parse_action "U[x:0->1]");
+  Alcotest.check action "no colon is an unlock" (ul "x")
+    (Syntax.parse_action "U[x]");
+  check_b "rmw pp reparses" true
+    (Action.equal
+       (Action.Rmw ("top", 2, 3))
+       (Syntax.parse_action (Action.to_string (Action.Rmw ("top", 2, 3)))));
+  let fails s =
+    match Syntax.parse_action s with
+    | exception Syntax.Error _ -> true
+    | _ -> false
+  in
+  check_b "missing written value" true (fails "U[x:0->]");
+  check_b "missing arrow" true (fails "U[x:0]");
+  check_b "missing read value" true (fails "U[x:->1]")
+
 let () =
   Alcotest.run "syntax"
     [
@@ -73,5 +97,6 @@ let () =
           Alcotest.test_case "wildcards" `Quick test_wildcards;
           Alcotest.test_case "errors" `Quick test_errors;
           Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "rmw notation" `Quick test_rmw;
         ] );
     ]

@@ -53,6 +53,26 @@ let test_fences () =
   check_b "locked sb not weak" true
     (Behaviour.Set.is_empty (Machine.weak_behaviours q))
 
+let test_rmw_flushes_buffer () =
+  (* an RMW behaves like an x86 LOCKed instruction: it waits for the
+     thread's own buffer to drain and goes straight to memory, so SB
+     with xchg stores has no relaxed outcome — unlike plain SB *)
+  let p = Litmus.program Corpus.atomic_sb_xchg in
+  check_b "sb-with-xchg not weak" true
+    (Behaviour.Set.is_empty (Machine.weak_behaviours p));
+  check_b "plain sb is weak (control)" false
+    (Behaviour.Set.is_empty
+       (Machine.weak_behaviours (Litmus.program Corpus.sb)));
+  (* the RMW also cannot read its own buffered (unflushed) write stale:
+     the preceding plain store drains first, so faa reads 1, returns 1,
+     and leaves 2 in memory *)
+  let q = parse "thread { x := 1; r1 := faa(x, 1); r2 := x; print r1; print r2; }" in
+  Alcotest.check behaviour_set "faa sees the drained store"
+    (Interp.behaviours q)
+    (Machine.program_behaviours q);
+  check_b "reads 1, leaves 2" true
+    (Behaviour.Set.mem [ 1; 2 ] (Machine.program_behaviours q))
+
 (* The central section-8 theorem check: DRF programs have no observable
    TSO weakness. *)
 let test_drf_no_weakness () =
@@ -88,6 +108,8 @@ let () =
             test_tso_preserves_sc_per_thread_order;
           Alcotest.test_case "store forwarding" `Quick test_store_forwarding;
           Alcotest.test_case "fences" `Quick test_fences;
+          Alcotest.test_case "RMWs flush the buffer" `Quick
+            test_rmw_flushes_buffer;
           Alcotest.test_case "DRF implies no weakness" `Slow
             test_drf_no_weakness;
           Alcotest.test_case "explained by transformations" `Slow
