@@ -1196,6 +1196,113 @@ let rmw_bench () =
   Fmt.pr "  wrote BENCH_rmw.json@."
 
 (* ------------------------------------------------------------------ *)
+(* P8: pass x memory-model portability -> BENCH_portability.json       *)
+(* ------------------------------------------------------------------ *)
+
+(* Sweep the pass registry over the litmus corpus under each memory
+   model and pin the portability asymmetries as claims: at least one
+   pass must be safe under SC yet unsafe under TSO (the compiler
+   reordering the store buffer exposes), and every unsafe cell's
+   counterexample behaviour must replay from scratch under its model.
+   [quick] trims the registry to the four passes that carry the
+   asymmetries — the CI smoke mode. *)
+let portability_bench ?(quick = false) () =
+  let open Safeopt_litmus in
+  hr "P8: pass x memory-model portability matrix -> BENCH_portability.json";
+  let passes =
+    if quick then
+      List.filter
+        (fun (p : Safeopt_opt.Pass.t) ->
+          List.mem p.Safeopt_opt.Pass.name
+            [ "dead-stores"; "store-load-reorder"; "read-intro"; "redundancy" ])
+        Safeopt_opt.Pipeline.registry
+    else Safeopt_opt.Pipeline.registry
+  in
+  let m, wall = time (fun () -> Portability.sweep ~passes ()) in
+  Fmt.pr "%a" Portability.pp m;
+  let verdict_of ~pass ~model =
+    Option.map
+      (fun c -> c.Portability.c_verdict)
+      (Portability.cell m ~pass ~model)
+  in
+  let sc_safe_tso_unsafe =
+    List.filter
+      (fun pass ->
+        match
+          ( verdict_of ~pass ~model:Safeopt_model.Memory_model.Sc,
+            verdict_of ~pass ~model:Safeopt_model.Memory_model.Tso )
+        with
+        | Some Portability.Safe, Some (Portability.Unsafe _) -> true
+        | _ -> false)
+      m.Portability.passes
+  in
+  let unsafe = Portability.unsafe_cells m in
+  let weak_unsafe_replayed =
+    List.for_all
+      (fun ((c : Portability.cell), (u : Portability.unsafe_evidence)) ->
+        Safeopt_model.Memory_model.equal c.Portability.c_model
+          Safeopt_model.Memory_model.Sc
+        || u.Portability.u_replayed)
+      unsafe
+  in
+  Fmt.pr "  SC-safe but TSO-unsafe passes: %a@."
+    Fmt.(list ~sep:(any ", ") string)
+    sc_safe_tso_unsafe;
+  claim "some pass is safe under SC but unsafe under TSO" true
+    (sc_safe_tso_unsafe <> []);
+  claim "every weak-model unsafe cell's witness replays from scratch" true
+    weak_unsafe_replayed;
+  let cell_rows =
+    List.map
+      (fun (c : Portability.cell) ->
+        let extra =
+          match c.Portability.c_verdict with
+          | Portability.Unsafe u ->
+              Printf.sprintf ", \"test\": %S, \"behaviour\": %S, \
+                              \"replayed\": %b"
+                u.Portability.u_test
+                (match u.Portability.u_behaviour with
+                | Some b -> Fmt.str "%a" Behaviour.pp b
+                | None -> "")
+                u.Portability.u_replayed
+          | _ -> ""
+        in
+        Printf.sprintf
+          "    {\"pass\": %S, \"model\": %S, \"verdict\": %S, \"checked\": \
+           %d%s}"
+          c.Portability.c_pass
+          (Safeopt_model.Memory_model.name c.Portability.c_model)
+          (Portability.verdict_tag c.Portability.c_verdict)
+          c.Portability.c_checked extra)
+      m.Portability.cells
+  in
+  let json =
+    String.concat "\n"
+      ([
+         "{";
+         "  \"schema\": \"bench_portability/v1\",";
+         Printf.sprintf "  \"quick\": %b," quick;
+         Printf.sprintf "  \"passes\": %d," (List.length m.Portability.passes);
+         Printf.sprintf "  \"models\": %d," (List.length m.Portability.models);
+         Printf.sprintf "  \"tests\": %d," (List.length m.Portability.tests);
+         Printf.sprintf "  \"wall_s\": %.4f," wall;
+         Printf.sprintf "  \"sc_safe_tso_unsafe\": [%s],"
+           (String.concat ", "
+              (List.map (Printf.sprintf "%S") sc_safe_tso_unsafe));
+         Printf.sprintf "  \"weak_unsafe_witnesses_replayed\": %b,"
+           weak_unsafe_replayed;
+         "  \"cells\": [";
+       ]
+      @ [ String.concat ",\n" cell_rows ]
+      @ [ "  ]"; "}" ])
+  in
+  let oc = open_out "BENCH_portability.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "  wrote BENCH_portability.json@."
+
+(* ------------------------------------------------------------------ *)
 (* obs-overhead: the disabled-telemetry cost guard                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1377,9 +1484,11 @@ let () =
      (BENCH_parallel.json); `-- refine` (or `refine-quick`) the
      validator-ladder differential and scaling comparison
      (BENCH_refine.json); `-- rmw` the lock-free atomic pack gates
-     (BENCH_rmw.json); `-- obs-overhead` the disabled-telemetry
-     cost guard (exits 1 when the guards are not free); the default
-     runs the full reproduction suite. *)
+     (BENCH_rmw.json); `-- portability` (or `portability-quick`) the
+     pass x memory-model matrix (BENCH_portability.json);
+     `-- obs-overhead` the disabled-telemetry cost guard (exits 1 when
+     the guards are not free); the default runs the full reproduction
+     suite. *)
   match Sys.argv with
   | [| _; "explore" |] -> explore_bench ()
   | [| _; "obs-overhead" |] -> obs_overhead ()
@@ -1393,6 +1502,8 @@ let () =
   | [| _; "refine" |] -> refine_bench ()
   | [| _; "refine-quick" |] -> refine_bench ~quick:true ()
   | [| _; "rmw" |] -> rmw_bench ()
+  | [| _; "portability" |] -> portability_bench ()
+  | [| _; "portability-quick" |] -> portability_bench ~quick:true ()
   | _ ->
       e1 ();
       e2 ();
@@ -1415,5 +1526,6 @@ let () =
       parallel_bench ~jobs:4 ();
       refine_bench ();
       rmw_bench ();
+      portability_bench ();
       run_bechamel ();
       Fmt.pr "@.done.@."

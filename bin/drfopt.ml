@@ -9,11 +9,15 @@
      validate    compare two programs under the DRF guarantee
      litmus      run the built-in corpus
      matrix      print the section-4 reorderability matrix
+     portability the pass x memory-model portability matrix
      report      aggregate a --trace-out JSONL trace offline
      tso         TSO behaviours and the section-8 explanation check
 
    The analysis subcommands share the telemetry flags --trace-out FILE,
-   --trace-format jsonl|chrome and --metrics (see [setup_obs]). *)
+   --trace-format jsonl|chrome and --metrics (see [setup_obs]); the
+   semantic subcommands (run, validate, optimize, litmus) share
+   --model sc|tso|pso selecting the memory model whose behaviours are
+   enumerated. *)
 
 open Cmdliner
 open Safeopt_lang
@@ -60,6 +64,24 @@ let jobs_arg =
         ~doc:"Run explorations across $(docv) domains (default 1 = \
               sequential; 0 = all recommended cores).  Verdicts, behaviour \
               sets and counts are identical at any job count.")
+
+module Model = Safeopt_model.Memory_model
+
+let model_conv =
+  Arg.conv
+    ( (fun s -> Result.map_error (fun e -> `Msg e) (Model.of_string s)),
+      fun ppf m -> Fmt.string ppf (Model.name m) )
+
+let model_arg =
+  Arg.(
+    value & opt model_conv Model.Sc
+    & info [ "model" ] ~docv:"MODEL"
+        ~doc:"Memory model whose behaviours are enumerated: $(b,sc) \
+              (default: the interleaving semantics, racy programs catch \
+              fire), $(b,tso) (one FIFO store buffer per thread with \
+              store-to-load forwarding) or $(b,pso) (per-location \
+              buffers).  Data-race freedom stays an SC question under \
+              every model.")
 
 let check_jobs jobs =
   if jobs < 0 then begin
@@ -160,18 +182,24 @@ let obs_term =
 (* --- run --- *)
 
 let run_cmd =
-  let run () file fuel stats jobs =
+  let run () file fuel stats jobs model =
     let jobs = check_jobs jobs in
     let p = or_die (load file) in
     Fmt.pr "%a@.@." Pp.program p;
     with_stats stats (fun stats ->
-        print_behaviours (Interp.behaviours ~fuel ?stats ~jobs p);
+        if not (Model.equal model Model.Sc) then
+          Fmt.pr "memory model: %s@." (Model.name model);
+        print_behaviours (Model.behaviours ~fuel ?stats ~jobs model p);
         Fmt.pr "data race free: %b@." (Interp.is_drf ~fuel ?stats ~jobs p);
         0)
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Enumerate SC behaviours and check race freedom")
-    Term.(const run $ obs_term $ file_arg $ fuel_arg $ stats_arg $ jobs_arg)
+    (Cmd.info "run"
+       ~doc:"Enumerate behaviours under $(b,--model) (default SC) and check \
+             race freedom")
+    Term.(
+      const run $ obs_term $ file_arg $ fuel_arg $ stats_arg $ jobs_arg
+      $ model_arg)
 
 (* --- drf --- *)
 
@@ -377,7 +405,7 @@ let optimize_cmd =
           ~doc:"Program in the concrete syntax (omit with $(b,--list)).")
   in
   let run () file fuel pipeline validate_each trace list_passes jobs validator
-      =
+      model =
     let jobs = check_jobs jobs in
     let open Safeopt_opt in
     if list_passes then (
@@ -392,7 +420,7 @@ let optimize_cmd =
     in
     let p = or_die (load file) in
     let spec = or_die (Pipeline.parse pipeline) in
-    let o = Pipeline.run ~fuel ~validate_each ~jobs ~validator spec p in
+    let o = Pipeline.run ~fuel ~validate_each ~jobs ~validator ~model spec p in
     if trace then Fmt.pr "%a" Pipeline.pp_trace o;
     Fmt.pr "--- optimised ---@.%a@." Pp.program o.final;
     let sites =
@@ -418,10 +446,12 @@ let optimize_cmd =
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Run a pass-manager pipeline with per-pass provenance and \
-             differential validation")
+             differential validation under $(b,--model) (default sc) — a \
+             pipeline accepted under SC may be rejected under tso/pso")
     Term.(
       const run $ obs_term $ opt_file_arg $ fuel_arg $ pipeline_arg
-      $ validate_each_arg $ trace_arg $ list_arg $ jobs_arg $ validator_arg)
+      $ validate_each_arg $ trace_arg $ list_arg $ jobs_arg $ validator_arg
+      $ model_arg)
 
 (* --- validate --- *)
 
@@ -456,17 +486,25 @@ let validate_cmd =
           ~doc:"Trace length bound for the refine rung's per-thread \
                 enumerations and for the $(b,--relation) check.")
   in
-  let run () orig_file trans_file relation validator max_len fuel stats jobs =
+  let run () orig_file trans_file relation validator max_len fuel stats jobs
+      model =
     let jobs = check_jobs jobs in
     let original = or_die (load orig_file) in
     let transformed = or_die (load trans_file) in
     let open Safeopt_opt in
+    if relation <> Validate.Unchecked && not (Model.equal model Model.Sc) then begin
+      Fmt.epr
+        "drfopt: --relation argues over SC tracesets; it cannot be combined \
+         with --model %s@."
+        (Model.name model);
+      exit 2
+    end;
     with_stats stats (fun stats ->
         match relation with
         | Validate.Unchecked ->
             let o =
-              Validate.run_validator ~fuel ?stats ~jobs ~max_len validator
-                ~original ~transformed ()
+              Validate.run_validator ~fuel ?stats ~jobs ~max_len ~model
+                validator ~original ~transformed ()
             in
             Fmt.pr "%a@." Validate.pp_outcome o;
             Fmt.pr "DRF guarantee: %s@."
@@ -488,11 +526,15 @@ let validate_cmd =
     (Cmd.info "validate"
        ~doc:"Check a transformation against the DRF guarantee (Theorems 1-4). \
              Without $(b,--relation), the pair is decided under \
-             $(b,--validator) (default auto); with it, the claimed semantic \
-             traceset relation is checked by the legacy exhaustive path")
+             $(b,--validator) (default auto) and $(b,--model) (default sc; \
+             under tso/pso the criterion is plain behaviour inclusion and \
+             the ladder escalates to model-exhaustive enumeration); with \
+             $(b,--relation), the claimed semantic traceset relation is \
+             checked by the legacy SC exhaustive path")
     Term.(
       const run $ obs_term $ file_arg $ transformed_arg $ relation_arg
-      $ validator_arg $ max_len_arg $ fuel_arg $ stats_arg $ jobs_arg)
+      $ validator_arg $ max_len_arg $ fuel_arg $ stats_arg $ jobs_arg
+      $ model_arg)
 
 (* --- denote --- *)
 
@@ -541,7 +583,7 @@ let litmus_cmd =
     let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
     m = 0 || go 0
   in
-  let run () name filter stats jobs =
+  let run () name filter stats jobs model =
     let jobs = check_jobs jobs in
     let tests =
       match (name, filter) with
@@ -565,7 +607,14 @@ let litmus_cmd =
       | None, None -> Safeopt_litmus.Corpus.all
     in
     with_stats stats (fun stats ->
-        let outcomes = Safeopt_litmus.Litmus.check_all ?stats ~jobs tests in
+        if not (Model.equal model Model.Sc) then
+          Fmt.pr
+            "memory model: %s (expectations are SC expectations; failures \
+             below are the model's relaxations)@."
+            (Model.name model);
+        let outcomes =
+          Safeopt_litmus.Litmus.check_all ?stats ~jobs ~model tests
+        in
         List.iter
           (fun o -> Fmt.pr "%a@." Safeopt_litmus.Litmus.pp_outcome o)
           outcomes;
@@ -578,8 +627,67 @@ let litmus_cmd =
              $(b,--filter) runs the subset whose names contain a \
              substring (e.g. $(b,--filter atomic) for the lock-free \
              pack).  With $(b,--stats), print the exploration statistics \
-             accumulated across the whole corpus")
-    Term.(const run $ obs_term $ name_arg $ filter_arg $ stats_arg $ jobs_arg)
+             accumulated across the whole corpus.  With $(b,--model tso) \
+             or $(b,pso), behaviours are enumerated on the weak machine \
+             while the expectations stay SC, surfacing each test's \
+             relaxations as failures")
+    Term.(
+      const run $ obs_term $ name_arg $ filter_arg $ stats_arg $ jobs_arg
+      $ model_arg)
+
+(* --- portability --- *)
+
+let portability_cmd =
+  let pass_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pass" ] ~docv:"NAME"
+          ~doc:"Sweep a single registered pass instead of the whole \
+                registry.")
+  in
+  let no_witnesses_arg =
+    Arg.(
+      value & flag
+      & info [ "no-witnesses" ]
+          ~doc:"Print the table only, without the per-cell \
+                counterexamples.")
+  in
+  let run () fuel stats jobs pass no_witnesses =
+    let jobs = check_jobs jobs in
+    let open Safeopt_litmus in
+    let passes =
+      match pass with
+      | None -> Safeopt_opt.Pipeline.registry
+      | Some name -> (
+          match Safeopt_opt.Pipeline.find name with
+          | Some p -> [ p ]
+          | None ->
+              Fmt.epr "drfopt: unknown pass %S@." name;
+              exit 2)
+    in
+    with_stats stats (fun stats ->
+        (* [stats] rides along inside the validators via the metrics
+           registry when --metrics is on; the sweep itself only needs
+           jobs for the per-cell enumerations. *)
+        ignore stats;
+        let m = Portability.sweep ~fuel ~jobs ~passes () in
+        Fmt.pr "%a" Portability.pp m;
+        if not no_witnesses then Fmt.pr "%a" Portability.pp_witnesses m;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "portability"
+       ~doc:"Sweep every registered pass over the litmus corpus under each \
+             memory model (sc, tso, pso) and print the portability matrix: \
+             per cell, $(b,safe) (every changed corpus program validates), \
+             $(b,UNSAFE) (with the first failing test and a replayed \
+             counterexample) or $(b,inert) (the pass rewrote no corpus \
+             program).  The flagship asymmetry: store-load-reorder is safe \
+             under SC (Fig. 11 R-RW, Theorem 4) but unsafe under tso/pso")
+    Term.(
+      const run $ obs_term $ fuel_arg $ stats_arg $ jobs_arg $ pass_arg
+      $ no_witnesses_arg)
 
 (* --- eliminable --- *)
 
@@ -776,6 +884,7 @@ let main =
       robust_cmd;
       litmus_cmd;
       matrix_cmd;
+      portability_cmd;
       report_cmd;
       tso_cmd;
       pso_cmd;

@@ -184,9 +184,6 @@ let witness ~original ~transformed r =
   match verdict r with
   | Counterexample (_, t) ->
       Some
-        {
-          Safeopt_core.Witness.original;
-          transformed;
-          evidence = Safeopt_core.Witness.Relation_failure t;
-        }
+        (Safeopt_core.Witness.make ~original ~transformed
+           (Safeopt_core.Witness.Relation_failure t))
   | Safe | Unknown _ -> None

@@ -6,7 +6,15 @@ type evidence =
   | Race_introduced of Interleaving.t
   | Relation_failure of Trace.t
 
-type 'p t = { original : 'p; transformed : 'p; evidence : evidence }
+type 'p t = {
+  original : 'p;
+  transformed : 'p;
+  evidence : evidence;
+  model : string;
+}
+
+let make ?(model = "sc") ~original ~transformed evidence =
+  { original; transformed; evidence; model }
 
 let pp_evidence ppf = function
   | New_behaviour b ->
@@ -22,7 +30,9 @@ let pp_evidence ppf = function
         Trace.pp t
 
 let pp pp_program ppf w =
-  Fmt.pf ppf "@[<v>@[<v2>original:@ %a@]@ @[<v2>transformed:@ %a@]@ %a@]"
+  Fmt.pf ppf "@[<v>@[<v2>original:@ %a@]@ @[<v2>transformed:@ %a@]@ %a%a@]"
     pp_program w.original pp_program w.transformed pp_evidence w.evidence
+    (fun ppf m -> if m <> "sc" then Fmt.pf ppf "@ (under the %s memory model)" m)
+    w.model
 
 let map f w = { w with original = f w.original; transformed = f w.transformed }

@@ -31,7 +31,14 @@ type 'p t = {
   original : 'p;  (** the program (or traceset) before the failing step *)
   transformed : 'p;  (** the rejected result *)
   evidence : evidence;
+  model : string;
+      (** the memory model the evidence was observed under ("sc",
+          "tso", "pso"): behaviours and races are model-relative, so a
+          counterexample must name its backend to be replayable *)
 }
+
+val make : ?model:string -> original:'p -> transformed:'p -> evidence -> 'p t
+(** [model] defaults to ["sc"]. *)
 
 val pp_evidence : evidence Fmt.t
 

@@ -2,6 +2,7 @@ open Safeopt_exec
 open Safeopt_lang
 module Tracer = Safeopt_obs.Tracer
 module Ev = Safeopt_obs.Event
+module Model = Safeopt_model.Memory_model
 
 type t = {
   name : string;
@@ -28,16 +29,24 @@ let make ~name ~descr ?(drf = true) ?(can = []) ?(cannot = []) source =
 (* One span per test; [check_all]'s parallel path calls [check] from
    pool workers, so corpus runs get per-test spans on each domain's
    lane without further plumbing. *)
-let check ?fuel ?max_states ?stats t =
+let check ?fuel ?max_states ?stats ?(model = Model.Sc) t =
   let sp =
     if Tracer.enabled () then
-      Tracer.span ~attrs:[ ("test", Ev.Str t.name) ] "litmus"
+      Tracer.span
+        ~attrs:
+          [ ("test", Ev.Str t.name); ("model", Ev.Str (Model.name model)) ]
+        "litmus"
     else Tracer.none
   in
   match
     let p = program t in
+    (* Data race freedom is an SC (program-logic) question under every
+       model; only the behaviour set is model-relative.  The [can] /
+       [cannot] expectations are SC expectations, so checking a weak
+       model deliberately surfaces the relaxations: [sb] under TSO
+       reports the SC-forbidden [0; 0] as a failure. *)
     let drf_actual = Interp.is_drf ?fuel ?max_states ?stats p in
-    let behaviours = Interp.behaviours ?fuel ?max_states ?stats p in
+    let behaviours = Model.behaviours ?fuel ?max_states ?stats model p in
     let failures = ref [] in
     let fail fmt = Fmt.kstr (fun s -> failures := s :: !failures) fmt in
     if drf_actual <> t.drf then
@@ -79,9 +88,9 @@ let check ?fuel ?max_states ?stats t =
 (* Corpus runs shard one test per pool job (claimed dynamically, so a
    handful of expensive tests do not serialise the rest); each job
    accumulates into a private stats record, merged after the join. *)
-let check_all ?fuel ?max_states ?stats ?jobs ?pool tests =
+let check_all ?fuel ?max_states ?stats ?jobs ?pool ?model tests =
   Par.dispatch ?jobs ?pool
-    ~seq:(fun () -> List.map (check ?fuel ?max_states ?stats) tests)
+    ~seq:(fun () -> List.map (check ?fuel ?max_states ?stats ?model) tests)
     ~par:(fun p ->
       let wstats =
         match stats with
@@ -96,7 +105,7 @@ let check_all ?fuel ?max_states ?stats ?jobs ?pool tests =
             let stats =
               if Array.length wstats = 0 then None else Some wstats.(i)
             in
-            check ?fuel ?max_states ?stats t)
+            check ?fuel ?max_states ?stats ?model t)
           tests
       in
       Option.iter

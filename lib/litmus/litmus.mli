@@ -29,10 +29,21 @@ val program : t -> Ast.program
 (** Parse the test's source. *)
 
 val check :
-  ?fuel:int -> ?max_states:int -> ?stats:Explorer.stats -> t -> outcome
+  ?fuel:int ->
+  ?max_states:int ->
+  ?stats:Explorer.stats ->
+  ?model:Safeopt_model.Memory_model.t ->
+  t ->
+  outcome
 (** [stats], when given, accumulates exploration statistics
     ({!Safeopt_exec.Explorer.stats}) across the DRF check and the
-    behaviour enumeration. *)
+    behaviour enumeration.
+
+    [model] (default [Sc]) selects the machine whose behaviours are
+    enumerated.  The [can]/[cannot] expectations stay SC expectations
+    and the DRF leg stays an SC question, so running a weak model
+    deliberately surfaces its relaxations as failures — [sb] under
+    [Tso] reports the SC-forbidden [\[0; 0\]] as observable. *)
 
 val check_all :
   ?fuel:int ->
@@ -40,6 +51,7 @@ val check_all :
   ?stats:Explorer.stats ->
   ?jobs:int ->
   ?pool:Par.Pool.t ->
+  ?model:Safeopt_model.Memory_model.t ->
   t list ->
   outcome list
 (** Check a corpus, one test per pool job under [jobs]/[pool]

@@ -288,6 +288,46 @@ let e_rar_across_acquires =
 let eliminate_reads_across_acquires p =
   fst (fixpoint [ e_rar_across_acquires ] p)
 
+(* --- Load/store reordering (R-RW as a pass) --------------------------- *)
+
+(* Hoist a store above an unrelated load it follows: [r := x; y := r']
+   becomes [y := r'; r := x] when the locations differ, neither is
+   volatile and the store's register is not the load's target.  Each
+   swap is a Fig. 11 R-RW reordering (plus a silent move commutation
+   when the stored value is a desugared constant), so the pass is
+   SC-safe (Theorem 4) — but its output issues a store followed by a
+   load, exactly the pair the store buffer relaxes, so it is not
+   portable to TSO/PSO: on load buffering it manufactures the
+   forbidden r1 = r2 = 1 outcome.  The portability matrix pins this. *)
+let reorder_load_store (p : Ast.program) =
+  let vol = p.Ast.volatile in
+  let nv x = not (Location.Volatile.mem vol x) in
+  let rec swap_list = function
+    | Ast.Load (r, x) :: Ast.Store (y, r') :: rest
+      when nv x && nv y
+           && (not (Location.equal x y))
+           && not (Reg.equal r r') ->
+        Ast.Store (y, r') :: swap_list (Ast.Load (r, x) :: rest)
+    | Ast.Load (r, x) :: Ast.Move (t, o) :: Ast.Store (y, t') :: rest
+      when Reg.equal t t'
+           && (not (Reg.equal r t))
+           && (match o with
+              | Ast.Reg s -> not (Reg.equal s r)
+              | Ast.Nat _ -> true)
+           && nv x && nv y
+           && not (Location.equal x y) ->
+        Ast.Move (t, o) :: Ast.Store (y, t')
+        :: swap_list (Ast.Load (r, x) :: rest)
+    | s :: rest -> swap_stmt s :: swap_list rest
+    | [] -> []
+  and swap_stmt = function
+    | Ast.Block l -> Ast.Block (swap_list l)
+    | Ast.If (t, s1, s2) -> Ast.If (t, swap_stmt s1, swap_stmt s2)
+    | Ast.While (t, s) -> Ast.While (t, swap_stmt s)
+    | s -> s
+  in
+  { p with Ast.threads = List.map swap_list p.Ast.threads }
+
 (* --- Dead-code elimination (liveness-driven) -------------------------- *)
 
 (* Generic backward sweep: [kill s live_out] says whether to drop the
@@ -517,6 +557,7 @@ let named_passes =
     ("cross-acquire-elim", eliminate_reads_across_acquires);
     ("roach-motel", fun p ->
       fst (reorder_fixpoint ~prefer:[ "R-WL"; "R-RL"; "R-UW"; "R-UR" ] p));
+    ("store-load-reorder", reorder_load_store);
   ]
 
 let run_pipeline names p =

@@ -36,6 +36,16 @@ val reorder_fixpoint :
 (** Apply the named Fig. 11 rules (e.g. [\["R-WL"; "R-UW"\]] for roach
     motel) to a fixpoint. *)
 
+val reorder_load_store : Ast.program -> Ast.program
+(** Hoist a non-volatile store above an immediately preceding
+    non-volatile load of a different location (Fig. 11 R-RW, plus the
+    silent-move commutation needed for the desugared [x := n] pattern
+    [Load; Move; Store]).  Safe under SC by Theorem 4 — but {b not}
+    portable to TSO/PSO, where the hoisted store can be buffered and
+    the pair observed out of order by another thread: on the [lb]
+    litmus shape it manufactures the forbidden [r1 = r2 = 1] outcome.
+    The portability matrix exists to catch exactly this pass. *)
+
 val introduce_irrelevant_reads : Ast.program -> Ast.program
 (** Prefix every thread that starts with a memory access with an
     irrelevant load of that location into a fresh dead register

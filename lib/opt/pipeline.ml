@@ -88,6 +88,11 @@ let registry =
       ~descr:"move accesses into critical sections"
       ~paper:"Fig. 11 (R-WL/R-RL/R-UW/R-UR), Theorem 4" (fun p ->
         Passes.reorder_fixpoint ~prefer:[ "R-WL"; "R-RL"; "R-UW"; "R-UR" ] p);
+    Pass.of_rewrite ~name:"store-load-reorder" ~kind:Pass.Reordering
+      ~descr:"hoist stores above unrelated preceding loads"
+      ~paper:"Fig. 11 (R-RW), Theorem 4; not TSO/PSO-portable \
+              (arXiv:2504.17646)"
+      Passes.reorder_load_store;
     Pass.of_rewrite ~name:"cross-acquire-elim" ~kind:Pass.Elimination
       ~descr:"redundant-read elimination across lock acquires"
       ~paper:"Definition 1 clause 1 (no release-acquire pair), Theorem 3"
@@ -242,12 +247,13 @@ let step_attrs ps =
   ]
 
 let run ?fuel ?max_states ?(validate_each = false) ?(max_iters = 16) ?jobs
-    ?pool ?(validator = Validate.Exhaustive) spec p =
+    ?pool ?(validator = Validate.Exhaustive)
+    ?(model = Safeopt_model.Memory_model.Sc) spec p =
   let validate_step stats pin pout =
     if validate_each && not (Ast.equal_program pout pin) then begin
       let t0 = Clock.now () in
       let o =
-        Validate.run_validator ?fuel ?max_states ~stats validator
+        Validate.run_validator ?fuel ?max_states ~stats ~model validator
           ~original:pin ~transformed:pout ()
       in
       Some (o, Clock.elapsed t0)
@@ -373,7 +379,11 @@ let run ?fuel ?max_states ?(validate_each = false) ?(max_iters = 16) ?jobs
   let sp =
     if Tracer.enabled () then
       Tracer.span
-        ~attrs:[ ("spec", Ev.Str (Fmt.str "%a" pp_spec spec)) ]
+        ~attrs:
+          [
+            ("spec", Ev.Str (Fmt.str "%a" pp_spec spec));
+            ("model", Ev.Str (Safeopt_model.Memory_model.name model));
+          ]
         "pipeline"
     else Tracer.none
   in

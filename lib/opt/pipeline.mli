@@ -79,6 +79,7 @@ val run :
   ?jobs:int ->
   ?pool:Par.Pool.t ->
   ?validator:Validate.validator ->
+  ?model:Safeopt_model.Memory_model.t ->
   spec ->
   Ast.program ->
   outcome
@@ -88,7 +89,10 @@ val run :
     against its input under [validator] (default
     {!Validate.Exhaustive}; {!Validate.Auto} climbs the
     static/refine/exhaustive ladder and records the deciding rung in
-    {!pass_stats.ps_validation}); the first failing pass aborts the
+    {!pass_stats.ps_validation}) and [model] (default [Sc]) — a pass
+    that is safe under SC may be rejected under [Tso]/[Pso] when it
+    manufactures a behaviour the weaker machine could not otherwise
+    produce; the first failing pass aborts the
     pipeline with a witness.  A pass whose output equals its input is
     never validated (nothing to check).
 

@@ -3,6 +3,7 @@ open Safeopt_lang
 open Safeopt_exec
 module Tracer = Safeopt_obs.Tracer
 module Ev = Safeopt_obs.Event
+module Model = Safeopt_model.Memory_model
 
 type relation =
   | Unchecked
@@ -18,6 +19,7 @@ let pp_relation ppf = function
       Fmt.string ppf "elimination-then-reordering"
 
 type report = {
+  model : Model.t;
   original_drf : bool;
   transformed_drf : bool;
   new_behaviour : Behaviour.t option;
@@ -29,9 +31,9 @@ type report = {
 
 let pp_report ppf r =
   Fmt.pf ppf
-    "@[<v>original DRF: %b@ transformed DRF: %b@ new behaviour: %a@ relation \
-     (%a): %a@]"
-    r.original_drf r.transformed_drf
+    "@[<v>model: %a@ original DRF: %b@ transformed DRF: %b@ new behaviour: \
+     %a@ relation (%a): %a@]"
+    Model.pp r.model r.original_drf r.transformed_drf
     Fmt.(option ~none:(any "none") Behaviour.pp)
     r.new_behaviour pp_relation r.relation
     Fmt.(option ~none:(any "n/a") bool)
@@ -40,8 +42,17 @@ let pp_report ppf r =
     (fun t -> Fmt.pf ppf "@ unwitnessed trace: %a" Trace.pp t)
     r.relation_counterexample
 
+(* The model's racy-behaviour semantics decide the criterion.  Under
+   SC racy programs catch fire, so the DRF guarantee is all there is to
+   check — and it is vacuous for racy originals.  Under the hardware
+   models every program has defined machine behaviour, so the only
+   sound reading of "safe" is plain behaviour inclusion: no new
+   behaviour, racy or not. *)
 let behaviours_ok r =
-  (not r.original_drf) || (r.transformed_drf && Option.is_none r.new_behaviour)
+  if Model.catch_fire r.model then
+    (not r.original_drf)
+    || (r.transformed_drf && Option.is_none r.new_behaviour)
+  else Option.is_none r.new_behaviour
 
 let ok r =
   behaviours_ok r
@@ -60,14 +71,18 @@ let find_race_fast ?fuel ?max_states ?stats ?jobs ?pool p =
   if Safeopt_analysis.Static_race.certified_drf p then None
   else Interp.find_race ?fuel ?max_states ?stats ?jobs ?pool p
 
-let validate_with ?fuel ?max_states ?stats ?jobs ?pool ~relation
-    ~relation_check ~original ~transformed () =
+let validate_with ?fuel ?max_states ?stats ?jobs ?pool
+    ?(model = Model.Sc) ~relation ~relation_check ~original ~transformed () =
   (* one span per differential validation; its children are the
      explorer entry spans of the enumerations below *)
   let sp =
     if Tracer.enabled () then
       Tracer.span
-        ~attrs:[ ("relation", Ev.Str (Fmt.str "%a" pp_relation relation)) ]
+        ~attrs:
+          [
+            ("relation", Ev.Str (Fmt.str "%a" pp_relation relation));
+            ("model", Ev.Str (Model.name model));
+          ]
         "validate"
     else Tracer.none
   in
@@ -85,18 +100,22 @@ let validate_with ?fuel ?max_states ?stats ?jobs ?pool ~relation
   in
   match
     let b_orig =
-      Interp.behaviours ?fuel ?max_states ?stats ?jobs ?pool original
+      Model.behaviours ?fuel ?max_states ?stats ?jobs ?pool model original
     in
     let b_trans =
-      Interp.behaviours ?fuel ?max_states ?stats ?jobs ?pool transformed
+      Model.behaviours ?fuel ?max_states ?stats ?jobs ?pool model transformed
     in
     let new_behaviour = Safeopt_core.Safety.behaviour_subset b_trans b_orig in
+    (* The DRF legs are SC questions under every model: data races are
+       a property of the language semantics, and the DRF guarantee is
+       what ports SC verdicts to the hardware models. *)
     let original_drf = drf_fast ?fuel ?max_states ?stats ?jobs ?pool original in
     let race_witness =
       find_race_fast ?fuel ?max_states ?stats ?jobs ?pool transformed
     in
     let relation_holds, relation_counterexample = relation_check () in
     {
+      model;
       original_drf;
       transformed_drf = Option.is_none race_witness;
       new_behaviour;
@@ -111,8 +130,10 @@ let validate_with ?fuel ?max_states ?stats ?jobs ?pool ~relation
       Tracer.close_span ~attrs:[ ("error", Ev.Str (Printexc.to_string e)) ] sp;
       raise e
 
-let validate ?fuel ?max_states ?stats ?jobs ?pool ~original ~transformed () =
-  validate_with ?fuel ?max_states ?stats ?jobs ?pool ~relation:Unchecked
+let validate ?fuel ?max_states ?stats ?jobs ?pool ?model ~original
+    ~transformed () =
+  validate_with ?fuel ?max_states ?stats ?jobs ?pool ?model
+    ~relation:Unchecked
     ~relation_check:(fun () -> (None, None))
     ~original ~transformed ()
 
@@ -126,16 +147,24 @@ let witness ~original ~transformed (r : report) :
   if ok r then None
   else
     let evidence =
-      match (r.race_witness, r.new_behaviour, r.relation_counterexample) with
-      | Some i, _, _ when r.original_drf ->
-          Some (Safeopt_core.Witness.Race_introduced i)
-      | _, Some b, _ when r.original_drf ->
-          Some (Safeopt_core.Witness.New_behaviour b)
-      | _, _, Some t -> Some (Safeopt_core.Witness.Relation_failure t)
-      | _ -> None
+      if Model.catch_fire r.model then
+        match (r.race_witness, r.new_behaviour, r.relation_counterexample) with
+        | Some i, _, _ when r.original_drf ->
+            Some (Safeopt_core.Witness.Race_introduced i)
+        | _, Some b, _ when r.original_drf ->
+            Some (Safeopt_core.Witness.New_behaviour b)
+        | _, _, Some t -> Some (Safeopt_core.Witness.Relation_failure t)
+        | _ -> None
+      else
+        (* Hardware models fail on inclusion alone: the evidence is the
+           model-level behaviour the original cannot produce. *)
+        Option.map
+          (fun b -> Safeopt_core.Witness.New_behaviour b)
+          r.new_behaviour
     in
     Option.map
-      (fun evidence -> { Safeopt_core.Witness.original; transformed; evidence })
+      (Safeopt_core.Witness.make ~model:(Model.name r.model) ~original
+         ~transformed)
       evidence
 
 let validate_semantic ?fuel ?max_states ?stats ?jobs ?pool ?(max_len = 12)
@@ -198,10 +227,10 @@ let batch_map ?stats ?jobs ?pool f xs =
       ys)
     ()
 
-let validate_batch ?fuel ?max_states ?stats ?jobs ?pool pairs =
+let validate_batch ?fuel ?max_states ?stats ?jobs ?pool ?model pairs =
   batch_map ?stats ?jobs ?pool
     (fun stats (original, transformed) ->
-      validate ?fuel ?max_states ?stats ~original ~transformed ())
+      validate ?fuel ?max_states ?stats ?model ~original ~transformed ())
     pairs
 
 (* --- The validator escalation ladder ----------------------------------- *)
@@ -273,10 +302,20 @@ let vcount name =
    a refine counterexample escalates to rung 3 rather than rejecting:
    [Auto]'s verdict always equals [Exhaustive]'s.  Forcing a single
    rung ([Static]/[Refinement]) reports [Inconclusive] (not ok, no
-   witness) when that rung cannot decide. *)
+   witness) when that rung cannot decide.
+
+   Under a hardware model ([model] = Tso/Pso) the static rung is still
+   sound (equal programs have equal behaviours under any model), but
+   the refinement rung argues over SC tracesets only.  [Auto] applies
+   it just the same when both programs carry a static DRF certificate:
+   by the DRF guarantee their model behaviours coincide with SC, so an
+   SC-safe verdict ports.  In every other case [Auto] escalates
+   straight to model-exhaustive enumeration, and forcing [Refinement]
+   is [Inconclusive]. *)
 let run_validator ?fuel ?max_states ?stats ?jobs ?pool ?max_len ?max_traces
-    validator ~original ~transformed () =
+    ?(model = Model.Sc) validator ~original ~transformed () =
   vcount "validate.outcomes";
+  vcount ("validate.model." ^ Model.name model);
   let outcome out_method out_ok out_refine out_report out_note =
     { out_validator = validator; out_method; out_ok; out_refine; out_report;
       out_note }
@@ -284,7 +323,8 @@ let run_validator ?fuel ?max_states ?stats ?jobs ?pool ?max_len ?max_traces
   let exhaustive ?refine ?note () =
     vcount "validate.exhaustive_runs";
     let r =
-      validate ?fuel ?max_states ?stats ?jobs ?pool ~original ~transformed ()
+      validate ?fuel ?max_states ?stats ?jobs ?pool ~model ~original
+        ~transformed ()
     in
     outcome Enumerated (ok r) refine (Some r) note
   in
@@ -294,42 +334,100 @@ let run_validator ?fuel ?max_states ?stats ?jobs ?pool ?max_len ?max_traces
       (Some "programs syntactically equal")
   end
   else
-    match validator with
-    | Static ->
-        outcome Inconclusive false None None
-          (Some
-             "programs differ: the static rung cannot relate distinct \
-              programs (use refine, exhaustive or auto)")
-    | Exhaustive -> exhaustive ()
-    | Refinement -> (
-        let r = Refine.check ?max_len ?max_traces ~original ~transformed () in
-        match Refine.verdict r with
-        | Refine.Safe ->
-            vcount "validate.refine_hits";
-            outcome Refined true (Some r) None None
-        | Refine.Counterexample _ ->
-            outcome Refined false (Some r) None
-              (Some "a transformed thread trace has no \
-                     elimination/reordering witness")
-        | Refine.Unknown reason ->
-            outcome Inconclusive false (Some r) None (Some reason))
-    | Auto -> (
-        let r = Refine.check ?max_len ?max_traces ~original ~transformed () in
-        match Refine.verdict r with
-        | Refine.Safe ->
-            vcount "validate.refine_hits";
-            outcome Refined true (Some r) None None
-        | Refine.Counterexample _ ->
-            vcount "validate.refine_misses";
-            exhaustive ~refine:r
-              ~note:"refinement found an unwitnessed trace; escalated to \
-                     exhaustive enumeration"
-              ()
-        | Refine.Unknown reason ->
-            vcount "validate.refine_misses";
-            exhaustive ~refine:r
-              ~note:(reason ^ "; escalated to exhaustive enumeration")
-              ())
+    match model with
+    | Model.Tso | Model.Pso -> (
+        match validator with
+        | Static ->
+            outcome Inconclusive false None None
+              (Some
+                 "programs differ: the static rung cannot relate distinct \
+                  programs (use exhaustive or auto)")
+        | Exhaustive -> exhaustive ()
+        | Refinement ->
+            outcome Inconclusive false None None
+              (Some
+                 (Fmt.str
+                    "the refinement rung argues over SC tracesets and cannot \
+                     decide the %a model (use exhaustive or auto)"
+                    Model.pp model))
+        | Auto ->
+            if
+              Safeopt_analysis.Static_race.certified_drf original
+              && Safeopt_analysis.Static_race.certified_drf transformed
+            then (
+              (* DRF applicability: both programs are certified DRF, so
+                 their model behaviours equal their SC behaviours
+                 (Theorem 2) and the SC refinement verdict ports. *)
+              let r =
+                Refine.check ?max_len ?max_traces ~original ~transformed ()
+              in
+              match Refine.verdict r with
+              | Refine.Safe ->
+                  vcount "validate.refine_hits";
+                  outcome Refined true (Some r) None
+                    (Some
+                       (Fmt.str
+                          "both programs statically DRF: the SC refinement \
+                           verdict ports to %a by the DRF guarantee"
+                          Model.pp model))
+              | Refine.Counterexample _ | Refine.Unknown _ ->
+                  vcount "validate.refine_misses";
+                  exhaustive ~refine:r
+                    ~note:
+                      (Fmt.str
+                         "refinement could not decide; escalated to \
+                          %a-exhaustive enumeration"
+                         Model.pp model)
+                    ())
+            else
+              exhaustive
+                ~note:
+                  (Fmt.str
+                     "the static/refine rungs are SC-sound arguments; \
+                      escalated to %a-exhaustive enumeration"
+                     Model.pp model)
+                ())
+    | Model.Sc -> (
+        match validator with
+        | Static ->
+            outcome Inconclusive false None None
+              (Some
+                 "programs differ: the static rung cannot relate distinct \
+                  programs (use refine, exhaustive or auto)")
+        | Exhaustive -> exhaustive ()
+        | Refinement -> (
+            let r =
+              Refine.check ?max_len ?max_traces ~original ~transformed ()
+            in
+            match Refine.verdict r with
+            | Refine.Safe ->
+                vcount "validate.refine_hits";
+                outcome Refined true (Some r) None None
+            | Refine.Counterexample _ ->
+                outcome Refined false (Some r) None
+                  (Some "a transformed thread trace has no \
+                         elimination/reordering witness")
+            | Refine.Unknown reason ->
+                outcome Inconclusive false (Some r) None (Some reason))
+        | Auto -> (
+            let r =
+              Refine.check ?max_len ?max_traces ~original ~transformed ()
+            in
+            match Refine.verdict r with
+            | Refine.Safe ->
+                vcount "validate.refine_hits";
+                outcome Refined true (Some r) None None
+            | Refine.Counterexample _ ->
+                vcount "validate.refine_misses";
+                exhaustive ~refine:r
+                  ~note:"refinement found an unwitnessed trace; escalated to \
+                         exhaustive enumeration"
+                  ()
+            | Refine.Unknown reason ->
+                vcount "validate.refine_misses";
+                exhaustive ~refine:r
+                  ~note:(reason ^ "; escalated to exhaustive enumeration")
+                  ()))
 
 type chain_report = { pairwise : report list; end_to_end : report }
 
@@ -359,6 +457,7 @@ let validate_chain ?fuel ?max_states ?stats ?jobs ?pool programs =
       in
       let report_of (b_orig, race_orig) (b_trans, race_trans) =
         {
+          model = Model.Sc;
           original_drf = Option.is_none race_orig;
           transformed_drf = Option.is_none race_trans;
           new_behaviour = Safeopt_core.Safety.behaviour_subset b_trans b_orig;

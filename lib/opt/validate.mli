@@ -13,7 +13,15 @@
     The headline predicate {!ok} is the DRF guarantee: {e if} the
     original is DRF, the transformed program must be DRF and add no
     behaviours.  For racy originals the guarantee is vacuous, but
-    {!report.new_behaviour} still tells you what changed. *)
+    {!report.new_behaviour} still tells you what changed.
+
+    Every check is parameterised by a {!Safeopt_model.Memory_model.t}
+    (default {!Safeopt_model.Memory_model.Sc}).  The model supplies
+    both the behaviour sets being compared {e and} the safety
+    criterion, via its racy-behaviour semantics: SC catches fire on
+    races (the DRF-guarantee criterion above), while the hardware
+    models give racy programs defined machine behaviour, so under
+    TSO/PSO {!ok} is plain behaviour inclusion. *)
 
 open Safeopt_trace
 open Safeopt_lang
@@ -28,10 +36,14 @@ type relation =
 val pp_relation : relation Fmt.t
 
 type report = {
+  model : Safeopt_model.Memory_model.t;
+      (** the model whose behaviours were compared and whose criterion
+          {!ok} applies *)
   original_drf : bool;
   transformed_drf : bool;
   new_behaviour : Behaviour.t option;
-      (** a behaviour of the transformed program the original lacks *)
+      (** a behaviour of the transformed program the original lacks,
+          under {!report.model} *)
   race_witness : Interleaving.t option;
       (** a racy execution of the transformed program when the original
           is DRF but the transformed is not *)
@@ -45,11 +57,13 @@ type report = {
 val pp_report : report Fmt.t
 
 val ok : report -> bool
-(** [original_drf] implies ([transformed_drf] and no new behaviour);
-    and the relation check, if performed, succeeded. *)
+(** Under a catch-fire model: [original_drf] implies
+    ([transformed_drf] and no new behaviour).  Under a hardware model:
+    no new behaviour, full stop.  In both cases the relation check, if
+    performed, must have succeeded. *)
 
 val behaviours_ok : report -> bool
-(** The DRF-guarantee part alone. *)
+(** The model-criterion part alone (no relation check). *)
 
 val validate :
   ?fuel:int ->
@@ -57,11 +71,14 @@ val validate :
   ?stats:Explorer.stats ->
   ?jobs:int ->
   ?pool:Par.Pool.t ->
+  ?model:Safeopt_model.Memory_model.t ->
   original:Ast.program ->
   transformed:Ast.program ->
   unit ->
   report
-(** Interpreter-level checks only ([relation = Unchecked]).
+(** Interpreter-level checks only ([relation = Unchecked]).  [model]
+    (default [Sc]) selects the backend whose behaviour sets are
+    compared; the DRF legs are SC questions under every model.
 
     Both DRF questions first try the static lockset certificate
     ({!Safeopt_analysis.Static_race.certified_drf}); only when the
@@ -97,6 +114,7 @@ val validate_batch :
   ?stats:Explorer.stats ->
   ?jobs:int ->
   ?pool:Par.Pool.t ->
+  ?model:Safeopt_model.Memory_model.t ->
   (Ast.program * Ast.program) list ->
   report list
 (** Validate many (original, transformed) pairs, sharded across the
@@ -135,7 +153,15 @@ val witness :
     A refine counterexample does {e not} reject in [Auto] — the
     traceset relation is sufficient for safety but not necessary — it
     escalates, so [Auto]'s verdict always equals [Exhaustive]'s.
-    Forcing a single rung reports inconclusive when it cannot decide. *)
+    Forcing a single rung reports inconclusive when it cannot decide.
+
+    Under a hardware model the static rung still applies, but the
+    refinement rung is an SC-sound argument: [Auto] only uses it when
+    both programs carry a static DRF certificate (their model
+    behaviours then coincide with SC by the DRF guarantee) and
+    otherwise escalates to model-exhaustive enumeration, so its
+    verdict still always equals [Exhaustive]'s under that model;
+    forcing [Refinement] reports inconclusive. *)
 
 type validator = Static | Refinement | Exhaustive | Auto
 
@@ -185,18 +211,21 @@ val run_validator :
   ?pool:Par.Pool.t ->
   ?max_len:int ->
   ?max_traces:int ->
+  ?model:Safeopt_model.Memory_model.t ->
   validator ->
   original:Ast.program ->
   transformed:Ast.program ->
   unit ->
   outcome
-(** Decide the pair under the given mode.  [max_len]/[max_traces]
-    bound the refine rung's per-thread enumerations; [fuel],
-    [max_states], [stats], [jobs], [pool] parameterise the exhaustive
-    rung exactly as in {!validate}.  When the {!Safeopt_obs.Metrics}
-    registry is enabled, publishes the fast-path hit-rate counters
-    [validate.outcomes], [validate.static_hits], [validate.refine_hits],
-    [validate.refine_misses] and [validate.exhaustive_runs]. *)
+(** Decide the pair under the given mode and model.
+    [max_len]/[max_traces] bound the refine rung's per-thread
+    enumerations; [fuel], [max_states], [stats], [jobs], [pool]
+    parameterise the exhaustive rung exactly as in {!validate}.  When
+    the {!Safeopt_obs.Metrics} registry is enabled, publishes the
+    fast-path hit-rate counters [validate.outcomes],
+    [validate.static_hits], [validate.refine_hits],
+    [validate.refine_misses] and [validate.exhaustive_runs], plus a
+    per-model [validate.model.<name>] counter. *)
 
 type chain_report = {
   pairwise : report list;  (** adjacent pairs, in order *)

@@ -20,8 +20,12 @@
     - the syntactic layer: {!Rule}, {!Transform}, {!Passes}, {!Pass},
       {!Pipeline}, {!Liveness}, {!Validate};
     - static analysis: {!Cfg}, {!Dataflow}, {!Lockset}, {!Static_race};
+    - memory models: {!Memory_model} (the first-class model interface:
+      SC, TSO, PSO behind one [behaviours]/[replays] face),
+      {!Store_buffer} (the shared buffered-machine functor);
     - hardware models: {!Tso}, {!Pso}, {!Robustness};
-    - corpus and generators: {!Litmus}, {!Corpus}, {!Generators};
+    - corpus and generators: {!Litmus}, {!Corpus}, {!Generators},
+      {!Portability} (the pass × model portability matrix);
     - telemetry: {!Metrics}, {!Tracer}, {!Trace_event}, {!Trace_report}. *)
 
 (* trace *)
@@ -80,6 +84,10 @@ module Dataflow = Safeopt_analysis.Dataflow
 module Lockset = Safeopt_analysis.Lockset
 module Static_race = Safeopt_analysis.Static_race
 
+(* memory models *)
+module Memory_model = Safeopt_model.Memory_model
+module Store_buffer = Safeopt_model.Store_buffer
+
 (* hardware models *)
 module Tso = Safeopt_tso.Machine
 module Pso = Safeopt_tso.Pso
@@ -88,6 +96,7 @@ module Robustness = Safeopt_tso.Robustness
 (* corpus and generators *)
 module Litmus = Safeopt_litmus.Litmus
 module Corpus = Safeopt_litmus.Corpus
+module Portability = Safeopt_litmus.Portability
 module Generators = Safeopt_gen.Generators
 
 (* telemetry *)

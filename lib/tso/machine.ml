@@ -1,187 +1,14 @@
-open Safeopt_trace
 open Safeopt_exec
 open Safeopt_lang
 
-type 'ts state = {
-  threads : 'ts array;
-  buffers : (Location.t * Value.t) list array;  (** newest first *)
-  mem : Value.t Location.Map.t;
-  locks : (Thread_id.t * int) Monitor.Map.t;
-}
+(* The machine itself — buffers, drains, fencing, digests — lives in
+   {!Safeopt_model.Store_buffer}, shared with PSO; this module keeps
+   the TSO-specific derived queries (weakness, the section-8
+   explanation) that need the optimisation layer. *)
+module M = Safeopt_model.Store_buffer.Tso
 
-let read_value st tid l =
-  (* Store-to-load forwarding: newest buffered write to [l] wins. *)
-  match List.find_opt (fun (l', _) -> Location.equal l l') st.buffers.(tid) with
-  | Some (_, v) -> Some v
-  | None -> Location.Map.find_opt l st.mem
-
-(* Transitions: Some action for thread steps, None for buffer drains
-   (invisible). *)
-let transitions vol sys st =
-  let out = ref [] in
-  (* Drain steps. *)
-  Array.iteri
-    (fun tid buf ->
-      match List.rev buf with
-      | [] -> ()
-      | (l, v) :: _older_rev ->
-          let buffers = Array.copy st.buffers in
-          buffers.(tid) <- List.filteri (fun i _ -> i < List.length buf - 1) buf;
-          out :=
-            (None, { st with buffers; mem = Location.Map.add l v st.mem })
-            :: !out)
-    st.buffers;
-  (* Thread steps. *)
-  Array.iteri
-    (fun tid ts ->
-      let buffer_empty = st.buffers.(tid) = [] in
-      List.iter
-        (fun step ->
-          match step with
-          | System.Read (l, k) -> (
-              let v =
-                Option.value ~default:Value.default (read_value st tid l)
-              in
-              match k v with
-              | Some ts' ->
-                  let threads = Array.copy st.threads in
-                  threads.(tid) <- ts';
-                  out := (Some (Action.Read (l, v)), { st with threads }) :: !out
-              | None -> ())
-          | System.Rmw (l, k) ->
-              (* An RMW fences (x86 LOCK prefix): it requires the
-                 thread's own store buffer to be empty and reads and
-                 writes memory directly, so it can neither see nor
-                 leave behind a buffered value. *)
-              if buffer_empty then
-                let v =
-                  Option.value ~default:Value.default
-                    (Location.Map.find_opt l st.mem)
-                in
-                List.iter
-                  (fun (w, ts') ->
-                    let threads = Array.copy st.threads in
-                    threads.(tid) <- ts';
-                    out :=
-                      ( Some (Action.Rmw (l, v, w)),
-                        { st with threads; mem = Location.Map.add l w st.mem }
-                      )
-                      :: !out)
-                  (k v)
-          | System.Emit (a, ts') -> (
-              let commit st' =
-                let threads = Array.copy st'.threads in
-                threads.(tid) <- ts';
-                out := (Some a, { st' with threads }) :: !out
-              in
-              match a with
-              | Action.Read _ ->
-                  invalid_arg "Tso: reads must use System.Read steps"
-              | Action.Rmw _ ->
-                  invalid_arg "Tso: RMWs must use System.Rmw steps"
-              | Action.Write (l, v) ->
-                  if Location.Volatile.mem vol l then begin
-                    (* Fencing write: needs an empty buffer, goes
-                       straight to memory. *)
-                    if buffer_empty then
-                      commit { st with mem = Location.Map.add l v st.mem }
-                  end
-                  else begin
-                    let buffers = Array.copy st.buffers in
-                    buffers.(tid) <- (l, v) :: st.buffers.(tid);
-                    commit { st with buffers }
-                  end
-              | Action.Lock m ->
-                  if buffer_empty then (
-                    match Monitor.Map.find_opt m st.locks with
-                    | None ->
-                        commit
-                          { st with locks = Monitor.Map.add m (tid, 1) st.locks }
-                    | Some (owner, d) when Thread_id.equal owner tid ->
-                        commit
-                          {
-                            st with
-                            locks = Monitor.Map.add m (tid, d + 1) st.locks;
-                          }
-                    | Some _ -> ())
-              | Action.Unlock m ->
-                  if buffer_empty then (
-                    match Monitor.Map.find_opt m st.locks with
-                    | Some (owner, d) when Thread_id.equal owner tid ->
-                        let locks =
-                          if d = 1 then Monitor.Map.remove m st.locks
-                          else Monitor.Map.add m (tid, d - 1) st.locks
-                        in
-                        commit { st with locks }
-                    | _ -> ())
-              | Action.External _ | Action.Start _ -> commit st))
-        (sys.System.steps ts))
-    st.threads;
-  List.rev !out
-
-(* Length-prefixed injective int encoding of a machine state; thread
-   keys, locations and monitors are interned per [behaviours] call.
-   The interning tables are the sharded thread-safe ones because
-   [Explorer.graph_behaviours] may call the digest from several worker
-   domains at once under [jobs]/[pool]. *)
-let digest ~tkey ~lkey ~mkey sys st =
-  let intern = Par.Intern.id in
-  let acc = ref [] in
-  let push x = acc := x :: !acc in
-  Monitor.Map.iter
-    (fun m (o, d) ->
-      push (intern mkey m);
-      push o;
-      push d)
-    st.locks;
-  push (Monitor.Map.cardinal st.locks);
-  Location.Map.iter
-    (fun l v ->
-      push (intern lkey l);
-      push v)
-    st.mem;
-  push (Location.Map.cardinal st.mem);
-  Array.iter
-    (fun buf ->
-      List.iter
-        (fun (l, v) ->
-          push (intern lkey l);
-          push v)
-        buf;
-      push (List.length buf))
-    st.buffers;
-  Array.iter (fun ts -> push (intern tkey (sys.System.key ts))) st.threads;
-  !acc
-
-let behaviours ?max_states ?stats ?jobs ?pool vol sys =
-  let sp =
-    if Safeopt_obs.Tracer.enabled () then
-      Safeopt_obs.Tracer.span "tso.behaviours"
-    else Safeopt_obs.Tracer.none
-  in
-  Fun.protect
-    ~finally:(fun () -> Safeopt_obs.Tracer.close_span sp)
-    (fun () ->
-      let tkey = Par.Intern.create () in
-      let lkey = Par.Intern.create () in
-      let mkey = Par.Intern.create () in
-      Explorer.graph_behaviours ?max_states ?stats ?jobs ?pool
-        {
-          Explorer.graph_initial =
-            {
-              threads = Array.of_list sys.System.initial;
-              buffers = Array.make (List.length sys.System.initial) [];
-              mem = Location.Map.empty;
-              locks = Monitor.Map.empty;
-            };
-          graph_transitions = (fun st -> transitions vol sys st);
-          graph_digest = (fun st -> digest ~tkey ~lkey ~mkey sys st);
-        })
-
-let program_behaviours ?fuel ?max_states ?stats ?jobs ?pool (p : Ast.program)
-    =
-  behaviours ?max_states ?stats ?jobs ?pool p.Ast.volatile
-    (Thread_system.make ?fuel p)
+let behaviours = M.behaviours
+let program_behaviours = M.program_behaviours
 
 let weak_behaviours ?fuel ?max_states ?stats ?jobs ?pool p =
   let tso = program_behaviours ?fuel ?max_states ?stats ?jobs ?pool p in

@@ -1,190 +1,13 @@
-open Safeopt_trace
 open Safeopt_exec
 open Safeopt_lang
 
-(* Per-thread, per-location FIFO buffers; list newest-first. *)
-type 'ts state = {
-  threads : 'ts array;
-  buffers : Value.t list Location.Map.t array;
-  mem : Value.t Location.Map.t;
-  locks : (Thread_id.t * int) Monitor.Map.t;
-}
+(* Per-thread, per-location FIFO buffers; the machine is
+   {!Safeopt_model.Store_buffer} instantiated at {!Pso_buffer}.  This
+   module keeps the PSO-specific derived queries. *)
+module M = Safeopt_model.Store_buffer.Pso
 
-let buffer_of st tid l =
-  Option.value ~default:[] (Location.Map.find_opt l st.buffers.(tid))
-
-let buffers_empty st tid = Location.Map.for_all (fun _ vs -> vs = []) st.buffers.(tid)
-
-let read_value st tid l =
-  match buffer_of st tid l with
-  | v :: _ -> v (* newest pending write to l *)
-  | [] -> Option.value ~default:Value.default (Location.Map.find_opt l st.mem)
-
-let transitions vol sys st =
-  let out = ref [] in
-  (* Drain: the oldest entry of any per-location queue. *)
-  Array.iteri
-    (fun tid bufs ->
-      Location.Map.iter
-        (fun l vs ->
-          match List.rev vs with
-          | [] -> ()
-          | oldest :: _ ->
-              let vs' = List.filteri (fun i _ -> i < List.length vs - 1) vs in
-              let buffers = Array.copy st.buffers in
-              buffers.(tid) <-
-                (if vs' = [] then Location.Map.remove l bufs
-                 else Location.Map.add l vs' bufs);
-              out :=
-                (None, { st with buffers; mem = Location.Map.add l oldest st.mem })
-                :: !out)
-        bufs)
-    st.buffers;
-  (* Thread steps. *)
-  Array.iteri
-    (fun tid ts ->
-      List.iter
-        (fun step ->
-          match step with
-          | System.Read (l, k) -> (
-              let v = read_value st tid l in
-              match k v with
-              | Some ts' ->
-                  let threads = Array.copy st.threads in
-                  threads.(tid) <- ts';
-                  out := (Some (Action.Read (l, v)), { st with threads }) :: !out
-              | None -> ())
-          | System.Rmw (l, k) ->
-              (* Fence-like, as under TSO: all the thread's per-location
-                 buffers must have drained before the RMW hits memory. *)
-              if buffers_empty st tid then
-                let v =
-                  Option.value ~default:Value.default
-                    (Location.Map.find_opt l st.mem)
-                in
-                List.iter
-                  (fun (w, ts') ->
-                    let threads = Array.copy st.threads in
-                    threads.(tid) <- ts';
-                    out :=
-                      ( Some (Action.Rmw (l, v, w)),
-                        { st with threads; mem = Location.Map.add l w st.mem }
-                      )
-                      :: !out)
-                  (k v)
-          | System.Emit (a, ts') -> (
-              let commit st' =
-                let threads = Array.copy st'.threads in
-                threads.(tid) <- ts';
-                out := (Some a, { st' with threads }) :: !out
-              in
-              match a with
-              | Action.Read _ ->
-                  invalid_arg "Pso: reads must use System.Read steps"
-              | Action.Rmw _ ->
-                  invalid_arg "Pso: RMWs must use System.Rmw steps"
-              | Action.Write (l, v) ->
-                  if Location.Volatile.mem vol l then begin
-                    if buffers_empty st tid then
-                      commit { st with mem = Location.Map.add l v st.mem }
-                  end
-                  else begin
-                    let buffers = Array.copy st.buffers in
-                    buffers.(tid) <-
-                      Location.Map.add l (v :: buffer_of st tid l)
-                        st.buffers.(tid);
-                    commit { st with buffers }
-                  end
-              | Action.Lock m ->
-                  if buffers_empty st tid then (
-                    match Monitor.Map.find_opt m st.locks with
-                    | None ->
-                        commit
-                          { st with locks = Monitor.Map.add m (tid, 1) st.locks }
-                    | Some (owner, d) when Thread_id.equal owner tid ->
-                        commit
-                          {
-                            st with
-                            locks = Monitor.Map.add m (tid, d + 1) st.locks;
-                          }
-                    | Some _ -> ())
-              | Action.Unlock m ->
-                  if buffers_empty st tid then (
-                    match Monitor.Map.find_opt m st.locks with
-                    | Some (owner, d) when Thread_id.equal owner tid ->
-                        let locks =
-                          if d = 1 then Monitor.Map.remove m st.locks
-                          else Monitor.Map.add m (tid, d - 1) st.locks
-                        in
-                        commit { st with locks }
-                    | _ -> ())
-              | Action.External _ | Action.Start _ -> commit st))
-        (sys.System.steps ts))
-    st.threads;
-  List.rev !out
-
-(* Length-prefixed injective int encoding; interners shared with the
-   digest's caller (see {!Machine.digest} for the TSO analogue). *)
-let digest ~tkey ~lkey ~mkey sys st =
-  let intern = Par.Intern.id in
-  let acc = ref [] in
-  let push x = acc := x :: !acc in
-  Monitor.Map.iter
-    (fun m (o, d) ->
-      push (intern mkey m);
-      push o;
-      push d)
-    st.locks;
-  push (Monitor.Map.cardinal st.locks);
-  Location.Map.iter
-    (fun l v ->
-      push (intern lkey l);
-      push v)
-    st.mem;
-  push (Location.Map.cardinal st.mem);
-  Array.iter
-    (fun bufs ->
-      Location.Map.iter
-        (fun l vs ->
-          List.iter push vs;
-          push (List.length vs);
-          push (intern lkey l))
-        bufs;
-      push (Location.Map.cardinal bufs))
-    st.buffers;
-  Array.iter (fun ts -> push (intern tkey (sys.System.key ts))) st.threads;
-  !acc
-
-let behaviours ?max_states ?stats ?jobs ?pool vol sys =
-  let sp =
-    if Safeopt_obs.Tracer.enabled () then
-      Safeopt_obs.Tracer.span "pso.behaviours"
-    else Safeopt_obs.Tracer.none
-  in
-  Fun.protect
-    ~finally:(fun () -> Safeopt_obs.Tracer.close_span sp)
-    (fun () ->
-      let tkey = Par.Intern.create () in
-      let lkey = Par.Intern.create () in
-      let mkey = Par.Intern.create () in
-      Explorer.graph_behaviours ?max_states ?stats ?jobs ?pool
-        {
-          Explorer.graph_initial =
-            {
-              threads = Array.of_list sys.System.initial;
-              buffers =
-                Array.make (List.length sys.System.initial) Location.Map.empty;
-              mem = Location.Map.empty;
-              locks = Monitor.Map.empty;
-            };
-          graph_transitions = (fun st -> transitions vol sys st);
-          graph_digest = (fun st -> digest ~tkey ~lkey ~mkey sys st);
-        })
-
-let program_behaviours ?fuel ?max_states ?stats ?jobs ?pool (p : Ast.program)
-    =
-  behaviours ?max_states ?stats ?jobs ?pool p.Ast.volatile
-    (Thread_system.make ?fuel p)
+let behaviours = M.behaviours
+let program_behaviours = M.program_behaviours
 
 let weak_behaviours ?fuel ?max_states ?stats ?jobs ?pool p =
   Behaviour.Set.diff

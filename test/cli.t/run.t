@@ -137,6 +137,7 @@ ladder escalates to the exhaustive rung instead of guessing:
   validator: auto; decided by: exhaustive; verdict: ok
   note: thread 0: thread performs atomic updates; universe not update-closed; escalated to exhaustive enumeration
   thread 0: inconclusive (thread performs atomic updates; universe not update-closed)
+  model: sc
   original DRF: true
   transformed DRF: true
   new behaviour: none
@@ -426,7 +427,7 @@ is forced so the report shows the exploration counters:
   4 rewrite sites across 2 passes
 
   $ drfopt report t.jsonl | sed -E 's/[0-9]+\.[0-9]{3}ms/_ms/g' | grep -vE 'wall_s|states_per_s'
-  trace: 33 events, 9 spans (9 closed), wall _ms
+  trace: 34 events, 9 spans (9 closed), wall _ms
   
   phases:
     phase                        count        total         mean
@@ -442,6 +443,7 @@ is forced so the report shows the exploration counters:
   
   counters:
     validate.outcomes            2
+    validate.model.sc            2
     validate.exhaustive_runs     2
     explorer.states              24
     explorer.edges               20
@@ -483,3 +485,182 @@ timestamps:
     explorer.states              36
     pipeline.passes              2
   
+
+Memory-model-parametric validation.  The --model flag on run, litmus,
+validate and optimize selects the machine whose behaviours are
+enumerated; sc stays the default.  The sb litmus test under TSO
+surfaces the store-buffer relaxation as a failure of its SC
+expectations:
+
+  $ drfopt litmus sb --model tso
+  memory model: tso (expectations are SC expectations; failures below are the model's relaxations)
+  sb                 FAILED
+  forbidden behaviour [0; 0] is observable
+  [1]
+
+An unknown model is rejected up front:
+
+  $ drfopt run seqopt.lit --model arm
+  drfopt: option '--model': unknown memory model "arm" (expected sc, tso or
+          pso)
+  Usage: drfopt run [OPTION]… FILE
+  Try 'drfopt run --help' or 'drfopt --help' for more information.
+  [124]
+
+The flagship portability asymmetry: hoisting a store above an
+unrelated preceding load (Fig. 11 R-RW) is safe under SC by Theorem 4,
+but under TSO the hoisted store can be buffered and the pair observed
+out of order, manufacturing the load-buffering outcome r1 = r2 = 1:
+
+  $ cat > lb.lit <<'PROG'
+  > thread {
+  >   r1 := y;
+  >   x := 1;
+  >   print r1;
+  > }
+  > thread {
+  >   r2 := x;
+  >   y := 1;
+  >   print r2;
+  > }
+  > PROG
+
+  $ drfopt optimize lb.lit --pipeline "store-load-reorder" --validate-each > /dev/null 2>&1 && echo SC-ACCEPTED
+  SC-ACCEPTED
+
+  $ drfopt optimize lb.lit --pipeline "store-load-reorder" --validate-each --model tso
+  --- optimised ---
+  thread {
+    r1 := y;
+    rt0 := 1;
+    x := rt0;
+    print r1;
+  }
+  thread {
+    r2 := x;
+    rt0 := 1;
+    y := rt0;
+    print r2;
+  }
+  6 rewrite sites across 1 pass
+  REJECTED at pass store-load-reorder:
+  original:
+    thread {
+    r1 := y;
+    rt0 := 1;
+    x := rt0;
+    print r1;
+  }
+  thread {
+    r2 := x;
+    rt0 := 1;
+    y := rt0;
+    print r2;
+  }
+  transformed:
+    thread {
+    rt0 := 1;
+    x := rt0;
+    r1 := y;
+    print r1;
+  }
+  thread {
+    rt0 := 1;
+    y := rt0;
+    r2 := x;
+    print r2;
+  }
+  new behaviour (not producible by the original):
+    [1; 1]
+  (under the tso memory model)
+  [1]
+
+The portability matrix sweeps every registered pass over the litmus
+corpus under each model.  Cells are corpus-relative: safe means no
+corpus counterexample, inert means the pass never fired, UNSAFE names
+the first failing test.  Note the asymmetries in both directions:
+dead-stores, store-load-reorder and cross-acquire-elim are SC-safe but
+TSO-unsafe, while read-intro (which breaks DRF, fatal under SC's
+catch-fire semantics) is harmless under plain TSO/PSO inclusion:
+
+  $ drfopt portability --no-witnesses
+  pass                  sc                         tso                        pso                      
+  constprop             inert                      inert                      inert                    
+  copyprop              safe                       safe                       safe                     
+  redundancy            safe                       safe                       safe                     
+  dead-moves            inert                      inert                      inert                    
+  dead-loads            safe                       safe                       safe                     
+  dead-stores           safe                       UNSAFE(fig1_original)      safe                     
+  fold-branches         inert                      inert                      inert                    
+  normalise             inert                      inert                      inert                    
+  unroll1               safe                       safe                       safe                     
+  unroll2               safe                       safe                       safe                     
+  roach-motel           safe                       safe                       safe                     
+  store-load-reorder    safe                       UNSAFE(fig2_original)      UNSAFE(fig2_original)    
+  cross-acquire-elim    safe                       UNSAFE(fig3_b)             UNSAFE(fig3_b)           
+  read-intro            UNSAFE(fig3_a)             safe                       safe                     
+  unsafe-store-release  UNSAFE(mp_locked)          safe                       safe                     
+
+A single cell with its replayed counterexample — the store-buffer
+machine re-enumerates the witness behaviour from scratch, so the
+matrix never reports a counterexample the machine cannot reproduce:
+
+  $ drfopt portability --pass store-load-reorder
+  pass                sc                         tso                        pso                      
+  store-load-reorder  safe                       UNSAFE(fig2_original)      UNSAFE(fig2_original)    
+  
+  store-load-reorder under tso: unsafe on litmus test fig2_original
+    new behaviour [1] (replayed from scratch: true)
+    original:
+      thread {
+        r2 := y;
+        rt0 := 1;
+        x := rt0;
+        print r2;
+      }
+      thread {
+        r1 := x;
+        y := r1;
+      }
+    transformed:
+      thread {
+        rt0 := 1;
+        x := rt0;
+        r2 := y;
+        print r2;
+      }
+      thread {
+        r1 := x;
+        y := r1;
+      }
+    new behaviour (not producible by the original):
+      [1]
+    (under the tso memory model)
+  
+  store-load-reorder under pso: unsafe on litmus test fig2_original
+    new behaviour [1] (replayed from scratch: true)
+    original:
+      thread {
+        r2 := y;
+        rt0 := 1;
+        x := rt0;
+        print r2;
+      }
+      thread {
+        r1 := x;
+        y := r1;
+      }
+    transformed:
+      thread {
+        rt0 := 1;
+        x := rt0;
+        r2 := y;
+        print r2;
+      }
+      thread {
+        r1 := x;
+        y := r1;
+      }
+    new behaviour (not producible by the original):
+      [1]
+    (under the pso memory model)

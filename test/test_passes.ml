@@ -189,7 +189,7 @@ let test_pipeline () =
   | Error e -> Alcotest.fail e);
   check_b "unknown pass rejected" true
     (Result.is_error (Passes.run_pipeline [ "nope" ] p));
-  Alcotest.(check int) "registry size" 12 (List.length Passes.named_passes)
+  Alcotest.(check int) "registry size" 13 (List.length Passes.named_passes)
 
 let test_optimise_safe_on_corpus () =
   List.iter
