@@ -20,7 +20,7 @@ type stats = {
   mutable peak_frontier : int;
   mutable wall : float;
   mutable domains : int;
-  mutable chunks : int;
+  mutable steals : int;
   mutable lock_waits : int;
 }
 
@@ -33,7 +33,7 @@ let create_stats () =
     peak_frontier = 0;
     wall = 0.;
     domains = 0;
-    chunks = 0;
+    steals = 0;
     lock_waits = 0;
   }
 
@@ -45,7 +45,7 @@ let reset_stats s =
   s.peak_frontier <- 0;
   s.wall <- 0.;
   s.domains <- 0;
-  s.chunks <- 0;
+  s.steals <- 0;
   s.lock_waits <- 0
 
 let merge_stats ~into s =
@@ -57,7 +57,7 @@ let merge_stats ~into s =
     into.peak_frontier <- s.peak_frontier;
   into.wall <- into.wall +. s.wall;
   if s.domains > into.domains then into.domains <- s.domains;
-  into.chunks <- into.chunks + s.chunks;
+  into.steals <- into.steals + s.steals;
   into.lock_waits <- into.lock_waits + s.lock_waits
 
 (* The mutable record remains the per-worker accumulation cell (workers
@@ -72,7 +72,7 @@ let publish ~into s =
   c "explorer.edges" s.edges;
   c "explorer.memo_hits" s.memo_hits;
   c "explorer.por_cuts" s.por_cuts;
-  c "explorer.chunks" s.chunks;
+  c "explorer.steals" s.steals;
   c "explorer.lock_waits" s.lock_waits;
   let g name v = Metrics.record (Metrics.gauge into name) v in
   g "explorer.peak_frontier" (float_of_int s.peak_frontier);
@@ -99,7 +99,7 @@ let of_registry reg =
     peak_frontier = gmax "explorer.peak_frontier";
     wall = gsum "explorer.wall_s";
     domains = gmax "explorer.domains";
-    chunks = c "explorer.chunks";
+    steals = c "explorer.steals";
     lock_waits = c "explorer.lock_waits";
   }
 
@@ -115,18 +115,18 @@ let pp_stats ppf s =
      %d@ peak frontier depth: %d@ wall time: %.6f s"
     s.states s.edges s.memo_hits s.por_cuts s.peak_frontier s.wall;
   if s.domains > 0 then
-    Fmt.pf ppf "@ parallel: %d domains, %d chunks, %d lock waits" s.domains
-      s.chunks s.lock_waits;
+    Fmt.pf ppf "@ parallel: %d domains, %d steals, %d lock waits" s.domains
+      s.steals s.lock_waits;
   Fmt.pf ppf "@]"
 
 let stats_to_json s =
   let s = via_registry s in
   Printf.sprintf
     "{\"states\": %d, \"edges\": %d, \"memo_hits\": %d, \"por_cuts\": %d, \
-     \"peak_frontier\": %d, \"wall_s\": %.6f, \"domains\": %d, \"chunks\": \
+     \"peak_frontier\": %d, \"wall_s\": %.6f, \"domains\": %d, \"steals\": \
      %d, \"lock_waits\": %d}"
     s.states s.edges s.memo_hits s.por_cuts s.peak_frontier s.wall s.domains
-    s.chunks s.lock_waits
+    s.steals s.lock_waits
 
 (* A dummy sink so the hot loops mutate unconditionally instead of
    matching on an option at every step. *)
@@ -143,7 +143,7 @@ let delta_stats ~now ~before =
     peak_frontier = now.peak_frontier;
     wall = now.wall -. before.wall;
     domains = now.domains;
-    chunks = now.chunks - before.chunks;
+    steals = now.steals - before.steals;
     lock_waits = now.lock_waits - before.lock_waits;
   }
 
@@ -209,16 +209,6 @@ module Intern = struct
         i
 end
 
-module Itbl = Hashtbl.Make (Ikey)
-
-let intern_ints (tbl : int Itbl.t) key =
-  match Itbl.find_opt tbl key with
-  | Some i -> i
-  | None ->
-      let i = Itbl.length tbl in
-      Itbl.add tbl key i;
-      i
-
 (* ------------------------------------------------------------------ *)
 (* Hash-consed scheduler states                                        *)
 (* ------------------------------------------------------------------ *)
@@ -251,50 +241,55 @@ type 'ts ctx = {
   mems : int array -> int;  (** canonical memories *)
   lockts : int array -> int;  (** canonical monitor tables *)
   ids : int array -> int * bool;  (** full state digest -> (id, fresh) *)
+  arena_words : unit -> int;  (** packed digest words across all tables *)
 }
 
+(* Both contexts store their int-array digests (memories, monitor
+   tables, full states) in {!Par.Ptbl} packed arenas — unboxed bump
+   allocation, open-addressing index, no per-state boxed key.  The
+   sequential context uses the single-stripe mutex-free variant, so it
+   pays no synchronisation; the parallel one the striped table. *)
 let make_ctx sys =
   let tkey = Intern.create () in
   let lkey = Intern.create () in
   let mkey = Intern.create () in
-  let mems : int Itbl.t = Itbl.create 256 in
-  let lockts : int Itbl.t = Itbl.create 64 in
-  let ids : int Itbl.t = Itbl.create 997 in
+  let mems = Par.Ptbl.create_local ~dummy:() () in
+  let lockts = Par.Ptbl.create_local ~dummy:() () in
+  let ids = Par.Ptbl.create_local ~dummy:() () in
   {
     sys;
     tkey = Intern.id tkey;
     lkey = Intern.id lkey;
     mkey = Intern.id mkey;
-    mems = intern_ints mems;
-    lockts = intern_ints lockts;
-    ids =
-      (fun d ->
-        match Itbl.find_opt ids d with
-        | Some i -> (i, false)
-        | None ->
-            let i = Itbl.length ids in
-            Itbl.add ids d i;
-            (i, true));
+    mems = Par.Ptbl.intern mems;
+    lockts = Par.Ptbl.intern lockts;
+    ids = Par.Ptbl.intern_fresh ids;
+    arena_words =
+      (fun () ->
+        Par.Ptbl.words mems + Par.Ptbl.words lockts + Par.Ptbl.words ids);
   }
 
-(* Same context shape over the sharded tables: safe to call from any
+(* Same context shape over the striped tables: safe to call from any
    domain of a pool.  Ids come from atomic counters, so their numeric
    order varies across runs; they are only used for equality. *)
 let make_par_ctx sys =
   let tkey = Par.Intern.create () in
   let lkey = Par.Intern.create () in
   let mkey = Par.Intern.create () in
-  let mems = Par.Itbl.create () in
-  let lockts = Par.Itbl.create () in
-  let ids = Par.Itbl.create () in
+  let mems = Par.Ptbl.create ~dummy:() () in
+  let lockts = Par.Ptbl.create ~dummy:() () in
+  let ids = Par.Ptbl.create ~dummy:() () in
   {
     sys;
     tkey = Par.Intern.id tkey;
     lkey = Par.Intern.id lkey;
     mkey = Par.Intern.id mkey;
-    mems = Par.Itbl.intern mems;
-    lockts = Par.Itbl.intern lockts;
-    ids = Par.Itbl.intern_fresh ids;
+    mems = Par.Ptbl.intern mems;
+    lockts = Par.Ptbl.intern lockts;
+    ids = Par.Ptbl.intern_fresh ids;
+    arena_words =
+      (fun () ->
+        Par.Ptbl.words mems + Par.Ptbl.words lockts + Par.Ptbl.words ids);
   }
 
 let intern_mem ctx mem =
@@ -322,13 +317,15 @@ let initial ctx =
     locks_id = intern_locks ctx Monitor.Map.empty;
   }
 
-let state_id ctx st =
+let state_digest st =
   let n = Array.length st.tkeys in
   let d = Array.make (n + 2) 0 in
   Array.blit st.tkeys 0 d 0 n;
   d.(n) <- st.mem_id;
   d.(n + 1) <- st.locks_id;
-  ctx.ids d
+  d
+
+let state_id ctx st = ctx.ids (state_digest st)
 
 let read_value st l =
   Option.value ~default:Value.default (Location.Map.find_opt l st.mem)
@@ -450,10 +447,20 @@ let sleep_inter s1 s2 = List.filter (fun (t, a) -> in_sleep s2 t a) s1
 (* Persistent-set selection, generalising the old singleton rule: if
    some thread's enabled transitions are all invisible and statically
    independent of every other thread ([local], plus start actions), that
-   thread's transitions alone form a persistent set.  The set must offer
-   at least one transition not in [sleep], otherwise exploration would
-   stall on work that is covered elsewhere. *)
-let persistent_select local sleep succs =
+   thread's transitions alone form a persistent set.
+
+   The selection is deliberately a pure function of the state — in
+   particular it does {e not} look at the arriving sleep set.  That
+   makes the per-state exploration a monotone function of the sleep
+   lattice (smaller sleep can only add children, never change which
+   thread is selected), which is what lets revisits-with-refinement
+   converge to an order-independent fixpoint: the reached state set is
+   the same whatever order arrivals are processed in — the property the
+   parallel engine's exact [count_states] parity rests on.  A selected
+   set whose every transition is slept simply expands to nothing, which
+   is sound: each slept transition is explored from a sibling branch by
+   sleep-set coverage. *)
+let persistent_select local succs =
   let is_local a = match a with Action.Start _ -> true | _ -> local a in
   let rec tids_of acc = function
     | [] -> List.rev acc
@@ -461,15 +468,9 @@ let persistent_select local sleep succs =
         tids_of (if List.mem tid acc then acc else tid :: acc) rest
   in
   let candidate tid =
-    let mine, awake =
-      List.fold_left
-        (fun (mine, awake) (t, a, _) ->
-          if Thread_id.equal t tid then
-            (mine && is_local a, awake || not (in_sleep sleep t a))
-          else (mine, awake))
-        (true, false) succs
-    in
-    mine && awake
+    List.for_all
+      (fun (t, a, _) -> (not (Thread_id.equal t tid)) || is_local a)
+      succs
   in
   match List.find_opt candidate (tids_of [] succs) with
   | Some tid -> List.filter (fun (t, _, _) -> Thread_id.equal t tid) succs
@@ -520,7 +521,7 @@ let explore_core (type r) ~(empty : r) ~(union : r -> r -> r)
         in
         let succs = enabled ctx st in
         let selected =
-          if reduce then persistent_select local_pred sleep succs else succs
+          if reduce then persistent_select local_pred succs else succs
         in
         s.por_cuts <- s.por_cuts + (List.length succs - List.length selected);
         let result = ref empty in
@@ -557,36 +558,66 @@ let explore_core (type r) ~(empty : r) ~(union : r -> r -> r)
 (* The parallel engine splits the work the sequential DFS does in one
    pass into two phases:
 
-   Phase 1 (parallel): frontier discovery over the {!Par.Wq} work
-   queue.  Workers expand states ([enabled] — the expensive part:
-   successor construction, interning, hashing), dedupe through the
-   sharded id table (the worker that interns a state first owns its
-   expansion), and record the labelled edges plus BFS-tree parents in
-   per-worker accumulators (no sharing, no locks).
+   Phase 1 (parallel): frontier discovery over per-worker {!Par.Ws}
+   work-stealing deques.  Workers expand states ([enabled] — the
+   expensive part: successor construction, interning, hashing) from
+   their own deque bottoms (LIFO: the search stays depth-first-ish and
+   cache-hot) and steal oldest-first from each other when empty; the
+   striped digest table dedupes (the worker that interns a state first
+   owns its expansion).
 
    Phase 2 (sequential): a memoised suffix fold over the discovered
    compact int graph — the cheap part — computing the same result the
    sequential DFS would, including raising [Cyclic] on cycles.
 
-   Soundness under POR: persistent-set selection is a per-state
-   decision, independent of exploration order, so it commutes with the
-   parallel expansion schedule.  Sleep sets, by contrast, encode the
-   DFS visiting order and are dropped in parallel mode; they only prune
-   redundant interleavings, so the computed result set is unchanged. *)
+   [par_discover] is the plain (non-reduced) discovery used by the
+   witness searches and the TSO/PSO graph machines: edges and BFS-tree
+   parents accumulate in per-worker lists (no sharing, no locks).  The
+   sleep-set-aware discovery used by [behaviours]/[count_states] lives
+   in [par_explore_core] below. *)
+
+(* Per-worker instrumentation hooks for a {!Par.Ws} run.  The branch on
+   the metrics flag is hoisted out: disabled runs get bare closures,
+   paying nothing per wait, steal, or push. *)
+let ws_hooks (s : stats) =
+  if Metrics.enabled () then begin
+    let waits = Metrics.histogram Metrics.global "par.lock_wait_s" in
+    let steals = Metrics.counter Metrics.global "par.steals" in
+    let depth = Metrics.gauge Metrics.global "par.deque_depth" in
+    ( (fun dt ->
+        s.lock_waits <- s.lock_waits + 1;
+        Metrics.observe waits dt),
+      (fun n ->
+        s.steals <- s.steals + 1;
+        Metrics.add steals n),
+      fun d ->
+        if d > s.peak_frontier then s.peak_frontier <- d;
+        Metrics.record depth (float_of_int d) )
+  end
+  else
+    ( (fun (_ : float) -> s.lock_waits <- s.lock_waits + 1),
+      (fun (_ : int) -> s.steals <- s.steals + 1),
+      fun d -> if d > s.peak_frontier then s.peak_frontier <- d )
+
+let record_arena ctx extra =
+  if Metrics.enabled () then
+    Metrics.record
+      (Metrics.gauge Metrics.global "par.arena_words")
+      (float_of_int (ctx.arena_words () + extra))
 
 let par_discover (type st lbl) ~pool ~max_states ~(wstats : stats array)
     ~(expand : int -> st -> (lbl * st) list)
     ~(intern : st -> int * bool) (st0 : st) :
     int * (lbl * int) list array * (int * lbl) option array * int =
   let nw = Par.Pool.size pool in
-  let wq : (int * st) Par.Wq.t = Par.Wq.create () in
+  let ws : (int * st) Par.Ws.t = Par.Ws.create nw in
   let edges : (int * lbl * int) list array = Array.make nw [] in
   let parents : (int * int * lbl) list array = Array.make nw [] in
   let total = Atomic.make 1 in
   let id0, fresh0 = intern st0 in
   assert fresh0;
   wstats.(0).states <- wstats.(0).states + 1;
-  Par.Wq.seed wq (id0, st0);
+  Par.Ws.seed ws (id0, st0);
   let sp =
     if Tracer.enabled () then Tracer.span "explore.discover" else Tracer.none
   in
@@ -596,26 +627,8 @@ let par_discover (type st lbl) ~pool ~max_states ~(wstats : stats array)
     (fun () ->
       Par.Pool.run pool (fun w ->
           let s = wstats.(w) in
-          (* the branch on the metrics flag is hoisted out of the hooks:
-             disabled runs get the bare closures below, paying nothing
-             per wait or chunk *)
-          let on_wait, on_chunk =
-            if Metrics.enabled () then begin
-              let waits = Metrics.histogram Metrics.global "par.lock_wait_s" in
-              let depth = Metrics.gauge Metrics.global "par.queue_depth" in
-              ( (fun dt ->
-                  s.lock_waits <- s.lock_waits + 1;
-                  Metrics.observe waits dt),
-                fun d ->
-                  s.chunks <- s.chunks + 1;
-                  Metrics.record depth (float_of_int d) )
-            end
-            else
-              ( (fun (_ : float) -> s.lock_waits <- s.lock_waits + 1),
-                fun (_ : int) -> s.chunks <- s.chunks + 1 )
-          in
-          Par.Wq.run wq ~on_wait ~on_chunk
-            ~on_peak:(fun n -> if n > s.peak_frontier then s.peak_frontier <- n)
+          let on_wait, on_steal, on_peak = ws_hooks s in
+          Par.Ws.run ws w ~on_wait ~on_steal ~on_peak
             (fun (id, st) push ->
               List.iter
                 (fun (lbl, st') ->
@@ -673,6 +686,43 @@ let fold_graph (type r lbl) ~(empty : r) ~(union : r -> r -> r)
   in
   Fun.protect ~finally:(fun () -> Tracer.close_span sp) (fun () -> go id0)
 
+(* Sleep-set-aware parallel discovery.
+
+   Each work item carries its own sleep set (source-set style), so the
+   parallel search prunes exactly as hard as the sequential sleep-set
+   DFS.  The digest table's per-entry meta holds the state's current
+   sleep set, a version counter, and the edge list of its latest
+   accepted expansion:
+
+   - An arrival whose sleep set is subsumed by the stored one is
+     dropped: everything it would explore is already covered.
+   - Otherwise the stored sleep set is refined to the intersection
+     (strictly smaller), the version is bumped, and the arrival is
+     (re-)expanded under the refined set.  Refinement is a locked
+     read-modify-write ({!Par.Ptbl.update}), so concurrent arrivals
+     serialise per state.
+   - An expansion writes its edges back guarded by its version
+     ({!Par.Ptbl.sync}): only the expansion of the {e latest} version
+     publishes, so the final graph is the one expanded under each
+     state's final (smallest) sleep set.
+
+   Order-independence: per state, the sleep set only ever shrinks
+   (a meet-semilattice descent, which terminates), selection is a pure
+   function of the state, and a smaller sleep set only adds children —
+   so the set of (state, final sleep) pairs is the least fixpoint of a
+   monotone operator and independent of arrival order and worker
+   count.  The reached state set — hence [count_states] — is therefore
+   {e exactly} equal across jobs 1, 2, ..., N.  Re-expansions can
+   revisit edges, so [edges]/[por_cuts] may exceed the sequential
+   figures under reduction (never under plain enumeration, where sleep
+   sets are all empty and every state expands exactly once). *)
+
+type pmeta = {
+  mutable psleep : sleeper list;  (** current (smallest) sleep set *)
+  mutable pversion : int;  (** bumped on every refinement *)
+  mutable pedges : (Action.t * int) list;  (** latest accepted expansion *)
+}
+
 let par_explore_core (type r) ~(empty : r) ~(union : r -> r -> r)
     ~(label : Action.t -> r -> r) ~pool ~max_states ~local ~stats sys =
   let s = sink stats in
@@ -681,21 +731,101 @@ let par_explore_core (type r) ~(empty : r) ~(union : r -> r -> r)
   let wstats = Array.init nw (fun _ -> create_stats ()) in
   let reduce = Option.is_some local in
   let local_pred = match local with Some f -> f | None -> fun _ -> false in
-  let expand w st =
-    let succs = enabled ctx st in
-    let selected =
-      if reduce then persistent_select local_pred [] succs else succs
+  let dummy = { psleep = []; pversion = 0; pedges = [] } in
+  let tbl : pmeta Par.Ptbl.t = Par.Ptbl.create ~dummy () in
+  let total = Atomic.make 0 in
+  let ws = Par.Ws.create nw in
+  (* Intern [st] arriving with [sleep]; decide expansion vs drop under
+     the stripe lock.  [f] must not raise, so the budget check happens
+     on the returned freshness outside the lock. *)
+  let arrive st sleep =
+    let d = state_digest st in
+    let id, decision =
+      Par.Ptbl.update tbl d (function
+        | None ->
+            let m =
+              { psleep = sleep; pversion = 0; pedges = [] }
+            in
+            (m, `Expand (d, m, 0, sleep, true))
+        | Some m ->
+            if (not reduce) || sleep_subset m.psleep sleep then (m, `Drop)
+            else begin
+              m.psleep <- sleep_inter m.psleep sleep;
+              m.pversion <- m.pversion + 1;
+              (m, `Expand (d, m, m.pversion, m.psleep, false))
+            end)
     in
-    if reduce then
-      wstats.(w).por_cuts <-
-        wstats.(w).por_cuts + (List.length succs - List.length selected);
-    List.map (fun (_, a, st') -> (a, st')) selected
+    (id, decision)
   in
-  let n, succ, _parents, id0 =
-    par_discover ~pool ~max_states ~wstats ~expand
-      ~intern:(fun st -> state_id ctx st)
-      (initial ctx)
+  let budget (s : stats) fresh =
+    if fresh then begin
+      s.states <- s.states + 1;
+      let n = Atomic.fetch_and_add total 1 + 1 in
+      if n > max_states then raise (Too_many_states n)
+    end
   in
+  let st0 = initial ctx in
+  let id0, decision0 = arrive st0 [] in
+  (match decision0 with
+  | `Expand (d, m, version, sleep, fresh) ->
+      budget wstats.(0) fresh;
+      Par.Ws.seed ws (st0, d, m, version, sleep)
+  | `Drop -> assert false);
+  let sp =
+    if Tracer.enabled () then Tracer.span "explore.discover" else Tracer.none
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Tracer.close_span ~attrs:[ ("states", Ev.Int (Atomic.get total)) ] sp)
+    (fun () ->
+      Par.Pool.run pool (fun w ->
+          let s = wstats.(w) in
+          let on_wait, on_steal, on_peak = ws_hooks s in
+          Par.Ws.run ws w ~on_wait ~on_steal ~on_peak
+            (fun (st, d, m, version, sleep) push ->
+              let succs = enabled ctx st in
+              let selected =
+                if reduce then persistent_select local_pred succs else succs
+              in
+              if reduce then
+                s.por_cuts <-
+                  s.por_cuts + (List.length succs - List.length selected);
+              let explored = ref [] in
+              let es = ref [] in
+              List.iter
+                (fun (tid, a, st') ->
+                  if reduce && in_sleep sleep tid a then
+                    s.por_cuts <- s.por_cuts + 1
+                  else begin
+                    s.edges <- s.edges + 1;
+                    let child_sleep =
+                      if reduce then
+                        List.filter
+                          (fun e -> independent e (tid, a))
+                          (List.rev_append !explored sleep)
+                      else []
+                    in
+                    let id', decision = arrive st' child_sleep in
+                    es := (a, id') :: !es;
+                    (match decision with
+                    | `Expand (d', m', v', sleep', fresh) ->
+                        budget s fresh;
+                        push (st', d', m', v', sleep')
+                    | `Drop -> ());
+                    if reduce then explored := (tid, a) :: !explored
+                  end)
+                selected;
+              (* Publish this expansion's edges unless a refinement has
+                 already superseded it: the in-flight item for the
+                 latest version always publishes last under the stripe
+                 lock, so the final graph is each state's expansion
+                 under its final sleep set. *)
+              Par.Ptbl.sync tbl d (fun () ->
+                  if m.pversion = version then m.pedges <- !es))));
+  record_arena ctx (Par.Ptbl.words tbl);
+  let n = Par.Ptbl.length tbl in
+  let succ : (Action.t * int) list array = Array.make n [] in
+  Par.Ptbl.iter tbl (fun id m -> succ.(id) <- m.pedges);
   let r = fold_graph ~empty ~union ~label ~stats:s succ id0 in
   Array.iter (fun w -> merge_stats ~into:s w) wstats;
   s.domains <- max s.domains nw;
@@ -857,6 +987,7 @@ let par_find_adjacent_race ~pool ~max_states ?stats vol sys =
       ~intern:(fun st -> state_id ctx st)
       (initial ctx)
   in
+  record_arena ctx 0;
   Array.iter (fun w -> merge_stats ~into:s w) wstats;
   s.domains <- max s.domains nw;
   let path_to u =
@@ -995,12 +1126,12 @@ let graph_label a sub =
 let seq_graph_behaviours ~max_states ?stats g =
   observed "explorer.graph" stats (fun stats ->
       let s = sink stats in
-      let ids : int Itbl.t = Itbl.create 997 in
+      let ids = Par.Ptbl.create_local ~dummy:() () in
       let memo : (int, Behaviour.Set.t) Hashtbl.t = Hashtbl.create 997 in
       let on_stack : (int, unit) Hashtbl.t = Hashtbl.create 97 in
       let count = ref 0 in
       let rec go st depth =
-        let id = intern_ints ids (Array.of_list (g.graph_digest st)) in
+        let id = Par.Ptbl.intern ids (Array.of_list (g.graph_digest st)) in
         match Hashtbl.find_opt memo id with
         | Some set ->
             s.memo_hits <- s.memo_hits + 1;
@@ -1030,14 +1161,14 @@ let seq_graph_behaviours ~max_states ?stats g =
 let par_graph_behaviours ~pool ~max_states ?stats g =
   observed "explorer.graph" stats (fun stats ->
       let s = sink stats in
-      let ids = Par.Itbl.create () in
+      let ids = Par.Ptbl.create ~dummy:() () in
       let nw = Par.Pool.size pool in
       let wstats = Array.init nw (fun _ -> create_stats ()) in
       let _n, succ, _parents, id0 =
         par_discover ~pool ~max_states ~wstats
           ~expand:(fun _ st -> g.graph_transitions st)
           ~intern:(fun st ->
-            Par.Itbl.intern_fresh ids (Array.of_list (g.graph_digest st)))
+            Par.Ptbl.intern_fresh ids (Array.of_list (g.graph_digest st)))
           g.graph_initial
       in
       let r =

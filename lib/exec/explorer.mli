@@ -50,9 +50,13 @@ type stats = {
   mutable wall : float;  (** accumulated wall-clock seconds (monotonic) *)
   mutable domains : int;  (** pool size of the last parallel run; 0 if
                               every run was sequential *)
-  mutable chunks : int;  (** work-queue chunks taken across workers *)
+  mutable steals : int;
+      (** successful steal scans across workers (each moves up to half
+          of a victim deque) *)
   mutable lock_waits : int;
-      (** blocking waits on the shared queue across workers *)
+      (** genuine starvation parks across workers: a worker slept on
+          the scheduler's condition variable and woke to more work
+          (termination and abort wakeups are not counted) *)
 }
 
 val create_stats : unit -> stats
@@ -70,7 +74,7 @@ val pp_stats : Format.formatter -> stats -> unit
 
 val stats_to_json : stats -> string
 (** One-line JSON object (states, edges, memo_hits, por_cuts,
-    peak_frontier, wall_s, domains, chunks, lock_waits). *)
+    peak_frontier, wall_s, domains, steals, lock_waits). *)
 
 val publish : into:Safeopt_obs.Metrics.t -> stats -> unit
 (** Record a stats delta into a metrics registry ([explorer.*]
@@ -104,17 +108,22 @@ val independent : Thread_id.t * Action.t -> Thread_id.t * Action.t -> bool
     When neither is given, or the resolved size is 1, the sequential
     engine runs completely unchanged — no mutexes, no atomics.
 
-    The parallel engine discovers the state graph breadth-first across
-    workers (dedupe through sharded interning tables; each state is
-    expanded by exactly the worker that interned it first), then folds
-    results over the discovered compact graph sequentially.  Persistent
-    set selection is kept under parallelism (it is a per-state,
-    order-independent decision); sleep sets are dropped (they encode
-    DFS order) — they only prune redundant work, so {b results are
-    identical} to the sequential engine: same behaviour sets, same
-    state counts, same DRF verdicts, same [Cyclic] /
-    [Too_many_states] outcomes.  Only race-witness {e choice} may
-    differ where several witnesses exist. *)
+    The parallel engine discovers the state graph across per-worker
+    work-stealing deques ({!Par.Ws}: own deque LIFO, steals FIFO;
+    dedupe through the striped packed digest table {!Par.Ptbl}), then
+    folds results over the discovered compact graph sequentially.  The
+    full reduction survives parallelism: persistent-set selection is a
+    pure per-state decision, and sleep sets travel {e inside} each work
+    item, with per-state refinement (intersection + re-expansion) in
+    the digest table's meta slots converging to an order-independent
+    fixpoint.  {b Results are identical} to the sequential engine:
+    same behaviour sets, same state counts — [count_states] at
+    [jobs N] equals [jobs 1] {e exactly}, with or without [local] —
+    same DRF verdicts, same [Cyclic] / [Too_many_states] outcomes.
+    Only race-witness {e choice} may differ where several witnesses
+    exist, and under reduction the [edges]/[por_cuts] {e work}
+    counters may exceed the sequential figures (sleep-set refinements
+    re-expand a state; the state and result sets are unaffected). *)
 
 val behaviours :
   ?max_states:int ->
@@ -142,11 +151,11 @@ val count_states :
   'ts System.t ->
   int
 (** Number of distinct scheduler states explored; [local] as in
-    {!behaviours} (the reduced count can be much smaller).  Note the
-    parallel reduced count equals the sequential reduced count only up
-    to sleep-set pruning: with [local] and [jobs > 1] the engine keeps
-    persistent sets but not sleep sets, which can visit more states.
-    Without [local] the counts agree exactly. *)
+    {!behaviours} (the reduced count can be much smaller).  The count
+    is exact across parallelism: [jobs N] equals [jobs 1] for every
+    [N], with or without [local] — parallel work items carry their own
+    sleep sets, so the parallel search prunes exactly as hard as the
+    sequential one. *)
 
 val maximal_executions_seq :
   ?max_steps:int -> ?stats:stats -> 'ts System.t -> Interleaving.t Seq.t

@@ -1,21 +1,27 @@
 (** Domain-parallel work-pool primitives for the exploration engine.
 
     Built on the stdlib multicore primitives only ([Domain], [Atomic],
-    [Mutex], [Condition]) — no external scheduler dependency.  Three
+    [Mutex], [Condition]) — no external scheduler dependency.  Four
     layers:
 
     - {!Pool}: a fixed pool of worker domains reusable across many
       parallel sections (spawning a domain is expensive; a pool
       amortises it over a corpus of explorations).
-    - {!Wq}: a shared chunked work queue of frontier states with
-      termination detection via an atomic in-flight counter — the
-      substrate of the parallel state-space search.
-    - {!Intern} / {!Itbl}: sharded (striped) hash tables for the
-      hash-consing the engine keys everything on: one mutex per stripe,
-      ids drawn from an atomic counter.  Ids are stable within a run
-      (same key, same id) but their numeric order varies between runs;
-      they are only ever used for equality, so every derived result
-      (state counts, behaviour sets) is deterministic.
+    - {!Deque}: a lock-free Chase–Lev work-stealing deque — the owner
+      pushes and pops at the bottom (LIFO, cache-hot), thieves take at
+      the top (FIFO, oldest and typically largest subtrees first).
+    - {!Ws}: the work-stealing scheduler tying one deque per worker to
+      an atomic in-flight termination protocol and a spin-then-park
+      idle path — the substrate of the parallel state-space search.
+    - {!Intern} / {!Ptbl}: concurrent hash-consing.  [Intern] is the
+      sharded string table; [Ptbl] packs int-array digests into
+      unboxed arenas behind striped open-addressing index tables, with
+      one mutable meta slot per entry for engine bookkeeping.  Ids are
+      drawn from an atomic counter: stable within a run (same key,
+      same id), dense in [0, length)], but their numeric order varies
+      between runs — they are only ever used for equality and array
+      indexing, so every derived result (state counts, behaviour sets)
+      is deterministic.
 
     Determinism contract: parallel explorations built on these
     primitives visit the same state set and produce the same canonical
@@ -77,35 +83,78 @@ val dispatch :
     With [?jobs] (and no pool) a one-shot pool is created for the call
     and shut down afterwards. *)
 
-(** {1 Shared chunked work queue} *)
+(** {1 Chase–Lev work-stealing deque} *)
 
-module Wq : sig
+module Deque : sig
   type 'a t
 
   val create : unit -> 'a t
 
+  val push : 'a t -> 'a -> unit
+  (** Owner only: push at the bottom.  Grows the (atomic-published)
+      circular buffer by doubling when full; the old buffer is never
+      mutated again, so in-flight steals validate safely. *)
+
+  val pop : 'a t -> 'a option
+  (** Owner only: pop at the bottom (LIFO).  On the last element the
+      owner races pending thieves with a CAS on [top]. *)
+
+  val steal : 'a t -> 'a option
+  (** Any domain: take the oldest element (FIFO).  One CAS on [top] is
+      the linearisation point; [None] means the deque looked empty or
+      the CAS lost a race (callers just move to the next victim). *)
+
+  val steal_half : 'a t -> into:'a t -> ('a * int) option
+  (** Steal up to half of the victim's observed size — one CAS per
+      element, never a single CAS over a range (a range-CAS is unsound
+      against a concurrent owner [pop], which only synchronises on the
+      very last element).  The first stolen element is returned to be
+      processed immediately; the rest are pushed into [into] (the
+      thief's own deque, whose owner the caller must be).  The [int] is
+      the total number of elements taken. *)
+
+  val size : 'a t -> int
+  (** Racy size estimate: exact when called by the owner, a lower
+      bound for thieves deciding whether a victim is worth a visit. *)
+end
+
+(** {1 Work-stealing scheduler} *)
+
+module Ws : sig
+  type 'a t
+
+  val create : int -> 'a t
+  (** [create nw]: one deque per worker [0 .. nw-1]. *)
+
   val seed : 'a t -> 'a -> unit
-  (** Enqueue an initial item (before workers start). *)
+  (** Enqueue an initial item into worker 0's deque (before workers
+      start). *)
 
   val run :
     'a t ->
+    int ->
     ?on_wait:(float -> unit) ->
-    ?on_chunk:(int -> unit) ->
+    ?on_steal:(int -> unit) ->
     ?on_peak:(int -> unit) ->
     ('a -> ('a -> unit) -> unit) ->
     unit
-  (** Worker loop: repeatedly take an item and call [f item push],
-      where [push] enqueues newly discovered work.  Each worker keeps a
-      local LIFO buffer and spills chunks to the shared queue when the
-      buffer grows past a threshold or when other workers are starving;
-      [on_chunk] fires per shared chunk taken with the shared queue
-      depth (chunks still queued) observed right after the pop,
-      [on_wait] per block on the queue's condition variable with the
-      measured wait in seconds (monotonic clock), [on_peak] with the
-      local buffer length after each push.  Returns when the in-flight
-      counter hits zero (all discovered work processed) or when any
-      worker raised — the exception aborts the queue (waking all
-      waiters) and is re-raised from that worker's [run]. *)
+  (** [run t w f]: worker [w]'s loop.  Repeatedly pop the own deque and
+      call [f item push], where [push] makes newly discovered work
+      available (own deque, bottom).  An empty deque triggers one
+      round-robin steal scan over the other workers ({!Deque.steal_half}
+      per victim), then a bounded spin, then a park on a condition
+      variable; pushers wake parked workers through a sleeper count, so
+      the un-contended push path stays lock-free.  Returns when the
+      in-flight counter hits zero (every discovered item processed) or
+      when any worker raised — the exception aborts the scheduler
+      (waking all waiters) and is re-raised from that worker's [run].
+
+      [on_steal] fires per successful steal scan with the number of
+      items taken; [on_peak] with the own deque size after each push;
+      [on_wait] with the seconds spent parked (monotonic clock) — only
+      for parks that wake up to more work, i.e. genuine starvation:
+      termination and abort wakeups are bookkeeping, not contention,
+      and are not counted. *)
 end
 
 (** {1 Sharded hash-consing tables} *)
@@ -121,19 +170,56 @@ module Intern : sig
       mutex per stripe. *)
 end
 
-module Itbl : sig
-  type t
+(** Packed-arena digest table: the visited-set of the exploration
+    engine.  Digests are copied once into a bump-allocated unboxed
+    [int array] arena and addressed through open-addressing slot
+    tables (linear probing, offsets never move) — no per-state boxed
+    key, no bucket cons cells.  Each entry carries one ['a] meta slot
+    read-modified under the stripe lock. *)
+module Ptbl : sig
+  type 'a t
 
-  val create : unit -> t
+  val create : ?stripes:int -> dummy:'a -> unit -> 'a t
+  (** Concurrent table: [stripes] (a power of two, default 64)
+      independently locked shards.  [dummy] fills unused meta slots;
+      it is never returned for an interned entry. *)
 
-  val intern : t -> Ikey.t -> int
-  (** Thread-safe interning of int-array digests. *)
+  val create_local : dummy:'a -> unit -> 'a t
+  (** Single-stripe variant with the mutex elided — same packed
+      layout for the sequential engine, no synchronisation cost. *)
 
-  val intern_fresh : t -> Ikey.t -> int * bool
+  val update : 'a t -> Ikey.t -> ('a option -> 'a * 'r) -> int * 'r
+  (** [update t d f]: the one locked read-modify-write.  Under the
+      stripe lock of digest [d], call [f None] if [d] is fresh (the
+      returned meta is stored and [d] is assigned the next id) or
+      [f (Some meta)] if present (the returned meta replaces the
+      stored one).  Returns [d]'s id and [f]'s second component.
+      [f] must be small and must not re-enter the table. *)
+
+  val sync : 'a t -> Ikey.t -> (unit -> 'r) -> 'r
+  (** [sync t d f]: run [f] under the stripe lock of digest [d]
+      without probing — for publishing mutations of a meta record
+      obtained from an earlier {!update}.  Lock-free tables
+      ({!create_local}) run [f] directly. *)
+
+  val intern : unit t -> Ikey.t -> int
+  (** Plain hash-consing for tables with no per-entry bookkeeping. *)
+
+  val intern_fresh : unit t -> Ikey.t -> int * bool
   (** Like {!intern}, also reporting whether the key was fresh.  The
-      worker that interns a state first (and only that worker) sees
-      [true] — the parallel search uses this to expand each state
-      exactly once. *)
+      worker that interns a digest first (and only that worker) sees
+      [true]. *)
 
-  val length : t -> int
+  val iter : 'a t -> (int -> 'a -> unit) -> unit
+  (** Iterate over every (id, meta) entry.  Takes no locks: call only
+      once all workers have joined. *)
+
+  val length : 'a t -> int
+
+  val words : 'a t -> int
+  (** Arena occupancy: total packed digest words (including the
+      per-entry length header) across all stripes. *)
+
+  val slot_words : 'a t -> int
+  (** Index occupancy: total open-addressing slots allocated. *)
 end

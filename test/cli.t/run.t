@@ -449,7 +449,7 @@ is forced so the report shows the exploration counters:
     explorer.edges               20
     explorer.memo_hits           0
     explorer.por_cuts            0
-    explorer.chunks              0
+    explorer.steals              0
     explorer.lock_waits          0
     explorer.peak_frontier       6
     explorer.domains             0

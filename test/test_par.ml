@@ -17,6 +17,9 @@ let check_i = Alcotest.(check int)
    survive. *)
 let pool = Par.Pool.create 4
 
+(* A second, smaller pool so parity properties cover jobs ∈ {1, 2, 4}. *)
+let pool2 = Par.Pool.create 2
+
 (* --- primitives ------------------------------------------------------- *)
 
 let test_resolve_jobs () =
@@ -47,6 +50,101 @@ let test_pool_exception () =
      with Boom -> true);
   check_i "the pool survives and runs the next job" 10
     (List.length (Par.Pool.map_list pool (fun _ x -> x) (List.init 10 Fun.id)))
+
+(* --- Chase–Lev deque --------------------------------------------------- *)
+
+let test_deque_orders () =
+  let d = Par.Deque.create () in
+  check_b "a fresh deque is empty" true (Par.Deque.pop d = None);
+  check_b "a fresh deque yields no steals" true (Par.Deque.steal d = None);
+  List.iter (Par.Deque.push d) [ 0; 1; 2; 3; 4 ];
+  check_i "owner sees the deque size" 5 (Par.Deque.size d);
+  check_b "owner pops newest first (LIFO)" true (Par.Deque.pop d = Some 4);
+  check_b "thief steals oldest first (FIFO)" true (Par.Deque.steal d = Some 0);
+  check_b "steal order advances" true (Par.Deque.steal d = Some 1);
+  check_b "owner keeps popping from the bottom" true
+    (Par.Deque.pop d = Some 3);
+  check_b "last element goes to exactly one side" true
+    (Par.Deque.pop d = Some 2);
+  check_b "deque is empty again" true
+    (Par.Deque.pop d = None && Par.Deque.steal d = None);
+  (* growth across the initial buffer size preserves both orders *)
+  let n = 1000 in
+  for i = 0 to n - 1 do
+    Par.Deque.push d i
+  done;
+  check_b "after growth, steals walk 0,1,2.." true
+    (List.init 10 (fun _ -> Par.Deque.steal d)
+    = List.init 10 (fun i -> Some i));
+  check_b "after growth, pops walk n-1,n-2.." true
+    (List.init 10 (fun _ -> Par.Deque.pop d)
+    = List.init 10 (fun i -> Some (n - 1 - i)))
+
+let test_deque_steal_half () =
+  let victim = Par.Deque.create () in
+  let mine = Par.Deque.create () in
+  List.iter (Par.Deque.push victim) [ 0; 1; 2; 3; 4; 5; 6; 7 ];
+  (match Par.Deque.steal_half victim ~into:mine with
+  | Some (first, taken) ->
+      check_i "the oldest element is returned for processing" 0 first;
+      check_i "half of the victim's items are claimed" 4 taken;
+      check_i "surplus lands in the thief's deque" 3 (Par.Deque.size mine)
+  | None -> Alcotest.fail "steal_half found nothing in a full deque");
+  check_i "the victim keeps the other half" 4 (Par.Deque.size victim);
+  check_b "thief's copies arrived in steal order" true
+    (Par.Deque.steal mine = Some 1);
+  check_b "stealing an empty victim reports None" true
+    (Par.Deque.steal_half (Par.Deque.create ()) ~into:mine = None)
+
+(* Two thief domains against a pushing-and-popping owner: every pushed
+   element must come out exactly once, across all three parties. *)
+let test_deque_stress () =
+  let d = Par.Deque.create () in
+  let n = 20_000 in
+  let stop = Atomic.make false in
+  let thief () =
+    let acc = ref [] in
+    let rec drain () =
+      match Par.Deque.steal d with
+      | Some x ->
+          acc := x :: !acc;
+          drain ()
+      | None -> ()
+    in
+    while not (Atomic.get stop) do
+      (match Par.Deque.steal d with
+      | Some x -> acc := x :: !acc
+      | None -> Domain.cpu_relax ());
+      ()
+    done;
+    drain ();
+    !acc
+  in
+  let t1 = Domain.spawn thief in
+  let t2 = Domain.spawn thief in
+  let mine = ref [] in
+  for i = 0 to n - 1 do
+    Par.Deque.push d i;
+    if i mod 3 = 0 then
+      match Par.Deque.pop d with
+      | Some x -> mine := x :: !mine
+      | None -> ()
+  done;
+  let rec drain () =
+    match Par.Deque.pop d with
+    | Some x ->
+        mine := x :: !mine;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set stop true;
+  let stolen1 = Domain.join t1 in
+  let stolen2 = Domain.join t2 in
+  let all = List.sort compare (!mine @ stolen1 @ stolen2) in
+  check_i "every pushed element came out exactly once" n (List.length all);
+  check_b "no element was lost or duplicated" true
+    (List.for_all2 ( = ) all (List.init n Fun.id))
 
 (* --- exploration determinism ----------------------------------------- *)
 
@@ -87,6 +185,44 @@ let qcheck_parallel_equiv =
        ~name:"parallel behaviours equal sequential (300 random programs)"
        ~count:300 ~print:Generators.print_program Generators.program (fun p ->
          Behaviour.Set.equal (Interp.behaviours p) (Interp.behaviours ~pool p)))
+
+(* The headline parity property of the work-stealing engine: behaviour
+   sets AND state counts are identical across jobs ∈ {1, 2, 4}, with
+   and without the reduction (parallel work items carry their own sleep
+   sets, so POR prunes identically at any worker count).  The generated
+   programs include Atomic/RMW threads (see Generators.simple_stmt). *)
+let qcheck_jobs_parity =
+  QCheck_alcotest.to_alcotest ~rand:(rand ())
+    (QCheck2.Test.make
+       ~name:
+         "count_states and behaviours identical across jobs {1,2,4} (300 \
+          random programs, POR on and off)"
+       ~count:300 ~print:Generators.print_program Generators.program (fun p ->
+         let parity por =
+           let b1 = Interp.behaviours ~por p in
+           let c1 = Interp.count_states ~por p in
+           List.for_all
+             (fun pl ->
+               Behaviour.Set.equal b1 (Interp.behaviours ~por ~pool:pl p)
+               && c1 = Interp.count_states ~por ~pool:pl p)
+             [ pool2; pool ]
+         in
+         parity false && parity true))
+
+(* Acceptance criterion: POR-reduced state counts match exactly across
+   jobs 1/2/4 on the full litmus corpus. *)
+let test_corpus_por_parity () =
+  List.iter
+    (fun (t : Litmus.t) ->
+      let p = Litmus.program t in
+      let c1 = Interp.count_states ~por:true p in
+      let c2 = Interp.count_states ~por:true ~pool:pool2 p in
+      let c4 = Interp.count_states ~por:true ~pool p in
+      if not (c1 = c2 && c2 = c4) then
+        Alcotest.failf
+          "%s: reduced state counts differ across jobs (1:%d 2:%d 4:%d)"
+          t.Litmus.name c1 c2 c4)
+    Corpus.all
 
 (* --- stats aggregation ------------------------------------------------ *)
 
@@ -192,11 +328,22 @@ let () =
           Alcotest.test_case "pool map_list" `Quick test_pool_map_list;
           Alcotest.test_case "pool exceptions" `Quick test_pool_exception;
         ] );
+      ( "deque",
+        [
+          Alcotest.test_case "owner LIFO / thief FIFO" `Quick
+            test_deque_orders;
+          Alcotest.test_case "steal half" `Quick test_deque_steal_half;
+          Alcotest.test_case "concurrent steal stress" `Slow
+            test_deque_stress;
+        ] );
       ( "determinism",
         [
           Alcotest.test_case "corpus" `Slow test_corpus_determinism;
           Alcotest.test_case "jobs entry points" `Quick test_jobs_entry;
           qcheck_parallel_equiv;
+          qcheck_jobs_parity;
+          Alcotest.test_case "corpus POR count parity" `Slow
+            test_corpus_por_parity;
         ] );
       ( "aggregation",
         [ Alcotest.test_case "stats merge" `Slow test_stats_aggregation ] );
