@@ -556,11 +556,20 @@ let phases_json events =
   | [] -> "{}"
   | _ -> "{\n" ^ String.concat ",\n" rows ^ "\n  }"
 
-let explore_bench () =
-  hr "P3: exploration engine on the litmus corpus -> BENCH_explore.json";
+(* [quick] runs a quarter of the reps — the CI smoke mode behind
+   `drfopt bench diff`.  The fixed pre-arena anchor walls are scaled by
+   reps/20 so the speedup and the regression-gate claim stay
+   comparable; units_per_sec is reps-independent either way, which is
+   what `bench diff` compares a quick run against the committed full
+   run on. *)
+let explore_bench ?(quick = false) () =
+  if quick then
+    hr "P3: exploration engine (quick smoke mode) -> BENCH_explore.json"
+  else hr "P3: exploration engine on the litmus corpus -> BENCH_explore.json";
   Obs.Tracer.start Obs.Tracer.Memory;
   let programs = List.map Litmus.program Corpus.all in
-  let reps = 20 in
+  let reps = if quick then 5 else 20 in
+  let scale_anchor w = w *. float_of_int reps /. 20. in
   let count_run por () =
     let acc = ref 0 in
     for _ = 1 to reps do
@@ -603,6 +612,7 @@ let explore_bench () =
     List.map
       (fun (name, (total, wall)) ->
         let base_wall, _ = List.assoc name baseline_pre_arena in
+        let base_wall = scale_anchor base_wall in
         let speedup =
           rate_or_die ~what:("BENCH_explore.json " ^ name) base_wall wall
         in
@@ -624,13 +634,15 @@ let explore_bench () =
     identical;
   claim "count_states no slower than the pre-packed-arena baseline" true
     (let _, wall = List.assoc "count_states" experiments in
-     fst (List.assoc "count_states" baseline_pre_arena) /. wall >= 0.9);
+     scale_anchor (fst (List.assoc "count_states" baseline_pre_arena)) /. wall
+     >= 0.9);
   let phases = phases_json (Obs.Tracer.stop ()) in
   let json =
     String.concat "\n"
       ([
          "{";
          "  \"schema\": \"bench_explore/v2\",";
+         Printf.sprintf "  \"quick\": %b," quick;
          Printf.sprintf "  \"reps\": %d," reps;
          Printf.sprintf "  \"programs\": %d," (List.length programs);
          "  \"experiments\": [";
@@ -1419,13 +1431,15 @@ let obs_overhead () =
   in
   assert (not (Obs.Tracer.enabled ()));
   assert (not (Obs.Metrics.enabled ()));
+  assert (not (Obs.Snapshot.enabled ()));
   let hits = 1_000_000 in
   let sink = ref 0 in
   (* 1: allocation-free fast path *)
   let w0 = Gc.minor_words () in
   for _ = 1 to hits do
     if Obs.Tracer.enabled () then incr sink;
-    if Obs.Metrics.enabled () then incr sink
+    if Obs.Metrics.enabled () then incr sink;
+    if Obs.Snapshot.enabled () then incr sink
   done;
   let dw = Gc.minor_words () -. w0 in
   check "disabled guards allocate nothing" (dw < 1_000.)
@@ -1569,7 +1583,8 @@ let run_bechamel () =
 
 let () =
   (* `dune exec bench/main.exe -- explore` runs just the exploration
-     benchmark (and writes BENCH_explore.json); `-- pipeline` (or
+     benchmark (and writes BENCH_explore.json; `explore-quick` is the
+     low-rep CI mode, comparable through rate fields); `-- pipeline` (or
      `pipeline-quick`, the CI smoke mode) just the pass-manager one
      (BENCH_pipeline.json); `-- parallel [jobs]` (or `parallel-quick
      [jobs]`) the sequential-vs-parallel comparison
@@ -1583,6 +1598,7 @@ let () =
      suite. *)
   match Sys.argv with
   | [| _; "explore" |] -> explore_bench ()
+  | [| _; "explore-quick" |] -> explore_bench ~quick:true ()
   | [| _; "obs-overhead" |] -> obs_overhead ()
   | [| _; "pipeline" |] -> pipeline_bench ()
   | [| _; "pipeline-quick" |] -> pipeline_bench ~quick:true ()

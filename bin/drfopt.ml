@@ -11,11 +11,15 @@
      matrix      print the section-4 reorderability matrix
      portability the pass x memory-model portability matrix
      report      aggregate a --trace-out JSONL trace offline
+                 (--profile hot spans, --flamegraph collapsed stacks)
+     bench       benchmark utilities: `bench diff` compares BENCH_*.json
+                 files with noise-aware thresholds (the CI perf gate)
      tso         TSO behaviours and the section-8 explanation check
 
    The analysis subcommands share the telemetry flags --trace-out FILE,
-   --trace-format jsonl|chrome and --metrics (see [setup_obs]); the
-   semantic subcommands (run, validate, optimize, litmus) share
+   --trace-format jsonl|chrome, --metrics and the live-telemetry trio
+   --heartbeat MS / --heartbeat-out FILE / --progress (see [setup_obs]);
+   the semantic subcommands (run, validate, optimize, litmus) share
    --model sc|tso|pso selecting the memory model whose behaviours are
    enumerated. *)
 
@@ -146,12 +150,66 @@ let metrics_arg =
               gauges, latency histograms) during the run and print its \
               summary on exit.")
 
+let heartbeat_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "heartbeat" ] ~docv:"MS"
+        ~doc:"Sample live progress every $(docv) milliseconds into a \
+              versioned JSONL heartbeat file (see $(b,--heartbeat-out)): \
+              each line freezes the metrics registry plus the explorer's \
+              in-flight progress (states, states/sec, peak frontier, \
+              steals, lock waits).  Snapshots are monotone and the final \
+              line equals the end-of-run metrics.  Implies metrics \
+              collection.")
+
+let heartbeat_out_arg =
+  Arg.(
+    value
+    & opt string "heartbeat.jsonl"
+    & info [ "heartbeat-out" ] ~docv:"FILE"
+        ~doc:"Where $(b,--heartbeat) appends its JSONL snapshots (default \
+              $(b,heartbeat.jsonl)); each line is flushed as written, so a \
+              crashed run keeps its last heartbeat.")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:"Rewrite a live one-line progress summary on stderr while the \
+              run is in flight (states, states/sec, frontier).  Uses the \
+              $(b,--heartbeat) interval when given, 500 ms otherwise; \
+              implies metrics collection.")
+
 (* Subcommands terminate via [exit] from several places, so the
    finaliser that writes the trace file and prints the metrics summary
    is registered with [at_exit]; it runs before the stdlib's formatter
    flushes (registered earlier, hence later in at_exit order). *)
-let setup_obs trace_out format metrics =
-  let live = metrics || trace_out <> None in
+(* The heartbeat's progress view: the explorer's live tracker (registry
+   + in-flight deltas, consistent and monotone) plus the arena gauge. *)
+let live_progress_fields () =
+  let s = Explorer.live_progress () in
+  let arena =
+    match Obs.Metrics.(find_gauge global "par.arena_words") with
+    | Some g -> g.Obs.Metrics.g_last
+    | None -> 0.
+  in
+  Obs.Json.
+    [
+      ("states", Int s.Explorer.states);
+      ("edges", Int s.Explorer.edges);
+      ("memo_hits", Int s.Explorer.memo_hits);
+      ("por_cuts", Int s.Explorer.por_cuts);
+      ("peak_frontier", Int s.Explorer.peak_frontier);
+      ("steals", Int s.Explorer.steals);
+      ("lock_waits", Int s.Explorer.lock_waits);
+      ("domains", Int s.Explorer.domains);
+      ("arena_words", Float arena);
+    ]
+
+let setup_obs trace_out format metrics heartbeat heartbeat_out progress =
+  let sampling = heartbeat <> None || progress in
+  let live = metrics || trace_out <> None || sampling in
   if live then begin
     Obs.Metrics.reset_global ();
     Obs.Metrics.set_enabled true
@@ -159,8 +217,17 @@ let setup_obs trace_out format metrics =
   Option.iter
     (fun path -> Obs.Tracer.start (Obs.Tracer.File { path; format }))
     trace_out;
+  if sampling then
+    Obs.Snapshot.start
+      ?path:(Option.map (fun _ -> heartbeat_out) heartbeat)
+      ~echo:progress
+      ~interval_ms:(Option.value ~default:500 heartbeat)
+      live_progress_fields;
   if live then
     at_exit (fun () ->
+        (* the sampler first: its final snapshot must equal the
+           end-of-run registry, and it must not observe the teardown *)
+        Obs.Snapshot.stop ();
         if Obs.Tracer.enabled () then
           (* final value of every metric as trailing counter samples, so
              the trace file is self-contained *)
@@ -177,7 +244,9 @@ let setup_obs trace_out format metrics =
         if metrics then Fmt.pr "%a@." Obs.Metrics.pp Obs.Metrics.global)
 
 let obs_term =
-  Term.(const setup_obs $ trace_out_arg $ trace_format_arg $ metrics_arg)
+  Term.(
+    const setup_obs $ trace_out_arg $ trace_format_arg $ metrics_arg
+    $ heartbeat_arg $ heartbeat_out_arg $ progress_arg)
 
 (* --- run --- *)
 
@@ -404,8 +473,8 @@ let optimize_cmd =
       & info [] ~docv:"FILE"
           ~doc:"Program in the concrete syntax (omit with $(b,--list)).")
   in
-  let run () file fuel pipeline validate_each trace list_passes jobs validator
-      model =
+  let run () file fuel pipeline validate_each trace list_passes stats jobs
+      validator model =
     let jobs = check_jobs jobs in
     let open Safeopt_opt in
     if list_passes then (
@@ -420,28 +489,41 @@ let optimize_cmd =
     in
     let p = or_die (load file) in
     let spec = or_die (Pipeline.parse pipeline) in
-    let o = Pipeline.run ~fuel ~validate_each ~jobs ~validator ~model spec p in
-    if trace then Fmt.pr "%a" Pipeline.pp_trace o;
-    Fmt.pr "--- optimised ---@.%a@." Pp.program o.final;
-    let sites =
-      List.fold_left
-        (fun n ps -> n + List.length ps.Pipeline.ps_sites)
-        0 o.Pipeline.steps
-    in
-    Fmt.pr "%d rewrite site%s across %d pass%s@." sites
-      (if sites = 1 then "" else "s")
-      (List.length o.Pipeline.steps)
-      (if List.length o.Pipeline.steps = 1 then "" else "es");
-    match o.Pipeline.failure with
-    | Some (name, w) ->
-        (* the trace rendering already shows the witness *)
-        if not trace then
-          Fmt.pr "@[<v>REJECTED at pass %s:@ %a@]@." name
-            (Safeopt_core.Witness.pp (Fmt.of_to_string Pp.program_to_string))
-            w
-        else Fmt.pr "REJECTED at pass %s@." name;
-        exit 1
-    | None -> ()
+    with_stats stats (fun stats ->
+        let o =
+          Pipeline.run ~fuel ~validate_each ~jobs ~validator ~model spec p
+        in
+        (* the pipeline keeps one explorer record per executed pass;
+           fold them into the sink so --stats reports the whole run *)
+        Option.iter
+          (fun sink ->
+            List.iter
+              (fun ps ->
+                Explorer.merge_stats ~into:sink ps.Pipeline.ps_explorer)
+              o.Pipeline.steps)
+          stats;
+        if trace then Fmt.pr "%a" Pipeline.pp_trace o;
+        Fmt.pr "--- optimised ---@.%a@." Pp.program o.final;
+        let sites =
+          List.fold_left
+            (fun n ps -> n + List.length ps.Pipeline.ps_sites)
+            0 o.Pipeline.steps
+        in
+        Fmt.pr "%d rewrite site%s across %d pass%s@." sites
+          (if sites = 1 then "" else "s")
+          (List.length o.Pipeline.steps)
+          (if List.length o.Pipeline.steps = 1 then "" else "es");
+        match o.Pipeline.failure with
+        | Some (name, w) ->
+            (* the trace rendering already shows the witness *)
+            if not trace then
+              Fmt.pr "@[<v>REJECTED at pass %s:@ %a@]@." name
+                (Safeopt_core.Witness.pp
+                   (Fmt.of_to_string Pp.program_to_string))
+                w
+            else Fmt.pr "REJECTED at pass %s@." name;
+            1
+        | None -> 0)
   in
   Cmd.v
     (Cmd.info "optimize"
@@ -450,8 +532,8 @@ let optimize_cmd =
              pipeline accepted under SC may be rejected under tso/pso")
     Term.(
       const run $ obs_term $ opt_file_arg $ fuel_arg $ pipeline_arg
-      $ validate_each_arg $ trace_arg $ list_arg $ jobs_arg $ validator_arg
-      $ model_arg)
+      $ validate_each_arg $ trace_arg $ list_arg $ stats_arg $ jobs_arg
+      $ validator_arg $ model_arg)
 
 (* --- validate --- *)
 
@@ -667,11 +749,7 @@ let portability_cmd =
               exit 2)
     in
     with_stats stats (fun stats ->
-        (* [stats] rides along inside the validators via the metrics
-           registry when --metrics is on; the sweep itself only needs
-           jobs for the per-cell enumerations. *)
-        ignore stats;
-        let m = Portability.sweep ~fuel ~jobs ~passes () in
+        let m = Portability.sweep ~fuel ?stats ~jobs ~passes () in
         Fmt.pr "%a" Portability.pp m;
         if not no_witnesses then Fmt.pr "%a" Portability.pp_witnesses m;
         0)
@@ -849,20 +927,107 @@ let report_cmd =
                 $(b,jsonl) format; $(b,chrome) traces are for Perfetto, \
                 not for this command).")
   in
-  let run file =
+  let profile_arg =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"Append the span-tree profile: the top-$(b,--top) hot spans \
+                by self time (wall time minus time inside child spans), \
+                with deterministic ordering (self time descending, name as \
+                tie-break).")
+  in
+  let flamegraph_arg =
+    Arg.(
+      value & flag
+      & info [ "flamegraph" ]
+          ~doc:"Print collapsed stacks only (flamegraph.pl's folded \
+                format, one 'root;child;leaf µs' line per distinct stack, \
+                weighted by self time): pipe into flamegraph.pl or drop \
+                the file on speedscope.app.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"K"
+          ~doc:"How many hot spans $(b,--profile) shows (default 10).")
+  in
+  let run file profile flamegraph top =
     let events =
       match Obs.Report.read_file file with
       | Ok evs -> evs
       | Error e -> or_die (Error e)
     in
-    Fmt.pr "%a@." Obs.Report.pp (Obs.Report.aggregate events)
+    if flamegraph then Fmt.pr "%a@?" Obs.Profile.pp_collapsed events
+    else begin
+      Fmt.pr "%a@." Obs.Report.pp (Obs.Report.aggregate events);
+      if profile then Fmt.pr "%a@?" (Obs.Profile.pp_top ~k:top) events
+    end
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:"Aggregate a $(b,--trace-out) JSONL trace offline: per-phase \
-             wall-time totals, a per-pass table (iterations, rewrite \
-             sites, validation verdicts) and final counter values")
-    Term.(const run $ trace_file_arg)
+             wall-time totals with self time, a per-pass table \
+             (iterations, rewrite sites, validation verdicts) and final \
+             counter values; $(b,--profile) adds the hot-span table and \
+             $(b,--flamegraph) emits collapsed stacks for flamegraph.pl \
+             or speedscope")
+    Term.(const run $ trace_file_arg $ profile_arg $ flamegraph_arg $ top_arg)
+
+(* --- bench --- *)
+
+let bench_cmd =
+  let diff_cmd =
+    let old_arg =
+      Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"OLD" ~doc:"Baseline BENCH_*.json (committed).")
+    in
+    let new_arg =
+      Arg.(
+        required
+        & pos 1 (some file) None
+        & info [] ~docv:"NEW" ~doc:"Fresh BENCH_*.json from this run.")
+    in
+    let threshold_arg =
+      Arg.(
+        value & opt float Obs.Bench_diff.default_threshold
+        & info [ "threshold" ] ~docv:"FRAC"
+            ~doc:"Relative delta in the bad direction that counts as a \
+                  regression (default 0.25 = 25%).")
+    in
+    let min_wall_arg =
+      Arg.(
+        value & opt float Obs.Bench_diff.default_min_wall
+        & info [ "min-wall" ] ~docv:"S"
+            ~doc:"Noise floor: numeric points whose measured wall is under \
+                  $(docv) seconds on both sides are skipped (default \
+                  0.05).")
+    in
+    let run old_path new_path threshold min_wall =
+      match
+        Obs.Bench_diff.diff_files ~threshold ~min_wall old_path new_path
+      with
+      | Error e -> or_die (Error e)
+      | Ok t ->
+          Fmt.pr "%a@?" Obs.Bench_diff.pp t;
+          if Obs.Bench_diff.regressed t then exit 1
+    in
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:"Compare two BENCH_*.json files with noise-aware thresholds: \
+               rates (units_per_sec, reps-independent) compare higher-is-\
+               better, walls lower-is-better, boolean claims must not flip \
+               true→false; points under $(b,--min-wall) on both sides are \
+               skipped.  Exits non-zero on any regression — the CI perf \
+               gate.")
+      Term.(const run $ old_arg $ new_arg $ threshold_arg $ min_wall_arg)
+  in
+  Cmd.group
+    (Cmd.info "bench"
+       ~doc:"Benchmark utilities (the benchmarks themselves live in \
+             bench/main.exe)")
+    [ diff_cmd ]
 
 let main =
   Cmd.group
@@ -886,6 +1051,7 @@ let main =
       matrix_cmd;
       portability_cmd;
       report_cmd;
+      bench_cmd;
       tso_cmd;
       pso_cmd;
     ]

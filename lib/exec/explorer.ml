@@ -147,6 +147,52 @@ let delta_stats ~now ~before =
     lock_waits = now.lock_waits - before.lock_waits;
   }
 
+(* In-flight tracking for the heartbeat sampler.
+
+   [publish] only lands a run's counters in the global registry at
+   entry-point *end*, so a sampler reading just the registry would see
+   a long exploration as a flat line.  Instead every stats record a
+   run is actively mutating — the entry point's record and, under
+   parallelism, each per-worker record — is registered here with a
+   baseline copy.  {!live_progress} folds the registry together with
+   the in-flight deltas; [finish] removes an entry and runs its
+   publish/merge continuation {e under the same lock}, so any unit of
+   work is visible exactly once — still in flight or already
+   published, never both, never neither.  That hand-off is what makes
+   consecutive heartbeat snapshots monotone in every cumulative
+   counter (the property the snapshot tests pin).
+
+   Reading an in-flight record from the sampler domain races with the
+   worker mutating it: the fields are mutable ints and one boxed float
+   — word-atomic under the OCaml memory model, never torn; a stale
+   read only under-counts for one tick.  The hot loops are untouched
+   (the sampler pulls), so a disabled heartbeat costs exploration
+   nothing at all. *)
+module Live = struct
+  let mu = Mutex.create ()
+  let cells : (stats * stats) list ref = ref []
+
+  let track s base =
+    Mutex.lock mu;
+    cells := (s, base) :: !cells;
+    Mutex.unlock mu
+
+  let finish s commit =
+    Mutex.lock mu;
+    cells := List.filter (fun (c, _) -> not (c == s)) !cells;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mu) commit
+end
+
+let live_progress () =
+  Mutex.lock Live.mu;
+  let s = of_registry Metrics.global in
+  List.iter
+    (fun (c, base) ->
+      merge_stats ~into:s (delta_stats ~now:(copy_stats c) ~before:base))
+    !Live.cells;
+  Mutex.unlock Live.mu;
+  s
+
 (* Entry-point wrapper replacing the old [timed]: accumulates wall time
    into the caller's record exactly as before and, when telemetry is
    live, materialises a record even for callers that passed none, then
@@ -160,6 +206,8 @@ let observed name stats f =
   | _ ->
       let s = match stats with Some s -> s | None -> create_stats () in
       let before = copy_stats s in
+      let tracked = Metrics.enabled () in
+      if tracked then Live.track s before;
       let sp = if Tracer.enabled () then Tracer.span name else Tracer.none in
       let t0 = Clock.now () in
       Fun.protect
@@ -167,13 +215,13 @@ let observed name stats f =
           s.wall <- s.wall +. Clock.elapsed t0;
           if live then begin
             let d = delta_stats ~now:s ~before in
-            if Metrics.enabled () then begin
-              publish ~into:Metrics.global d;
-              if d.wall > 0. && d.states > 0 then
-                Metrics.record
-                  (Metrics.gauge Metrics.global "explorer.states_per_s")
-                  (float_of_int d.states /. d.wall)
-            end;
+            if tracked then
+              Live.finish s (fun () ->
+                  publish ~into:Metrics.global d;
+                  if d.wall > 0. && d.states > 0 then
+                    Metrics.record
+                      (Metrics.gauge Metrics.global "explorer.states_per_s")
+                      (float_of_int d.states /. d.wall));
             if sp <> Tracer.none then
               let attempts = float_of_int (d.edges + 1) in
               Tracer.close_span
@@ -605,6 +653,24 @@ let record_arena ctx extra =
       (Metrics.gauge Metrics.global "par.arena_words")
       (float_of_int (ctx.arena_words () + extra))
 
+(* Per-worker records accumulate off-registry until the join, so the
+   heartbeat would see a parallel run as a flat line; track each one
+   (base = its creation-time zeros).  [join_wstats] replaces the plain
+   merge loop: each worker's hand-off from "in flight" to "inside the
+   entry-point record" happens under the live lock, keeping the
+   sampler's view monotone.  [untrack_wstats] is the abort path
+   (Too_many_states, Cyclic): drop the partial deltas, as the
+   sequential engine does — a no-op for already-joined workers. *)
+let track_wstats (ws : stats array) =
+  if Metrics.enabled () then
+    Array.iter (fun w -> Live.track w (copy_stats w)) ws
+
+let join_wstats ~into (ws : stats array) =
+  Array.iter (fun w -> Live.finish w (fun () -> merge_stats ~into w)) ws
+
+let untrack_wstats (ws : stats array) =
+  Array.iter (fun w -> Live.finish w (fun () -> ())) ws
+
 let par_discover (type st lbl) ~pool ~max_states ~(wstats : stats array)
     ~(expand : int -> st -> (lbl * st) list)
     ~(intern : st -> int * bool) (st0 : st) :
@@ -729,6 +795,8 @@ let par_explore_core (type r) ~(empty : r) ~(union : r -> r -> r)
   let ctx = make_par_ctx sys in
   let nw = Par.Pool.size pool in
   let wstats = Array.init nw (fun _ -> create_stats ()) in
+  track_wstats wstats;
+  Fun.protect ~finally:(fun () -> untrack_wstats wstats) @@ fun () ->
   let reduce = Option.is_some local in
   let local_pred = match local with Some f -> f | None -> fun _ -> false in
   let dummy = { psleep = []; pversion = 0; pedges = [] } in
@@ -827,7 +895,7 @@ let par_explore_core (type r) ~(empty : r) ~(union : r -> r -> r)
   let succ : (Action.t * int) list array = Array.make n [] in
   Par.Ptbl.iter tbl (fun id m -> succ.(id) <- m.pedges);
   let r = fold_graph ~empty ~union ~label ~stats:s succ id0 in
-  Array.iter (fun w -> merge_stats ~into:s w) wstats;
+  join_wstats ~into:s wstats;
   s.domains <- max s.domains nw;
   (r, n)
 
@@ -979,6 +1047,8 @@ let par_find_adjacent_race ~pool ~max_states ?stats vol sys =
   let ctx = make_par_ctx sys in
   let nw = Par.Pool.size pool in
   let wstats = Array.init nw (fun _ -> create_stats ()) in
+  track_wstats wstats;
+  Fun.protect ~finally:(fun () -> untrack_wstats wstats) @@ fun () ->
   let expand _w st =
     List.map (fun (tid, a, st') -> ((tid, a), st')) (enabled ctx st)
   in
@@ -988,7 +1058,7 @@ let par_find_adjacent_race ~pool ~max_states ?stats vol sys =
       (initial ctx)
   in
   record_arena ctx 0;
-  Array.iter (fun w -> merge_stats ~into:s w) wstats;
+  join_wstats ~into:s wstats;
   s.domains <- max s.domains nw;
   let path_to u =
     let rec up id acc =
@@ -1164,6 +1234,8 @@ let par_graph_behaviours ~pool ~max_states ?stats g =
       let ids = Par.Ptbl.create ~dummy:() () in
       let nw = Par.Pool.size pool in
       let wstats = Array.init nw (fun _ -> create_stats ()) in
+      track_wstats wstats;
+      Fun.protect ~finally:(fun () -> untrack_wstats wstats) @@ fun () ->
       let _n, succ, _parents, id0 =
         par_discover ~pool ~max_states ~wstats
           ~expand:(fun _ st -> g.graph_transitions st)
@@ -1176,7 +1248,7 @@ let par_graph_behaviours ~pool ~max_states ?stats g =
           ~empty:(Behaviour.Set.singleton [])
           ~union:Behaviour.Set.union ~label:graph_label ~stats:s succ id0
       in
-      Array.iter (fun w -> merge_stats ~into:s w) wstats;
+      join_wstats ~into:s wstats;
       s.domains <- max s.domains nw;
       r)
 

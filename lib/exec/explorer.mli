@@ -86,6 +86,17 @@ val of_registry : Safeopt_obs.Metrics.t -> stats
 (** Read the [explorer.*] metrics of a registry back into a stats
     record (inverse of {!publish} on a fresh registry). *)
 
+val live_progress : unit -> stats
+(** A consistent point-in-time view of total exploration progress:
+    everything already published into [Metrics.global] {e plus} the
+    deltas of every stats record a run is actively mutating (entry
+    points in flight, per-worker records of a parallel run).  Safe to
+    call from any domain — this is the heartbeat sampler's progress
+    source.  The hand-off from "in flight" to "published" happens under
+    the same lock this reads, so consecutive calls are monotone in
+    every cumulative counter, and after the run returns the view equals
+    the registry alone.  Meaningful only while [Metrics.enabled ()]. *)
+
 (** {1 Independence} *)
 
 val independent : Thread_id.t * Action.t -> Thread_id.t * Action.t -> bool

@@ -48,7 +48,8 @@ let cell m ~pass ~model =
    the transformed program (present) and the original (absent) under
    the cell's model, so the matrix never reports a counterexample the
    machine cannot actually reproduce. *)
-let check_cell ?fuel ?max_states ?jobs ?pool ~(pass : Pass.t) ~model changed =
+let check_cell ?fuel ?max_states ?stats ?jobs ?pool ~(pass : Pass.t) ~model
+    changed =
   let sp =
     if Tracer.enabled () then
       Tracer.span
@@ -64,7 +65,7 @@ let check_cell ?fuel ?max_states ?jobs ?pool ~(pass : Pass.t) ~model changed =
     | [] -> if changed = [] then Inert else Safe
     | (name, p, p') :: rest -> (
         let o =
-          Validate.run_validator ?fuel ?max_states ?jobs ?pool ~model
+          Validate.run_validator ?fuel ?max_states ?stats ?jobs ?pool ~model
             Validate.Auto ~original:p ~transformed:p' ()
         in
         if Validate.outcome_ok o then go rest
@@ -101,7 +102,7 @@ let check_cell ?fuel ?max_states ?jobs ?pool ~(pass : Pass.t) ~model changed =
     c_checked = List.length changed;
   }
 
-let sweep ?fuel ?max_states ?jobs ?pool ?(passes = Pipeline.registry)
+let sweep ?fuel ?max_states ?stats ?jobs ?pool ?(passes = Pipeline.registry)
     ?(models = Model.all) ?(tests = Corpus.all) () =
   let sp =
     if Tracer.enabled () then
@@ -133,7 +134,9 @@ let sweep ?fuel ?max_states ?jobs ?pool ?(passes = Pipeline.registry)
             programs
         in
         List.map
-          (fun model -> check_cell ?fuel ?max_states ?jobs ?pool ~pass ~model changed)
+          (fun model ->
+            check_cell ?fuel ?max_states ?stats ?jobs ?pool ~pass ~model
+              changed)
           models)
       passes
   in

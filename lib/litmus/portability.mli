@@ -53,6 +53,7 @@ type matrix = {
 val sweep :
   ?fuel:int ->
   ?max_states:int ->
+  ?stats:Explorer.stats ->
   ?jobs:int ->
   ?pool:Par.Pool.t ->
   ?passes:Safeopt_opt.Pass.t list ->

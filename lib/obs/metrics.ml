@@ -201,13 +201,22 @@ let quantile h q =
   let total = Array.fold_left ( + ) 0 acc in
   if total = 0 then None
   else
+    (* q is clamped into [0,1]: p=0 answers from the first occupied
+       bucket, p=1 from the last.  target >= 1 means the scan can only
+       stop on an occupied bucket (seen grows nowhere else), so the
+       bound returned always covers at least one real sample — never
+       the upper edge of an empty tail bucket. *)
+    let q = if Float.is_nan q then 1. else Float.max 0. (Float.min 1. q) in
     let target = Float.max 1. (Float.of_int total *. q) in
+    let last_occupied = ref 0 in
     let rec go i seen =
-      if i >= nbuckets then Some (snd (bucket_bounds (nbuckets - 1)))
-      else
+      if i >= nbuckets then Some (snd (bucket_bounds !last_occupied))
+      else begin
+        if acc.(i) > 0 then last_occupied := i;
         let seen = seen + acc.(i) in
         if Float.of_int seen >= target then Some (snd (bucket_bounds i))
         else go (i + 1) seen
+      end
     in
     go 0 0
 

@@ -80,9 +80,11 @@ val histogram_buckets : histogram -> (int * int) list
 (** Non-empty buckets as [(index, count)], ascending. *)
 
 val quantile : histogram -> float -> float option
-(** [quantile h q] for [q] in [0,1]: an upper bound on the q-th
-    quantile (the upper edge of the bucket holding it); [None] when
-    empty. *)
+(** [quantile h q]: an upper bound on the q-th quantile (the upper edge
+    of the occupied bucket holding it); [None] when the histogram is
+    empty.  [q] is clamped into [[0,1]]: [q = 0] answers from the first
+    occupied bucket, [q = 1] from the last — never the edge of an empty
+    tail bucket. *)
 
 (** {1 Aggregation and rendering} *)
 

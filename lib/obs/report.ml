@@ -1,4 +1,5 @@
 type span_row = {
+  sr_id : int;
   sr_name : string;
   sr_domain : int;
   sr_start : float;
@@ -26,6 +27,7 @@ let aggregate (events : Event.t list) =
       | Event.Begin ->
           let row =
             {
+              sr_id = e.id;
               sr_name = e.name;
               sr_domain = e.domain;
               sr_start = e.ts;
@@ -99,6 +101,55 @@ let phase_walls t =
     [] t.spans
   |> List.map (fun (name, (n, tot)) -> (name, n, tot))
 
+(* Self time per span: its wall minus the wall of its direct children
+   (spans whose [sr_parent] is its id).  Unclosed spans contribute
+   nothing, matching {!phase_walls}. *)
+let self_walls t =
+  let child_wall =
+    List.fold_left
+      (fun acc r ->
+        match span_wall r with
+        | None -> acc
+        | Some w -> (
+            if r.sr_parent < 0 then acc
+            else
+              match List.assoc_opt r.sr_parent acc with
+              | Some tot -> (r.sr_parent, tot +. w) :: List.remove_assoc r.sr_parent acc
+              | None -> (r.sr_parent, w) :: acc))
+      [] t.spans
+  in
+  List.filter_map
+    (fun r ->
+      match span_wall r with
+      | None -> None
+      | Some w ->
+          let inside =
+            Option.value ~default:0. (List.assoc_opt r.sr_id child_wall)
+          in
+          Some (r, Float.max 0. (w -. inside)))
+    t.spans
+
+(* The phases table's rows: per span name, (count, total, self), total
+   descending with the name as tie-break — a deterministic ordering
+   whatever order the spans were emitted in. *)
+let phase_rows t =
+  let selves = self_walls t in
+  let add name w self acc =
+    match List.assoc_opt name acc with
+    | Some (n, tot, sf) ->
+        (name, (n + 1, tot +. w, sf +. self)) :: List.remove_assoc name acc
+    | None -> (name, (1, w, self)) :: acc
+  in
+  List.fold_left
+    (fun acc (r, self) ->
+      match span_wall r with
+      | None -> acc
+      | Some w -> add r.sr_name w self acc)
+    [] selves
+  |> List.map (fun (name, (n, tot, self)) -> (name, n, tot, self))
+  |> List.sort (fun (na, _, ta, _) (nb, _, tb, _) ->
+         match Float.compare tb ta with 0 -> String.compare na nb | c -> c)
+
 let span_attr r k =
   (* end attrs were appended after begin attrs; last binding wins *)
   List.fold_left
@@ -120,13 +171,14 @@ let pp ppf t =
   let ended = List.length (List.filter (fun r -> not (Float.is_nan r.sr_stop)) t.spans) in
   fprintf ppf "trace: %d events, %d spans (%d closed), wall %.3fms@."
     t.events (List.length t.spans) ended (t.wall *. 1e3);
-  let phases = phase_walls t in
+  let phases = phase_rows t in
   if phases <> [] then begin
     fprintf ppf "@.phases:@.";
-    fprintf ppf "  %-28s %5s %12s %12s@." "phase" "count" "total" "mean";
+    fprintf ppf "  %-28s %5s %12s %12s %12s@." "phase" "count" "total" "self"
+      "mean";
     List.iter
-      (fun (name, n, tot) ->
-        fprintf ppf "  %-28s %5d %12s %12s@." name n (ms tot)
+      (fun (name, n, tot, self) ->
+        fprintf ppf "  %-28s %5d %12s %12s %12s@." name n (ms tot) (ms self)
           (ms (tot /. float_of_int n)))
       phases
   end;

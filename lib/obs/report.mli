@@ -8,6 +8,7 @@
     series. *)
 
 type span_row = {
+  sr_id : int;  (** the span id the end event was matched on *)
   sr_name : string;
   sr_domain : int;
   sr_start : float;
@@ -35,6 +36,12 @@ val read_file : string -> (Event.t list, string) result
 val phase_walls : t -> (string * int * float) list
 (** Per span name: (name, count, total wall), in first-seen order,
     spans missing their end excluded. *)
+
+val phase_rows : t -> (string * int * float * float) list
+(** Per span name: (name, count, total wall, self wall) — self is wall
+    minus the wall of direct child spans — ordered by total descending
+    with the name as tie-break (deterministic whatever order spans were
+    emitted in).  The phases table of {!pp}. *)
 
 val span_attr : span_row -> string -> Event.value option
 (** Last binding wins, so end-side attributes shadow begin-side. *)

@@ -430,11 +430,11 @@ is forced so the report shows the exploration counters:
   trace: 34 events, 9 spans (9 closed), wall _ms
   
   phases:
-    phase                        count        total         mean
-    pipeline                         1      _ms      _ms
-    pass                             2      _ms      _ms
-    validate                         2      _ms      _ms
-    explorer.behaviours              4      _ms      _ms
+    phase                        count        total         self         mean
+    pipeline                         1      _ms      _ms      _ms
+    pass                             2      _ms      _ms      _ms
+    validate                         2      _ms      _ms      _ms
+    explorer.behaviours              4      _ms      _ms      _ms
   
   passes:
     pass         iters sites  verdict   validation         wall
@@ -471,10 +471,10 @@ timestamps:
   trace: 10 events, 4 spans (4 closed), wall 1.700ms
   
   phases:
-    phase                        count        total         mean
-    pipeline                         1      1.590ms      1.590ms
-    pass                             2      1.380ms      0.690ms
-    validate                         1      0.800ms      0.800ms
+    phase                        count        total         self         mean
+    pipeline                         1      1.590ms      0.210ms      1.590ms
+    pass                             2      1.380ms      0.580ms      0.690ms
+    validate                         1      0.800ms      0.800ms      0.800ms
   
   passes:
     pass         iters sites  verdict   validation         wall
@@ -485,6 +485,95 @@ timestamps:
     explorer.states              36
     pipeline.passes              2
   
+
+The span profile on the same committed trace: per-name self vs. total
+time, hottest first, name as tie-break — the ordering and every figure
+are deterministic on fixed timestamps:
+
+  $ drfopt report trace_small.jsonl --profile --top 3 | sed -n '/hot spans/,$p'
+  hot spans (top 3 by self time):
+    span                         count         self        total  self%
+    validate                         1      0.800ms      0.800ms  50.3%
+    pass                             2      0.580ms      1.380ms  36.5%
+    pipeline                         1      0.210ms      1.590ms  13.2%
+
+The collapsed-stack view is the folded format flamegraph.pl and
+speedscope consume directly: one "root;child;leaf <self µs>" line per
+distinct stack, sorted lexicographically:
+
+  $ drfopt report trace_small.jsonl --flamegraph
+  pipeline 210
+  pipeline;pass 580
+  pipeline;pass;validate 800
+
+The heartbeat sampler: --heartbeat MS appends versioned JSONL
+snapshots of live progress while a command runs; the final line is
+written at stop and equals the end-of-run metrics registry, so its
+cumulative counters are deterministic:
+
+  $ drfopt run seqopt.lit --heartbeat 50 --heartbeat-out hb.jsonl > /dev/null
+  $ tail -1 hb.jsonl | grep -oE '"schema":"[^"]*"|"states":[0-9]+|"edges":[0-9]+' | head -3
+  "schema":"heartbeat/v1"
+  "states":16
+  "edges":14
+
+--stats is additive on optimize too (forcing the exhaustive rung so
+the counters are nonzero; they equal the trace counters above):
+
+  $ drfopt optimize seqopt.lit --pipeline 'cse;dse' --validate-each --validator exhaustive --stats | grep 'exploration:'
+  exploration: 24 states, 20 transitions
+
+bench diff: the noise-aware comparison of two BENCH_*.json files.
+Rates compare relatively (higher is better) with a wall-clock noise
+floor; boolean claims must not flip true -> false; the exit code is
+the CI gate:
+
+  $ cat > bd_old.json <<'EOF'
+  > {
+  >   "schema": "bench_test/v1",
+  >   "experiments": [
+  >     { "name": "count_states", "wall_s": 1.2, "units_per_sec": 50000.0 },
+  >     { "name": "behaviours", "wall_s": 0.9, "units_per_sec": 8000.0 },
+  >     { "name": "tiny", "wall_s": 0.002, "units_per_sec": 100.0 }
+  >   ],
+  >   "por_identical": true
+  > }
+  > EOF
+  $ cat > bd_new.json <<'EOF'
+  > {
+  >   "schema": "bench_test/v1",
+  >   "experiments": [
+  >     { "name": "count_states", "wall_s": 1.1, "units_per_sec": 54000.0 },
+  >     { "name": "behaviours", "wall_s": 2.1, "units_per_sec": 3400.0 },
+  >     { "name": "tiny", "wall_s": 0.002, "units_per_sec": 40.0 }
+  >   ],
+  >   "por_identical": true
+  > }
+  > EOF
+
+A run against itself is clean (the sub-floor point is skipped, not
+compared):
+
+  $ drfopt bench diff bd_old.json bd_old.json
+    metric                                                old          new  verdict
+    experiments[count_states].units_per_sec             50000        50000  ok
+    experiments[behaviours].units_per_sec                8000         8000  ok
+    experiments[tiny].units_per_sec                       100          100  skipped (noise floor)
+    por_identical                                           1            1  ok
+  3 compared, 0 regressions
+
+The degraded run regresses — the rate drop beyond the 25% threshold is
+flagged and the exit code is nonzero, while the sub-floor noise point
+stays skipped and the small improvement stays ok:
+
+  $ drfopt bench diff bd_old.json bd_new.json
+    metric                                                old          new  verdict
+    experiments[count_states].units_per_sec             50000        54000  ok
+    experiments[behaviours].units_per_sec                8000         3400  REGRESSED 57%
+    experiments[tiny].units_per_sec                       100           40  skipped (noise floor)
+    por_identical                                           1            1  ok
+  3 compared, 1 regression
+  [1]
 
 Memory-model-parametric validation.  The --model flag on run, litmus,
 validate and optimize selects the machine whose behaviours are

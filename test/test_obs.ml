@@ -11,6 +11,9 @@ module Tracer = Safeopt_obs.Tracer
 module Event = Safeopt_obs.Event
 module Report = Safeopt_obs.Report
 module Json = Safeopt_obs.Json
+module Snapshot = Safeopt_obs.Snapshot
+module Profile = Safeopt_obs.Profile
+module Bench_diff = Safeopt_obs.Bench_diff
 
 let check_b = Alcotest.(check bool)
 let check_i = Alcotest.(check int)
@@ -54,6 +57,26 @@ let test_histogram_counts () =
     (match Metrics.quantile h 0.0 with
     | Some hi -> hi <= 2e-9
     | None -> false)
+
+let test_quantile_edges () =
+  let r = Metrics.create ~stripes:1 () in
+  let empty = Metrics.histogram r "empty" in
+  check_b "empty histogram has no quantile" true
+    (Metrics.quantile empty 0.5 = None);
+  let h = Metrics.histogram r "h" in
+  List.iter (Metrics.observe h) [ 1e-6; 1e-6; 1e-3; 1. ];
+  let first = snd (Metrics.bucket_bounds (Metrics.bucket_of 1e-6)) in
+  let last = snd (Metrics.bucket_bounds (Metrics.bucket_of 1.)) in
+  check_b "p=0 is the first occupied bucket" true
+    (Metrics.quantile h 0. = Some first);
+  check_b "p=1 is the last occupied bucket" true
+    (Metrics.quantile h 1. = Some last);
+  check_b "p<0 clamps to the first occupied bucket" true
+    (Metrics.quantile h (-3.) = Some first);
+  check_b "p>1 clamps to the last occupied bucket" true
+    (Metrics.quantile h 7. = Some last);
+  check_b "nan clamps to the last occupied bucket" true
+    (Metrics.quantile h Float.nan = Some last)
 
 (* --- sharded merge equality --------------------------------------- *)
 
@@ -262,6 +285,190 @@ let test_report_aggregate () =
   check_b "counter final value" true
     (t.Report.counters = [ ("explorer.states", 24.) ])
 
+(* --- span-tree profiles ------------------------------------------- *)
+
+let close f g = abs_float (f -. g) < 1e-9
+
+let test_profile_self_total () =
+  let events =
+    [
+      ev Event.Begin ~name:"pipeline" ~id:0 0.0;
+      ev Event.Begin ~name:"pass" ~id:1 ~parent:0 0.001;
+      ev Event.End ~id:1 0.004;
+      ev Event.Begin ~name:"pass" ~id:2 ~parent:0 0.005;
+      ev Event.End ~id:2 0.006;
+      ev Event.End ~id:0 0.010;
+    ]
+  in
+  (match Profile.aggregate events with
+  | [ a; b ] ->
+      (* pipeline: total 10ms, self 10 - 4 = 6ms; pass: 2 spans, total
+         and self both 4ms *)
+      check_b "pipeline row" true
+        (a.Profile.a_name = "pipeline" && a.Profile.a_count = 1
+        && close a.Profile.a_total 0.010
+        && close a.Profile.a_self 0.006);
+      check_b "pass row" true
+        (b.Profile.a_name = "pass" && b.Profile.a_count = 2
+        && close b.Profile.a_total 0.004
+        && close b.Profile.a_self 0.004)
+  | rows ->
+      Alcotest.failf "expected 2 aggregate rows, got %d" (List.length rows));
+  Alcotest.(check (list (pair string int)))
+    "collapsed stacks, self-weighted, lexicographic"
+    [ ("pipeline", 6000); ("pipeline;pass", 4000) ]
+    (Profile.collapsed events)
+
+let test_profile_tiebreak_and_clamp () =
+  (* equal self times order by name; an unclosed span is clamped to the
+     stream's last timestamp *)
+  let events =
+    [
+      ev Event.Begin ~name:"b" ~id:0 0.0;
+      ev Event.End ~id:0 0.002;
+      ev Event.Begin ~name:"a" ~id:1 0.010;
+      ev Event.End ~id:1 0.012;
+      ev Event.Begin ~name:"orphan" ~id:2 0.014;
+      ev Event.Instant ~name:"tick" 0.017;
+    ]
+  in
+  match Profile.aggregate events with
+  | [ o; a; b ] ->
+      check_b "unclosed span clamps to last ts" true
+        (o.Profile.a_name = "orphan" && close o.Profile.a_self 0.003);
+      check_b "equal self ties break by name" true
+        (a.Profile.a_name = "a" && b.Profile.a_name = "b")
+  | rows ->
+      Alcotest.failf "expected 3 aggregate rows, got %d" (List.length rows)
+
+(* --- bench diff ---------------------------------------------------- *)
+
+let bench_doc ?(wall = 1.0) ?(claim = true) rate =
+  Json.Obj
+    [
+      ("schema", Json.String "bench_test/v1");
+      ( "experiments",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("name", Json.String "e1");
+                ("wall_s", Json.Float wall);
+                ("units_per_sec", Json.Float rate);
+              ];
+          ] );
+      ("claim_ok", Json.Bool claim);
+    ]
+
+let run_diff ?min_wall old_json new_json =
+  match Bench_diff.diff ?min_wall ~old_json ~new_json () with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "diff failed: %s" e
+
+let test_bench_diff_verdicts () =
+  let old_json = bench_doc 1000. in
+  check_b "identical docs do not regress" false
+    (Bench_diff.regressed (run_diff old_json old_json));
+  let t = run_diff old_json (bench_doc 400.) in
+  check_b "rate drop beyond threshold regresses" true
+    (Bench_diff.regressed t
+    && List.exists
+         (fun r ->
+           match r.Bench_diff.r_status with
+           | Bench_diff.Regressed d -> close d 0.6
+           | _ -> false)
+         t.Bench_diff.rows);
+  check_b "rate gain does not regress" false
+    (Bench_diff.regressed (run_diff old_json (bench_doc 2000.)));
+  check_b "sub-floor walls are noise, not regressions" false
+    (Bench_diff.regressed
+       (run_diff (bench_doc ~wall:0.001 1000.) (bench_doc ~wall:0.001 400.)));
+  check_b "a broken boolean claim regresses regardless of rates" true
+    (Bench_diff.regressed (run_diff old_json (bench_doc ~claim:false 1000.)));
+  check_b "documents with no comparable point error out" true
+    (match
+       Bench_diff.diff
+         ~old_json:(Json.Obj [ ("x", Json.String "y") ])
+         ~new_json:(Json.Obj [ ("x", Json.String "y") ])
+         ()
+     with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* --- heartbeat snapshots under live exploration -------------------- *)
+
+let snapshot_progress () =
+  let s = Explorer.live_progress () in
+  [
+    ("states", Json.Int s.Explorer.states);
+    ("edges", Json.Int s.Explorer.edges);
+  ]
+
+(* Run a traced exploration with a 1ms heartbeat; return the parsed
+   snapshot lines and the end-of-run registry view. *)
+let heartbeat_run jobs p =
+  let path = Filename.temp_file "hb" ".jsonl" in
+  Metrics.reset_global ();
+  Metrics.set_enabled true;
+  let finish () =
+    Snapshot.stop ();
+    Metrics.set_enabled false
+  in
+  (match
+     Snapshot.start ~path ~interval_ms:1 snapshot_progress;
+     ignore (Interp.behaviours ~fuel:24 ~jobs p)
+   with
+  | () -> finish ()
+  | exception e ->
+      finish ();
+      Sys.remove path;
+      raise e);
+  let lines = Snapshot.read_file path in
+  let final = Explorer.of_registry Metrics.global in
+  Metrics.reset_global ();
+  Sys.remove path;
+  (lines, final)
+
+let snapshot_invariants jobs =
+  to_alcotest
+    (QCheck2.Test.make
+       ~name:
+         (Printf.sprintf "heartbeats monotone, final = registry at jobs %d"
+            jobs)
+       ~count:10 ~print:Generators.print_program Generators.program (fun p ->
+         match heartbeat_run jobs p with
+         | Error e, _ -> QCheck2.Test.fail_reportf "unreadable heartbeat: %s" e
+         | Ok lines, final ->
+             let states l =
+               Option.value ~default:(-1) (Snapshot.progress_int l "states")
+             in
+             let edges l =
+               Option.value ~default:(-1) (Snapshot.progress_int l "edges")
+             in
+             let rec monotone = function
+               | a :: (b :: _ as rest) ->
+                   states a <= states b && edges a <= edges b
+                   && a.Snapshot.l_seq < b.Snapshot.l_seq
+                   && monotone rest
+               | _ -> true
+             in
+             let last = List.nth lines (List.length lines - 1) in
+             let metric name =
+               Option.bind
+                 (Option.bind
+                    (Json.member "counters" last.Snapshot.l_metrics)
+                    (Json.member name))
+                 Json.to_int
+             in
+             lines <> [] && monotone lines
+             (* the final line (written by [stop] after the run
+                published everything) agrees with the registry, both in
+                the progress view and in the frozen metrics object *)
+             && states last = final.Explorer.states
+             && edges last = final.Explorer.edges
+             && metric "explorer.states" = Some final.Explorer.states
+             && metric "explorer.edges" = Some final.Explorer.edges))
+
 (* --- stats-as-view equality --------------------------------------- *)
 
 let test_stats_registry_roundtrip () =
@@ -294,6 +501,7 @@ let () =
         [
           Alcotest.test_case "bucket round-trip" `Quick test_bucket_roundtrip;
           Alcotest.test_case "histogram counts" `Quick test_histogram_counts;
+          Alcotest.test_case "quantile edge cases" `Quick test_quantile_edges;
           Alcotest.test_case "sharded merge equality" `Quick
             test_merge_equality;
           Alcotest.test_case "parallel counter exactness" `Quick
@@ -306,4 +514,14 @@ let () =
         [ span_log_wellformed 1; span_log_wellformed 2 ] );
       ( "report",
         [ Alcotest.test_case "aggregation" `Quick test_report_aggregate ] );
+      ( "profile",
+        [
+          Alcotest.test_case "self vs total" `Quick test_profile_self_total;
+          Alcotest.test_case "tie-break and clamp" `Quick
+            test_profile_tiebreak_and_clamp;
+        ] );
+      ( "bench-diff",
+        [ Alcotest.test_case "verdicts" `Quick test_bench_diff_verdicts ] );
+      ( "heartbeat",
+        [ snapshot_invariants 1; snapshot_invariants 4 ] );
     ]
